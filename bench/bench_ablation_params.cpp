@@ -1,0 +1,107 @@
+// ABL — ablations over the hopset design knobs DESIGN.md calls out:
+// delta (rho exponent), gamma2 (top-level beta), epsilon (per-level
+// distortion) and n_final. Each sweep reports hopset size, build cost and
+// measured hop counts, exposing the size/hops/rounds trade-off surface
+// behind Theorem 4.4's parameter choices (delta=1.1, gamma2~1, etc.).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace parsh;
+using namespace parsh::bench;
+
+void sweep(const Graph& g, const char* name, const std::vector<HopsetParams>& params,
+           const std::vector<std::string>& labels, double eps, vid pairs,
+           std::uint64_t seed) {
+  Table t({name, "edges", "star", "clique", "levels", "build(s)", "rounds",
+           "hops p50", "hops max"});
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    HopsetResult hr;
+    const Run r = timed([&] { hr = build_hopset(g, params[i]); });
+    const auto ms = measure_hopset(g, hr.edges, eps, pairs,
+                                   4ull * g.num_vertices(), seed + 77);
+    std::vector<double> hops;
+    for (const auto& m : ms) hops.push_back(static_cast<double>(m.hops_with_set));
+    const Summary s = summarize(hops);
+    t.row()
+        .cell(labels[i])
+        .cell(hr.edges.size())
+        .cell(std::to_string(hr.star_edges))
+        .cell(std::to_string(hr.clique_edges))
+        .cell(std::to_string(hr.levels))
+        .cell(r.seconds, 3)
+        .cell(std::to_string(r.counters.rounds))
+        .cell(s.p50, 0)
+        .cell(s.max, 0);
+  }
+  t.print(std::string("ABL: sweep over ") + name);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parsh;
+  using namespace parsh::bench;
+  Cli cli(argc, argv);
+  const vid n = static_cast<vid>(cli.get_int("n", 4000));
+  const double eps = cli.get_double("eps", 0.5);
+  const vid pairs = static_cast<vid>(cli.get_int("pairs", 6));
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  const Graph g = workload("path", n, seed);
+  print_header("ABL: hopset parameter ablations (Theorem 4.4 knobs)", g, "path");
+
+  HopsetParams base;
+  base.epsilon = eps;
+  base.gamma2 = 0.5;
+  base.seed = seed;
+
+  {
+    std::vector<HopsetParams> ps;
+    std::vector<std::string> labels;
+    for (double delta : {1.05, 1.1, 1.5, 2.0}) {
+      HopsetParams p = base;
+      p.delta = delta;
+      ps.push_back(p);
+      labels.push_back("delta=" + std::to_string(delta).substr(0, 4));
+    }
+    sweep(g, "delta", ps, labels, eps, pairs, seed);
+  }
+  {
+    std::vector<HopsetParams> ps;
+    std::vector<std::string> labels;
+    for (double gamma2 : {0.3, 0.5, 0.7, 0.9}) {
+      HopsetParams p = base;
+      p.gamma2 = gamma2;
+      ps.push_back(p);
+      labels.push_back("gamma2=" + std::to_string(gamma2).substr(0, 3));
+    }
+    sweep(g, "gamma2", ps, labels, eps, pairs, seed);
+  }
+  {
+    std::vector<HopsetParams> ps;
+    std::vector<std::string> labels;
+    for (double e : {0.125, 0.25, 0.5, 1.0}) {
+      HopsetParams p = base;
+      p.epsilon = e;
+      ps.push_back(p);
+      labels.push_back("eps=" + std::to_string(e).substr(0, 5));
+    }
+    sweep(g, "epsilon", ps, labels, eps, pairs, seed);
+  }
+  {
+    std::vector<HopsetParams> ps;
+    std::vector<std::string> labels;
+    for (vid nf : {16u, 64u, 256u}) {
+      HopsetParams p = base;
+      p.n_final_override = nf;
+      ps.push_back(p);
+      labels.push_back("n_final=" + std::to_string(nf));
+    }
+    sweep(g, "n_final", ps, labels, eps, pairs, seed);
+  }
+  std::printf("Reading guide: gamma2 trades top-cluster radius (hops) against\n"
+              "recursion depth; delta speeds the size shrink (fewer clique edges,\n"
+              "more residual hops); eps scales the growth factor between levels.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// LEM21 / COR23 / COR31 — the probabilistic laws of the EST clustering,
+// measured: cluster radius vs beta^{-1} log n (Lemma 2.1), edge cut
+// probability vs beta * w (Corollary 2.3), unit-ball cluster intersections
+// vs n^{1/k} (Corollary 3.1). These are the knobs every downstream proof
+// turns on; the benches show each law's measured constant.
+#include <array>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parsh;
+  using namespace parsh::bench;
+  Cli cli(argc, argv);
+  const vid side = static_cast<vid>(cli.get_int("side", 60));
+  const int trials = static_cast<int>(cli.get_int("trials", 8));
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  const Graph g = make_torus(side, side);
+  const vid n = g.num_vertices();
+  print_header("EST clustering property laws (Lemma 2.1, Cor 2.3, Cor 3.1)", g, "torus");
+
+  // --- Lemma 2.1: max tree radius <= k beta^{-1} log n whp -------------
+  {
+    Table t({"beta", "max radius (mean)", "beta^-1 log n", "ratio", "clusters (mean)",
+             "rounds (mean)"});
+    for (double beta : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+      double rad = 0, clusters = 0, rounds = 0;
+      for (int i = 0; i < trials; ++i) {
+        const Clustering c = est_cluster(g, beta, seed + i);
+        rad += max_cluster_radius(c);
+        clusters += c.num_clusters;
+        rounds += static_cast<double>(c.rounds);
+      }
+      rad /= trials;
+      clusters /= trials;
+      rounds /= trials;
+      const double law = std::log(static_cast<double>(n)) / beta;
+      t.row()
+          .cell(beta, 2)
+          .cell(rad, 1)
+          .cell(law, 1)
+          .cell(rad / law, 2)
+          .cell(clusters, 0)
+          .cell(rounds, 0);
+    }
+    t.print("LEM21: cluster radius law");
+    std::printf("ratio column should stay <= k_conf (~1) across beta.\n\n");
+  }
+
+  // --- Corollary 2.3: P[edge cut] <= 1 - exp(-beta w) ------------------
+  {
+    const Graph gw = with_uniform_weights(g, 1, 8, seed + 3);
+    Table t({"beta", "w", "measured P[cut]", "1-exp(-beta w)", "beta*w"});
+    for (double beta : {0.02, 0.05}) {
+      std::array<double, 9> cut{}, total{};
+      for (int i = 0; i < trials; ++i) {
+        const Clustering c = est_cluster(gw, beta, seed + 100 + i);
+        for (const Edge& e : gw.undirected_edges()) {
+          const auto w = static_cast<std::size_t>(e.w);
+          total[w] += 1;
+          if (c.cluster_of[e.u] != c.cluster_of[e.v]) cut[w] += 1;
+        }
+      }
+      for (std::size_t w = 1; w <= 8; w += 1) {
+        if (total[w] == 0) continue;
+        t.row()
+            .cell(beta, 2)
+            .cell(static_cast<std::size_t>(w))
+            .cell(cut[w] / total[w], 3)
+            .cell(1.0 - std::exp(-beta * static_cast<double>(w)), 3)
+            .cell(beta * static_cast<double>(w), 3);
+      }
+    }
+    t.print("COR23: edge cut probability law");
+    std::printf("measured column tracks (from below) the 1-exp(-beta w) bound.\n\n");
+  }
+
+  // --- Corollary 3.1: E[#clusters meeting B(v,1)] <= n^{1/k} -----------
+  {
+    Table t({"k", "beta=ln(n)/2k", "mean ball clusters", "n^{1/k}", "ratio"});
+    std::vector<vid> queries;
+    for (vid v = 0; v < n; v += n / 64) queries.push_back(v);
+    for (double k : {2.0, 3.0, 4.0, 6.0}) {
+      const double beta = std::log(static_cast<double>(n)) / (2.0 * k);
+      double mean = 0;
+      int cnt = 0;
+      for (int i = 0; i < trials / 2 + 1; ++i) {
+        const Clustering c = est_cluster(g, beta, seed + 200 + i);
+        for (vid x : ball_cluster_counts(g, c, queries, 1.0)) {
+          mean += x;
+          ++cnt;
+        }
+      }
+      mean /= cnt;
+      const double law = std::pow(static_cast<double>(n), 1.0 / k);
+      t.row().cell(k, 0).cell(beta, 3).cell(mean, 2).cell(law, 2).cell(mean / law, 2);
+    }
+    t.print("COR31: unit-ball cluster intersections");
+    std::printf("ratio <= 1 is the corollary; it drives the spanner size bound.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared helpers for the table/figure benches: workload construction and
+// instrumented runs reporting wall time + PRAM work/round counters.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/parsh.hpp"
+
+namespace parsh::bench {
+
+/// Wall time, work and rounds of one instrumented call.
+struct Run {
+  double seconds = 0;
+  wd::Counters counters;
+};
+
+template <typename F>
+Run timed(F f) {
+  wd::Region region;
+  Timer t;
+  f();
+  Run r;
+  r.seconds = t.seconds();
+  r.counters = region.delta();
+  return r;
+}
+
+/// Named workloads shared by the benches. `avg_deg` tunes density for
+/// the random families (ignored by the structured ones).
+inline Graph workload(const std::string& name, vid n, std::uint64_t seed,
+                      eid avg_deg = 8) {
+  if (name == "er") {
+    return ensure_connected(make_random_graph(n, static_cast<eid>(n) * avg_deg / 2, seed));
+  }
+  if (name == "grid") {
+    vid side = 1;
+    while (side * side < n) ++side;
+    return make_grid(side, side);
+  }
+  if (name == "rmat") {
+    return ensure_connected(make_rmat(n, static_cast<eid>(n) * 6, seed));
+  }
+  if (name == "path") {
+    return make_path(n);  // maximal-diameter workload: where hopsets matter
+  }
+  if (name == "pathchords") {
+    return make_path_with_chords(n, n / 50, seed);
+  }
+  std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+inline void print_header(const char* title, const Graph& g, const char* workload_name) {
+  std::printf("\n%s\n  workload=%s n=%u m=%llu  (work/rounds are PRAM-style counters;\n"
+              "  wall time is 1-thread unless OMP_NUM_THREADS says otherwise)\n",
+              title, workload_name, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+}
+
+}  // namespace parsh::bench

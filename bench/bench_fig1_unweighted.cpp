@@ -1,0 +1,76 @@
+// FIG1-U — Figure 1, unweighted spanner table.
+//
+// Paper's rows (unweighted graphs):
+//   [ADD+93]-style greedy:  stretch 2k-1, sequential, O(m n^{1+1/k}) work
+//   [BS07] Baswana-Sen:     stretch 2k-1, size O(k n^{1+1/k}), O(km) work
+//   EST spanner (new):      stretch O(k),  size O(n^{1+1/k}),  O(m) work
+//
+// We regenerate the comparison empirically: for each k, build all three on
+// the same graph and report size, size normalised by n^{1+1/k}, sampled
+// stretch, wall time, and the work/round counters. The paper's claims map
+// to: EST size ratio ~constant in k (vs k-growing for BS), EST work flat
+// in k, greedy smallest but slowest.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parsh;
+  using namespace parsh::bench;
+  Cli cli(argc, argv);
+  const vid n = static_cast<vid>(cli.get_int("n", 8000));
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  const std::string wl = cli.get("workload", "er");
+  const bool run_greedy = cli.get_bool("greedy", n <= 12000);
+  const Graph g = workload(wl, n, seed);
+  print_header("FIG1-U: unweighted spanners (paper Figure 1, top block)", g, wl.c_str());
+
+  Table table({"k", "algorithm", "size", "size/n^(1+1/k)", "stretch(sampled)",
+               "time(s)", "work", "rounds"});
+  for (double k : {2.0, 3.0, 4.0, 6.0, 8.0}) {
+    const double law = std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+    if (run_greedy) {
+      std::vector<Edge> edges;
+      const Run r = timed([&] { edges = greedy_spanner(g, k); });
+      table.row()
+          .cell(k, 0)
+          .cell("greedy [ADD+93]")
+          .cell(edges.size())
+          .cell(static_cast<double>(edges.size()) / law, 2)
+          .cell(sampled_edge_stretch(g, edges, 48, seed), 2)
+          .cell(r.seconds, 3)
+          .cell("- (sequential)")
+          .cell("-");
+    }
+    {
+      std::vector<Edge> edges;
+      const Run r =
+          timed([&] { edges = baswana_sen_spanner(g, static_cast<int>(k), seed); });
+      table.row()
+          .cell(k, 0)
+          .cell("Baswana-Sen [BS07]")
+          .cell(edges.size())
+          .cell(static_cast<double>(edges.size()) / law, 2)
+          .cell(sampled_edge_stretch(g, edges, 48, seed), 2)
+          .cell(r.seconds, 3)
+          .cell("- (sequential)")
+          .cell("-");
+    }
+    {
+      SpannerResult sp;
+      const Run r = timed([&] { sp = unweighted_spanner(g, k, seed); });
+      table.row()
+          .cell(k, 0)
+          .cell("EST spanner (new)")
+          .cell(sp.edges.size())
+          .cell(static_cast<double>(sp.edges.size()) / law, 2)
+          .cell(sampled_edge_stretch(g, sp.edges, 48, seed), 2)
+          .cell(r.seconds, 3)
+          .cell(std::to_string(r.counters.work))
+          .cell(std::to_string(r.counters.rounds));
+    }
+  }
+  table.print("unweighted spanners");
+  std::printf("\nReading guide: the paper's Figure 1 asserts (i) EST size/n^(1+1/k)\n"
+              "stays ~constant while Baswana-Sen's grows ~k, (ii) EST stretch is a\n"
+              "constant multiple of k, (iii) EST work is O(m), independent of k.\n");
+  return 0;
+}

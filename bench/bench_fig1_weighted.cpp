@@ -1,0 +1,120 @@
+// FIG1-W — Figure 1, weighted spanner table.
+//
+// Paper's rows (weighted graphs, U = weight ratio):
+//   [ADD+93] greedy:      2k-1 stretch, size ~ n^{1+1/k},     O(m n^{1+1/k}) work
+//   [BS07] Baswana-Sen:   2k-1 stretch, size O(k n^{1+1/k}),  O(km) work
+//   EST weighted (new):   O(k) stretch, size O(n^{1+1/k} log k), O(m) work,
+//                         depth O(k log* n log U)
+//
+// The decisive claim is the size column: the new construction's overhead
+// over n^{1+1/k} is log k — *independent of U* — where naive bucketing
+// would pay log U. We therefore sweep U and report sizes for each
+// algorithm, plus the bucketing-only ablation (weighted spanner without
+// the AKPW contraction = one unweighted spanner per bucket).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace parsh;
+
+/// Ablation: run Algorithm 2 independently per weight bucket (no
+/// contraction) — the O(log U) overhead the paper's scheme avoids.
+std::vector<Edge> bucketed_no_contraction(const Graph& g, double k, std::uint64_t seed) {
+  std::vector<Edge> out;
+  std::uint64_t level = 0;
+  for (const auto& bucket : weight_buckets(g)) {
+    if (bucket.empty()) continue;
+    const Graph sub = Graph::from_edges(g.num_vertices(), std::vector<Edge>(bucket));
+    const SpannerResult r = unweighted_spanner(sub.as_unweighted(), k, seed + level++);
+    for (const Edge& e : r.edges) {
+      // Map back to the true weight (the bucket's copy of the edge).
+      for (const Edge& b : bucket) {
+        if ((b.u == e.u && b.v == e.v) || (b.u == e.v && b.v == e.u)) {
+          out.push_back(b);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parsh::bench;
+  Cli cli(argc, argv);
+  const vid n = static_cast<vid>(cli.get_int("n", 4000));
+  const double k = cli.get_double("k", 3.0);
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  const std::string wl = cli.get("workload", "er");
+  const bool run_greedy = cli.get_bool("greedy", n <= 6000);
+  // Denser default than FIG1-U: the contraction's size advantage only
+  // shows once individual weight buckets are denser than spanning trees.
+  const auto deg = static_cast<eid>(cli.get_int("deg", 16));
+
+  const Graph base = workload(wl, n, seed, deg);
+  print_header("FIG1-W: weighted spanners (paper Figure 1, bottom block)", base,
+               wl.c_str());
+  const double law = std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+
+  Table table({"U", "algorithm", "size", "size/n^(1+1/k)", "stretch(sampled)",
+               "time(s)", "rounds"});
+  for (double ratio : {16.0, 256.0, 4096.0}) {
+    const Graph g = with_log_uniform_weights(base, ratio, seed + 5);
+    if (run_greedy) {
+      std::vector<Edge> edges;
+      const Run r = timed([&] { edges = greedy_spanner(g, k); });
+      table.row()
+          .cell(ratio, 0)
+          .cell("greedy [ADD+93]")
+          .cell(edges.size())
+          .cell(static_cast<double>(edges.size()) / law, 2)
+          .cell(sampled_edge_stretch(g, edges, 32, seed), 2)
+          .cell(r.seconds, 3)
+          .cell(std::to_string(r.counters.rounds));
+    }
+    {
+      std::vector<Edge> edges;
+      const Run r =
+          timed([&] { edges = baswana_sen_spanner(g, static_cast<int>(k), seed); });
+      table.row()
+          .cell(ratio, 0)
+          .cell("Baswana-Sen [BS07]")
+          .cell(edges.size())
+          .cell(static_cast<double>(edges.size()) / law, 2)
+          .cell(sampled_edge_stretch(g, edges, 32, seed), 2)
+          .cell(r.seconds, 3)
+          .cell(std::to_string(r.counters.rounds));
+    }
+    {
+      std::vector<Edge> edges;
+      const Run r = timed([&] { edges = bucketed_no_contraction(g, k, seed); });
+      table.row()
+          .cell(ratio, 0)
+          .cell("bucketed, no contraction (ablation)")
+          .cell(edges.size())
+          .cell(static_cast<double>(edges.size()) / law, 2)
+          .cell(sampled_edge_stretch(g, edges, 32, seed), 2)
+          .cell(r.seconds, 3)
+          .cell(std::to_string(r.counters.rounds));
+    }
+    {
+      SpannerResult sp;
+      const Run r = timed([&] { sp = weighted_spanner(g, k, seed); });
+      table.row()
+          .cell(ratio, 0)
+          .cell("EST weighted (new)")
+          .cell(sp.edges.size())
+          .cell(static_cast<double>(sp.edges.size()) / law, 2)
+          .cell(sampled_edge_stretch(g, sp.edges, 32, seed), 2)
+          .cell(r.seconds, 3)
+          .cell(std::to_string(r.counters.rounds));
+    }
+  }
+  table.print("weighted spanners, k=" + std::to_string(static_cast<int>(k)));
+  std::printf("\nReading guide: Theorem 3.3's point is the EST size column growing\n"
+              "with log k only — flat as U sweeps 16 -> 4096 — while the\n"
+              "no-contraction ablation grows with log U.\n");
+  return 0;
+}

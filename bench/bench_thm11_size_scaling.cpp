@@ -1,0 +1,57 @@
+// THM11 — Theorem 1.1 size laws.
+//
+// Sweeps n and fits the growth exponent of the spanner size:
+//   unweighted: expected size O(n^{1+1/k})      (Lemma 3.2)
+//   weighted:   expected size O(n^{1+1/k} log k) (Theorem 3.3)
+// The fitted log-log slope should approach 1 + 1/k.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parsh;
+  using namespace parsh::bench;
+  Cli cli(argc, argv);
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  const vid n_max = static_cast<vid>(cli.get_int("nmax", 32000));
+
+  std::vector<vid> ns;
+  for (vid n = 2000; n <= n_max; n *= 2) ns.push_back(n);
+
+  std::printf("\nTHM11: spanner size scaling (Theorem 1.1)\n");
+  for (double k : {2.0, 3.0, 5.0}) {
+    Table table({"n", "m", "unweighted size", "/n^(1+1/k)", "weighted size",
+                 "/n^(1+1/k)"});
+    std::vector<double> xs, ys_u, ys_w;
+    for (vid n : ns) {
+      const Graph g = ensure_connected(make_random_graph(n, static_cast<eid>(n) * 5, seed));
+      const Graph gw = with_log_uniform_weights(g, 256.0, seed + 2);
+      double su = 0, sw = 0;
+      const int trials = 2;
+      for (int t = 0; t < trials; ++t) {
+        su += static_cast<double>(unweighted_spanner(g, k, seed + t).edges.size());
+        sw += static_cast<double>(weighted_spanner(gw, k, seed + t).edges.size());
+      }
+      su /= trials;
+      sw /= trials;
+      const double law = std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+      table.row()
+          .cell(static_cast<std::size_t>(n))
+          .cell(static_cast<std::size_t>(g.num_edges()))
+          .cell(su, 0)
+          .cell(su / law, 2)
+          .cell(sw, 0)
+          .cell(sw / law, 2);
+      xs.push_back(static_cast<double>(n));
+      ys_u.push_back(su);
+      ys_w.push_back(sw);
+    }
+    table.print("k=" + std::to_string(static_cast<int>(k)));
+    const LinearFit fu = fit_power_law(xs, ys_u);
+    const LinearFit fw = fit_power_law(xs, ys_w);
+    std::printf("fitted exponent: unweighted %.3f, weighted %.3f "
+                "(theory: <= %.3f; r2 %.3f / %.3f)\n\n",
+                fu.slope, fw.slope, 1.0 + 1.0 / k, fu.r2, fw.r2);
+  }
+  std::printf("Reading guide: size/n^(1+1/k) columns should be ~flat in n, and the\n"
+              "fitted exponents at or below 1 + 1/k (denser graphs saturate lower).\n");
+  return 0;
+}

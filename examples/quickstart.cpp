@@ -1,0 +1,79 @@
+// Quickstart: build a graph, make a spanner, make a hopset, answer
+// (1+eps)-approximate distance queries.
+//
+//   ./quickstart [--n 4000] [--deg 6] [--k 3] [--eps 0.25] [--seed 1]
+#include <cmath>
+#include <cstdio>
+
+#include "core/parsh.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parsh;
+  Cli cli(argc, argv);
+  const vid n = static_cast<vid>(cli.get_int("n", 4000));
+  const eid m = static_cast<eid>(cli.get_int("deg", 6)) * n / 2;
+  const double k = cli.get_double("k", 3.0);
+  const double eps = cli.get_double("eps", 0.25);
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+
+  std::printf("parsh quickstart — spanners & hopsets (Miller-Peng-Vladu-Xu, SPAA'15)\n\n");
+
+  // 1. A connected random graph.
+  const Graph g = ensure_connected(make_random_graph(n, m, seed));
+  std::printf("graph: n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // 2. An O(k)-spanner via one EST clustering (Algorithm 2).
+  Timer t;
+  const SpannerResult sp = unweighted_spanner(g, k, seed);
+  std::printf("spanner (k=%.0f): %zu edges (%.2fx n^(1+1/k)=%.0f), %.1f ms\n",
+              k, sp.edges.size(),
+              static_cast<double>(sp.edges.size()) /
+                  std::pow(static_cast<double>(n), 1.0 + 1.0 / k),
+              std::pow(static_cast<double>(n), 1.0 + 1.0 / k), t.millis());
+  const double stretch = sampled_edge_stretch(g, sp.edges, 64, seed);
+  std::printf("  sampled edge stretch: %.2f (guarantee O(k))\n", stretch);
+
+  // 3. A hopset (Algorithm 4) and how it shrinks hop radii.
+  t.reset();
+  HopsetParams hp;
+  hp.epsilon = eps;
+  hp.seed = seed;
+  const HopsetResult hs = build_hopset(g, hp);
+  std::printf("hopset: %zu edges (%llu star, %llu clique), %llu levels, %.1f ms\n",
+              hs.edges.size(), static_cast<unsigned long long>(hs.star_edges),
+              static_cast<unsigned long long>(hs.clique_edges),
+              static_cast<unsigned long long>(hs.levels), t.millis());
+  const auto ms = measure_hopset(g, hs.edges, eps, 16, 4096, seed);
+  double plain = 0, with_set = 0;
+  for (const auto& mres : ms) {
+    plain += static_cast<double>(mres.hops_plain);
+    with_set += static_cast<double>(mres.hops_with_set);
+  }
+  if (!ms.empty()) {
+    std::printf("  mean hops to (1+%.2f)-approx: %.1f plain -> %.1f with hopset\n",
+                eps, plain / ms.size(), with_set / ms.size());
+  }
+
+  // 4. The end-to-end (1+eps) query engine (Theorem 1.2).
+  t.reset();
+  ApproxShortestPaths::Params qp;
+  qp.epsilon = eps;
+  qp.hopset.hopset.seed = seed;
+  const ApproxShortestPaths engine(g, qp);
+  std::printf("query engine: %llu hopset edges over %zu scales, preprocessing %.1f ms\n",
+              static_cast<unsigned long long>(engine.hopset().total_hopset_edges),
+              engine.hopset().scales.size(), t.millis());
+  Rng rng(seed ^ 0xabcdULL);
+  for (int q = 0; q < 5; ++q) {
+    const vid s = static_cast<vid>(rng.uniform_int(2 * q, n));
+    const vid tt = static_cast<vid>(rng.uniform_int(2 * q + 1, n));
+    const auto qr = engine.query(s, tt);
+    const weight_t exact = st_distance(g, s, tt);
+    std::printf("  dist(%u, %u): approx %.0f, exact %.0f (ratio %.3f, %llu rounds)\n",
+                s, tt, qr.estimate, exact,
+                exact > 0 ? qr.estimate / exact : 1.0,
+                static_cast<unsigned long long>(qr.rounds));
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Road-network scenario: spanners as a road-map sparsifier.
+//
+// The paper has no public datasets, so this example builds a synthetic
+// road network — a jittered 2D grid with Euclidean-ish integer weights
+// and a few long "highway" edges — then compares the three spanner
+// constructions on it: how many road segments can be dropped while
+// keeping all detours bounded?
+//
+//   ./road_network [--side 70] [--k 3] [--seed 1] [--out spanner.txt]
+#include <cmath>
+#include <cstdio>
+
+#include "core/parsh.hpp"
+
+namespace {
+
+using namespace parsh;
+
+/// A synthetic road network: grid streets with weight jitter plus sparse
+/// diagonal highways (heavier but shortcutting).
+Graph make_road_network(vid side, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  auto id = [side](vid r, vid c) { return r * side + c; };
+  std::uint64_t ctr = 0;
+  for (vid r = 0; r < side; ++r) {
+    for (vid c = 0; c < side; ++c) {
+      // Street weights 8..12 (≈ uniform block lengths with jitter).
+      if (c + 1 < side) {
+        edges.push_back({id(r, c), id(r, c + 1),
+                         static_cast<weight_t>(8 + rng.uniform_int(ctr++, 5))});
+      }
+      if (r + 1 < side) {
+        edges.push_back({id(r, c), id(r + 1, c),
+                         static_cast<weight_t>(8 + rng.uniform_int(ctr++, 5))});
+      }
+      // Sparse highways: jump ~8 blocks diagonally at ~60% of street cost.
+      if (r + 8 < side && c + 8 < side && rng.uniform(ctr++) < 0.02) {
+        edges.push_back({id(r, c), id(r + 8, c + 8),
+                         static_cast<weight_t>(8 * 8 * 2 * 6 / 10)});
+      }
+    }
+  }
+  return Graph::from_edges(side * side, std::move(edges));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const vid side = static_cast<vid>(cli.get_int("side", 70));
+  const double k = cli.get_double("k", 3.0);
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+
+  const Graph g = make_road_network(side, seed);
+  std::printf("road network: %u intersections, %llu segments, weights %g..%g\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              g.min_weight(), g.max_weight());
+
+  struct Row {
+    const char* name;
+    std::vector<Edge> edges;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  {
+    Timer t;
+    SpannerResult r = weighted_spanner(g, k, seed);
+    rows.push_back({"EST weighted spanner (this paper)", std::move(r.edges), t.seconds()});
+  }
+  {
+    Timer t;
+    auto e = baswana_sen_spanner(g, static_cast<int>(k), seed);
+    rows.push_back({"Baswana-Sen", std::move(e), t.seconds()});
+  }
+  if (side <= 80) {
+    Timer t;
+    auto e = greedy_spanner(g, k);
+    rows.push_back({"greedy (2k-1 exact)", std::move(e), t.seconds()});
+  }
+
+  Table table({"algorithm", "segments kept", "% of roads", "max detour (sampled)",
+               "mean detour (sampled)", "time(s)"});
+  Rng rng(seed + 7);
+  for (const Row& row : rows) {
+    // Detour factors over sampled origin/destination pairs.
+    const Graph h = spanner_graph(g, row.edges);
+    double worst = 1.0, sum = 0;
+    int cnt = 0;
+    for (int q = 0; q < 24; ++q) {
+      const vid s = static_cast<vid>(rng.uniform_int(2 * q, g.num_vertices()));
+      const vid t = static_cast<vid>(rng.uniform_int(2 * q + 1, g.num_vertices()));
+      if (s == t) continue;
+      const weight_t dg = st_distance(g, s, t);
+      if (dg == kInfWeight || dg == 0) continue;
+      const double ratio = st_distance(h, s, t) / dg;
+      worst = std::max(worst, ratio);
+      sum += ratio;
+      ++cnt;
+    }
+    table.row()
+        .cell(row.name)
+        .cell(row.edges.size())
+        .cell(100.0 * static_cast<double>(row.edges.size()) /
+                  static_cast<double>(g.num_edges()),
+              1)
+        .cell(worst, 2)
+        .cell(cnt ? sum / cnt : 1.0, 2)
+        .cell(row.seconds, 3);
+  }
+  table.print("road sparsification, k=" + std::to_string(static_cast<int>(k)));
+
+  if (cli.has("out")) {
+    const std::string path = cli.get("out", "spanner.txt");
+    write_edge_list_file(path, spanner_graph(g, rows.front().edges));
+    std::printf("EST spanner written to %s\n", path.c_str());
+  }
+  std::printf("\nInterpretation: an O(k)-spanner keeps every detour bounded while\n"
+              "dropping a constant fraction of segments; EST does it in O(m) work\n"
+              "and polylog depth (Theorem 1.1), where greedy needs ~m Dijkstras.\n");
+  return 0;
+}

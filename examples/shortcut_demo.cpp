@@ -1,0 +1,103 @@
+// Figure 3, animated in text: how a hopset shortcuts an s-t path.
+//
+// The paper's Figure 3 shows an s-t path crossing the clusters of one
+// decomposition level; the first and last *large* clusters it touches get
+// bridged by two star edges and one clique edge. This demo builds a long
+// path, runs one decomposition level by hand (the same routine Algorithm 4
+// uses), prints which clusters the path crosses and which shortcut
+// replaces the middle, then shows the end-to-end hop reduction of the full
+// recursive construction.
+//
+//   ./shortcut_demo [--n 400] [--beta 0.05] [--seed 5]
+#include <cstdio>
+
+#include "core/parsh.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parsh;
+  Cli cli(argc, argv);
+  const vid n = static_cast<vid>(cli.get_int("n", 400));
+  const double beta = cli.get_double("beta", 0.05);
+  const std::uint64_t seed = cli.get_seed("seed", 5);
+
+  const Graph g = make_path(n);
+  const vid s = 0, t = n - 1;
+  std::printf("Figure 3 demo: path of %u vertices, s=%u, t=%u\n\n", n, s, t);
+
+  // --- One decomposition level, inspected ------------------------------
+  const Clustering c = est_cluster(g, beta, seed);
+  std::printf("one EST clustering at beta=%.3f: %u clusters, max radius %.0f\n",
+              beta, c.num_clusters, max_cluster_radius(c));
+
+  // Walk the s-t path (the path graph itself) and record cluster crossings.
+  std::printf("cluster segments along the path (cluster id x length):\n  ");
+  vid cur = c.cluster_of[s];
+  vid len = 0;
+  std::vector<std::pair<vid, vid>> segments;  // (cluster, length)
+  for (vid v = s; v <= t; ++v) {
+    if (c.cluster_of[v] == cur) {
+      ++len;
+    } else {
+      segments.push_back({cur, len});
+      cur = c.cluster_of[v];
+      len = 1;
+    }
+  }
+  segments.push_back({cur, len});
+  for (std::size_t i = 0; i < segments.size() && i < 14; ++i) {
+    std::printf("[c%u x%u] ", segments[i].first, segments[i].second);
+  }
+  if (segments.size() > 14) std::printf("... (%zu segments)", segments.size());
+  std::printf("\n\n");
+
+  // Large clusters by the Algorithm 4 rule (rho from default params).
+  HopsetParams hp;
+  hp.seed = seed;
+  const double rho = hopset_rho(n, hp);
+  const double threshold = static_cast<double>(n) / rho;
+  const auto sizes = c.sizes();
+  vid first_large = kNoVertex, last_large = kNoVertex;
+  for (const auto& [cl, ln] : segments) {
+    if (static_cast<double>(sizes[cl]) >= threshold) {
+      if (first_large == kNoVertex) first_large = cl;
+      last_large = cl;
+    }
+  }
+  std::printf("large-cluster rule: size >= n/rho = %.1f\n", threshold);
+  if (first_large == kNoVertex) {
+    std::printf("no large cluster on the path at this beta — rerun with a smaller "
+                "--beta to see the shortcut.\n");
+  } else {
+    std::printf("the paper's shortcut (Figure 3): enter the FIRST large cluster c%u\n"
+                "at its first path vertex u, leave the LAST large cluster c%u at its\n"
+                "last path vertex v; replace everything between by\n"
+                "  (u -> center %u)  [star edge]\n"
+                "  (center %u -> center %u)  [clique edge]\n"
+                "  (center %u -> v)  [star edge]\n\n",
+                first_large, last_large, c.center[first_large], c.center[first_large],
+                c.center[last_large], c.center[last_large]);
+  }
+
+  // --- Full recursive construction, measured ---------------------------
+  hp.gamma2 = 0.6;
+  hp.epsilon = 0.5;
+  const HopsetResult hs = build_hopset(g, hp);
+  std::printf("full Algorithm 4: %zu hopset edges (%llu star + %llu clique), "
+              "%llu levels\n",
+              hs.edges.size(), static_cast<unsigned long long>(hs.star_edges),
+              static_cast<unsigned long long>(hs.clique_edges),
+              static_cast<unsigned long long>(hs.levels));
+  const Graph aug = g.with_extra_edges(hs.edges);
+  const weight_t exact = static_cast<weight_t>(n - 1);
+  for (double eps : {0.1, 0.25, 0.5}) {
+    const std::uint64_t plain = hops_to_approx(g, s, t, exact, eps, 2ull * n);
+    const std::uint64_t with_set = hops_to_approx(aug, s, t, exact, eps, 2ull * n);
+    std::printf("  hops to (1+%.2f)-approx of dist(s,t)=%u: %llu plain -> %llu "
+                "with hopset\n",
+                eps, n - 1, static_cast<unsigned long long>(plain),
+                static_cast<unsigned long long>(with_set));
+  }
+  std::printf("\nThat reduction — paths of d hops collapsing to ~beta0*d plus\n"
+              "per-level residue — is exactly Lemma 4.2's h bound in action.\n");
+  return 0;
+}

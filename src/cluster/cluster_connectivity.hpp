@@ -1,0 +1,36 @@
+// Connectivity via repeated EST clustering ([SDB14], cited in the
+// paper's introduction: "The clustering algorithm itself has properties
+// suitable for reducing the communication required in parallel
+// connectivity algorithms").
+//
+// Each round clusters the current quotient graph with a constant beta and
+// contracts every cluster; Corollary 2.3 says each edge survives
+// contraction with probability < beta, so the vertex count drops
+// geometrically and O(log n) rounds suffice w.h.p. — a linear-work,
+// polylog-depth connectivity algorithm whose only primitive is the same
+// ESTCluster the spanners and hopsets use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct ClusterConnectivityResult {
+  /// Component label per vertex, dense in [0, num_components), ordered by
+  /// smallest member (same contract as connected_components()).
+  std::vector<vid> component;
+  vid num_components = 0;
+  /// Contraction rounds executed (depth proxy; O(log n) w.h.p.).
+  std::uint64_t rounds = 0;
+};
+
+/// Compute connected components by iterated EST-cluster contraction.
+/// `beta` is the per-round decomposition rate (0 picks 0.2, a good
+/// geometric-decay constant).
+ClusterConnectivityResult cluster_connectivity(const Graph& g, std::uint64_t seed,
+                                               double beta = 0);
+
+}  // namespace parsh

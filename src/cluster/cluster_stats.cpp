@@ -1,0 +1,96 @@
+#include "cluster/cluster_stats.hpp"
+
+#include <algorithm>
+
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+
+bool validate_clustering(const Graph& g, const Clustering& c) {
+  const vid n = g.num_vertices();
+  if (c.cluster_of.size() != n || c.parent.size() != n ||
+      c.dist_to_center.size() != n) {
+    return false;
+  }
+  if (c.center.size() != c.num_clusters) return false;
+  for (vid v = 0; v < n; ++v) {
+    if (c.cluster_of[v] >= c.num_clusters) return false;
+  }
+  // Centers are their own cluster members with dist 0 and no parent.
+  for (vid i = 0; i < c.num_clusters; ++i) {
+    const vid ctr = c.center[i];
+    if (c.cluster_of[ctr] != i) return false;
+    if (c.parent[ctr] != kNoVertex) return false;
+    if (c.dist_to_center[ctr] != 0) return false;
+  }
+  for (vid v = 0; v < n; ++v) {
+    const vid p = c.parent[v];
+    if (p == kNoVertex) {
+      // Must be the center of its cluster.
+      if (c.center[c.cluster_of[v]] != v) return false;
+      continue;
+    }
+    // Parent in the same cluster, strictly closer to the center, and
+    // actually adjacent in g with the matching edge weight.
+    if (c.cluster_of[p] != c.cluster_of[v]) return false;
+    if (!(c.dist_to_center[p] < c.dist_to_center[v])) return false;
+    bool adjacent = false;
+    for (eid e = g.begin(v); e < g.end(v); ++e) {
+      if (g.target(e) == p &&
+          c.dist_to_center[p] + g.weight(e) == c.dist_to_center[v]) {
+        adjacent = true;
+        break;
+      }
+    }
+    if (!adjacent) return false;
+  }
+  return true;
+}
+
+std::vector<weight_t> cluster_radii(const Clustering& c) {
+  std::vector<weight_t> r(c.num_clusters, 0);
+  for (vid v = 0; v < c.cluster_of.size(); ++v) {
+    r[c.cluster_of[v]] = std::max(r[c.cluster_of[v]], c.dist_to_center[v]);
+  }
+  return r;
+}
+
+weight_t max_cluster_radius(const Clustering& c) {
+  weight_t m = 0;
+  for (weight_t r : cluster_radii(c)) m = std::max(m, r);
+  return m;
+}
+
+eid count_cut_edges(const Graph& g, const Clustering& c) {
+  eid cut = 0;
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const vid v = g.target(e);
+      if (u < v && c.cluster_of[u] != c.cluster_of[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+double cut_fraction(const Graph& g, const Clustering& c) {
+  const eid m = g.num_edges();
+  return m == 0 ? 0.0 : static_cast<double>(count_cut_edges(g, c)) / static_cast<double>(m);
+}
+
+std::vector<vid> ball_cluster_counts(const Graph& g, const Clustering& c,
+                                     const std::vector<vid>& queries, weight_t radius) {
+  std::vector<vid> out(queries.size(), 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    SsspResult sp = dijkstra_limited(g, queries[i], radius);
+    std::vector<vid> seen;
+    for (vid v = 0; v < g.num_vertices(); ++v) {
+      if (sp.dist[v] <= radius) seen.push_back(c.cluster_of[v]);
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    out[i] = static_cast<vid>(seen.size());
+  }
+  return out;
+}
+
+}  // namespace parsh

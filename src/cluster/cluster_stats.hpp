@@ -1,0 +1,38 @@
+// Diagnostics over a Clustering: the measurable quantities behind
+// Lemma 2.1 (tree radius), Corollary 2.3 (cut probability) and
+// Lemma 2.2 / Corollary 3.1 (ball-cluster intersections). Used by the
+// property tests and by bench_cluster_properties.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/est_cluster.hpp"
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// True iff the parent pointers form, per cluster, a spanning tree rooted
+/// at the cluster center with consistent tree distances, and every vertex
+/// is assigned to exactly one cluster.
+bool validate_clustering(const Graph& g, const Clustering& c);
+
+/// Tree radius (max dist_to_center) per cluster.
+std::vector<weight_t> cluster_radii(const Clustering& c);
+
+/// Maximum tree radius over all clusters (0 if no vertices).
+weight_t max_cluster_radius(const Clustering& c);
+
+/// Number of inter-cluster edges (each undirected edge counted once).
+eid count_cut_edges(const Graph& g, const Clustering& c);
+
+/// Fraction of undirected edges cut.
+double cut_fraction(const Graph& g, const Clustering& c);
+
+/// For each queried vertex, the number of distinct clusters intersecting
+/// the ball B(v, r) (hop-ball for unweighted, weighted ball otherwise).
+/// This is the quantity of Lemma 2.2 / Corollary 3.1.
+std::vector<vid> ball_cluster_counts(const Graph& g, const Clustering& c,
+                                     const std::vector<vid>& queries, weight_t radius);
+
+}  // namespace parsh

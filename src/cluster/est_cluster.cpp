@@ -1,0 +1,214 @@
+#include "cluster/est_cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "graph/validation.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/work_depth.hpp"
+#include "random/rng.hpp"
+
+namespace parsh {
+
+std::vector<double> est_shifts(vid n, double beta, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> delta(n);
+  parallel_for(0, n, [&](std::size_t v) { delta[v] = rng.exponential(v, beta); });
+  return delta;
+}
+
+std::vector<std::vector<vid>> Clustering::members() const {
+  std::vector<std::vector<vid>> out(num_clusters);
+  for (vid v = 0; v < cluster_of.size(); ++v) out[cluster_of[v]].push_back(v);
+  return out;
+}
+
+std::vector<vid> Clustering::sizes() const {
+  std::vector<vid> out(num_clusters, 0);
+  for (vid c : cluster_of) ++out[c];
+  return out;
+}
+
+namespace {
+
+/// Densify cluster labels (currently center vertex ids) to [0, k) ordered
+/// by center vertex id, and fill the center list.
+void finalize_labels(Clustering& c, const std::vector<vid>& center_of) {
+  const vid n = static_cast<vid>(center_of.size());
+  std::vector<vid> remap(n, kNoVertex);
+  std::vector<vid> centers;
+  std::vector<char> is_center(n, 0);
+  for (vid v = 0; v < n; ++v) {
+    assert(center_of[v] != kNoVertex && "every vertex must be clustered");
+    if (!is_center[center_of[v]]) {
+      is_center[center_of[v]] = 1;
+      centers.push_back(center_of[v]);
+    }
+  }
+  std::sort(centers.begin(), centers.end());
+  for (vid i = 0; i < centers.size(); ++i) remap[centers[i]] = i;
+  c.num_clusters = static_cast<vid>(centers.size());
+  c.center = centers;
+  c.cluster_of.resize(n);
+  for (vid v = 0; v < n; ++v) c.cluster_of[v] = remap[center_of[v]];
+}
+
+}  // namespace
+
+Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed) {
+  require_integer_weights(g, "est_cluster");
+  if (!(beta > 0)) throw std::invalid_argument("est_cluster: beta must be positive");
+  const vid n = g.num_vertices();
+  Clustering c;
+  c.parent.assign(n, kNoVertex);
+  c.dist_to_center.assign(n, 0);
+  if (n == 0) return c;
+
+  const std::vector<double> delta = est_shifts(n, beta, seed);
+  double delta_max = 0;
+  for (double d : delta) delta_max = std::max(delta_max, d);
+
+  // Start time per vertex; key(v) = s_u + dist(u,v) for its final center u.
+  std::vector<double> start(n);
+  for (vid v = 0; v < n; ++v) start[v] = delta_max - delta[v];
+
+  std::vector<double> key(n, kInfWeight);
+  std::vector<vid> center_of(n, kNoVertex);
+  std::vector<vid> parent(n, kNoVertex);
+  std::vector<weight_t> hops(n, 0);
+
+  // Dial-style buckets of proposals, stored sparsely (after weight
+  // rounding the integer key range can be large while only few rounds are
+  // nonempty). A proposal (v, via, key, dw) claims v through neighbour
+  // `via` (kNoVertex = v starts its own cluster).
+  struct Proposal {
+    vid v;        // vertex being claimed
+    vid via;      // neighbour it is claimed through (kNoVertex = self)
+    double key;   // s_center + dist(center, v)
+    weight_t dw;  // tree distance of v from the center
+  };
+  std::map<std::uint64_t, std::vector<Proposal>> prop_bucket;
+  auto push_prop = [&](Proposal p) {
+    prop_bucket[static_cast<std::uint64_t>(p.key)].push_back(p);
+  };
+  // Self-start proposals: every vertex may found its own cluster at time
+  // s_v (bucket floor(s_v)).
+  for (vid v = 0; v < n; ++v) push_prop({v, kNoVertex, start[v], 0});
+
+  vid assigned = 0;
+  std::uint64_t rounds = 0;
+  while (assigned < n && !prop_bucket.empty()) {
+    // Gather this round's proposals: all keys in [t, t+1).
+    auto it = prop_bucket.begin();
+    std::vector<Proposal> props = std::move(it->second);
+    prop_bucket.erase(it);
+    // Drop proposals for vertices settled in earlier rounds.
+    std::erase_if(props, [&](const Proposal& p) { return center_of[p.v] != kNoVertex; });
+    if (props.empty()) continue;
+    ++rounds;
+    wd::add_round();
+    wd::add_work(props.size());
+    // Min-reduce proposals per vertex (the CRCW priority write). Keys are
+    // distinct real numbers with probability 1; ties break toward the
+    // smaller via-vertex for determinism.
+    std::sort(props.begin(), props.end(), [](const Proposal& a, const Proposal& b) {
+      if (a.v != b.v) return a.v < b.v;
+      if (a.key != b.key) return a.key < b.key;
+      return a.via < b.via;
+    });
+    std::vector<vid> newly;
+    for (std::size_t i = 0; i < props.size(); ++i) {
+      if (i > 0 && props[i].v == props[i - 1].v) continue;  // lost the min-reduce
+      const Proposal& p = props[i];
+      if (center_of[p.v] != kNoVertex) continue;  // settled in an earlier round
+      key[p.v] = p.key;
+      if (p.via == kNoVertex) {
+        center_of[p.v] = p.v;  // becomes a center
+      } else {
+        center_of[p.v] = center_of[p.via];
+        parent[p.v] = p.via;
+      }
+      hops[p.v] = p.dw;
+      newly.push_back(p.v);
+      ++assigned;
+    }
+    // Expand: settled vertices propagate along their edges. With integer
+    // weights, key + w lands exactly in bucket t + w.
+    std::uint64_t touched = 0;
+    for (vid u : newly) {
+      touched += g.degree(u);
+      for (eid e = g.begin(u); e < g.end(u); ++e) {
+        const vid v = g.target(e);
+        if (center_of[v] != kNoVertex) continue;
+        const weight_t w = g.weight(e);
+        assert(w >= 1 && w == std::floor(w) &&
+               "est_cluster requires positive integer weights");
+        push_prop({v, u, key[u] + w, hops[u] + w});
+      }
+    }
+    wd::add_work(touched);
+  }
+
+  c.parent = std::move(parent);
+  c.dist_to_center = std::move(hops);
+  c.rounds = rounds;
+  finalize_labels(c, center_of);
+  return c;
+}
+
+Clustering est_cluster_reference(const Graph& g, double beta, std::uint64_t seed) {
+  require_positive_weights(g, "est_cluster_reference");
+  if (!(beta > 0)) {
+    throw std::invalid_argument("est_cluster_reference: beta must be positive");
+  }
+  const vid n = g.num_vertices();
+  Clustering c;
+  c.parent.assign(n, kNoVertex);
+  c.dist_to_center.assign(n, 0);
+  if (n == 0) return c;
+  const std::vector<double> delta = est_shifts(n, beta, seed);
+  double delta_max = 0;
+  for (double d : delta) delta_max = std::max(delta_max, d);
+
+  // Super-source Dijkstra: every vertex is a source with offset
+  // s_v = delta_max - delta_v; the winning source is the cluster center.
+  std::vector<double> key(n, kInfWeight);
+  std::vector<vid> center_of(n, kNoVertex);
+  std::vector<weight_t> dist_in_tree(n, 0);
+  struct QItem {
+    double key;
+    vid v;
+    vid center;
+    vid via;
+    weight_t d;
+    bool operator>(const QItem& o) const {
+      if (key != o.key) return key > o.key;
+      return center > o.center;  // deterministic tie-break
+    }
+  };
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  for (vid v = 0; v < n; ++v) pq.push({delta_max - delta[v], v, v, kNoVertex, 0});
+  while (!pq.empty()) {
+    QItem it = pq.top();
+    pq.pop();
+    if (center_of[it.v] != kNoVertex) continue;
+    center_of[it.v] = it.center;
+    key[it.v] = it.key;
+    c.parent[it.v] = it.via;
+    dist_in_tree[it.v] = it.d;
+    for (eid e = g.begin(it.v); e < g.end(it.v); ++e) {
+      const vid u = g.target(e);
+      if (center_of[u] != kNoVertex) continue;
+      pq.push({it.key + g.weight(e), u, it.center, it.v, it.d + g.weight(e)});
+    }
+  }
+  c.dist_to_center = std::move(dist_in_tree);
+  c.rounds = 0;  // sequential oracle: rounds not meaningful
+  finalize_labels(c, center_of);
+  return c;
+}
+
+}  // namespace parsh

@@ -1,0 +1,66 @@
+// Exponential Start Time clustering (Algorithm 1; [MPX13]).
+//
+// Every vertex u draws delta_u ~ Exp(beta); vertex v joins the cluster of
+//     argmin_u { dist(u, v) - delta_u }.
+// Equivalently, with start times s_u = delta_max - delta_u >= 0, u "wakes
+// up" at time s_u and grows a ball at unit speed; v belongs to the first
+// ball to reach it. The output is a partition of V into clusters, each
+// certified by a spanning tree rooted at its center (Lemma 2.1: tree
+// radius <= k beta^-1 log n w.p. >= 1 - n^{1-k}).
+//
+// Two implementations:
+//  * est_cluster — the parallel round-synchronous engine. For integer
+//    weights the key s_u + dist(u,v) of a vertex settled in round t lies
+//    in [t, t+1) and every edge relaxation moves a key to a strictly later
+//    round, so processing integer rounds with a per-round min-reduction is
+//    an EXACT evaluation of the argmin (not the fractional-tie-break
+//    approximation discussed in [MPX13] — integer weights make it free).
+//    Depth = O(delta_max + radius) rounds; work O(m).
+//  * est_cluster_reference — sequential super-source Dijkstra with real
+//    keys. Same draws, same argmin; the test-suite oracle.
+//
+// Weights must be positive integers (the paper normalises to
+// min_e w(e) = 1 and rounds; see Lemma 2.1's statement). Unweighted graphs
+// trivially qualify.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// A low-diameter decomposition: partition + per-cluster spanning tree.
+struct Clustering {
+  /// Dense cluster id per vertex, in [0, num_clusters).
+  std::vector<vid> cluster_of;
+  /// Center vertex of each cluster.
+  std::vector<vid> center;
+  /// Spanning-forest parent per vertex (kNoVertex at cluster centers).
+  std::vector<vid> parent;
+  /// Distance from the cluster center along the tree (equals the
+  /// shifted-search distance; 0 at centers).
+  std::vector<weight_t> dist_to_center;
+  vid num_clusters = 0;
+  /// Synchronous rounds the parallel engine executed (depth proxy).
+  std::uint64_t rounds = 0;
+
+  /// Member lists, ordered by cluster id then vertex id.
+  [[nodiscard]] std::vector<std::vector<vid>> members() const;
+  /// Size of each cluster.
+  [[nodiscard]] std::vector<vid> sizes() const;
+};
+
+/// Parallel EST clustering. `seed` fixes the delta draws; results are
+/// deterministic in (graph, beta, seed).
+Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed);
+
+/// Sequential exact oracle (super-source Dijkstra over real-valued keys).
+Clustering est_cluster_reference(const Graph& g, double beta, std::uint64_t seed);
+
+/// The delta_u draws both implementations use (exposed for tests and for
+/// the diagnostics in cluster_stats).
+std::vector<double> est_shifts(vid n, double beta, std::uint64_t seed);
+
+}  // namespace parsh

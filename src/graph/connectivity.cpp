@@ -1,0 +1,95 @@
+#include "graph/connectivity.hpp"
+
+#include <atomic>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace parsh {
+
+namespace {
+
+/// Hook-and-compress: repeatedly hook each vertex's label to the minimum
+/// label among its neighbours, then pointer-jump until labels are roots.
+/// O(m log n) work, O(log^2 n) rounds — the classic PRAM scheme ([SDB14]
+/// achieves linear work with the same clustering used in this paper; the
+/// simple variant suffices as a substrate here).
+std::vector<vid> label_propagate(const Graph& g,
+                                 const std::vector<char>* keep_arc) {
+  const vid n = g.num_vertices();
+  std::vector<std::atomic<vid>> label(n);
+  parallel_for(0, n, [&](std::size_t v) { label[v].store(static_cast<vid>(v)); });
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::atomic<bool> any{false};
+    // Hook: adopt the minimum neighbour label.
+    parallel_for(0, n, [&](std::size_t vi) {
+      const vid v = static_cast<vid>(vi);
+      vid mine = label[v].load(std::memory_order_relaxed);
+      for (eid e = g.begin(v); e < g.end(v); ++e) {
+        if (keep_arc && !(*keep_arc)[e]) continue;
+        vid lu = label[g.target(e)].load(std::memory_order_relaxed);
+        if (lu < mine) {
+          if (atomic_write_min(&label[v], lu)) any.store(true, std::memory_order_relaxed);
+          mine = label[v].load(std::memory_order_relaxed);
+        }
+      }
+    });
+    wd::add_round();
+    wd::add_work(g.num_arcs());
+    // Compress: pointer jumping.
+    bool jumped = true;
+    while (jumped) {
+      std::atomic<bool> j{false};
+      parallel_for(0, n, [&](std::size_t vi) {
+        const vid v = static_cast<vid>(vi);
+        vid l = label[v].load(std::memory_order_relaxed);
+        vid ll = label[l].load(std::memory_order_relaxed);
+        if (ll < l) {
+          label[v].store(ll, std::memory_order_relaxed);
+          j.store(true, std::memory_order_relaxed);
+        }
+      });
+      wd::add_round();
+      jumped = j.load();
+    }
+    changed = any.load();
+  }
+  std::vector<vid> out(n);
+  parallel_for(0, n, [&](std::size_t v) { out[v] = label[v].load(); });
+  return out;
+}
+
+/// Relabel arbitrary labels to [0, k) ordered by smallest member vertex.
+std::vector<vid> densify(std::vector<vid> raw) {
+  const vid n = static_cast<vid>(raw.size());
+  std::vector<vid> remap(n, kNoVertex);
+  vid next = 0;
+  for (vid v = 0; v < n; ++v) {
+    if (remap[raw[v]] == kNoVertex) remap[raw[v]] = next++;
+  }
+  for (vid v = 0; v < n; ++v) raw[v] = remap[raw[v]];
+  return raw;
+}
+
+}  // namespace
+
+std::vector<vid> connected_components(const Graph& g) {
+  return densify(label_propagate(g, nullptr));
+}
+
+vid num_components(const Graph& g) {
+  auto comp = connected_components(g);
+  vid num = 0;
+  for (vid c : comp) num = std::max(num, c + 1);
+  return num;
+}
+
+std::vector<vid> connected_components_filtered(const Graph& g,
+                                               const std::vector<char>& keep_arc) {
+  return densify(label_propagate(g, &keep_arc));
+}
+
+}  // namespace parsh

@@ -1,0 +1,25 @@
+// Parallel connected components (hook-and-compress label propagation).
+// Substrate for the Appendix B hierarchical weight decomposition and for
+// graph validation in tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// Component label per vertex, relabelled to the dense range
+/// [0, num_components). Deterministic: component ids are ordered by their
+/// smallest member vertex.
+std::vector<vid> connected_components(const Graph& g);
+
+/// Number of connected components.
+vid num_components(const Graph& g);
+
+/// Components of the subgraph containing only edges passing `keep(e)`
+/// (arc index into g). Used to contract weight classes in Appendix B.
+std::vector<vid> connected_components_filtered(
+    const Graph& g, const std::vector<char>& keep_arc);
+
+}  // namespace parsh

@@ -1,0 +1,281 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "parallel/parallel_for.hpp"
+#include "random/rng.hpp"
+
+namespace parsh {
+
+Graph make_path(vid n) {
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (vid i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1.0});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_cycle(vid n) {
+  std::vector<Edge> edges;
+  for (vid i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1.0});
+  if (n > 2) edges.push_back({n - 1, 0, 1.0});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_star(vid n) {
+  std::vector<Edge> edges;
+  for (vid i = 1; i < n; ++i) edges.push_back({0, i, 1.0});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_complete(vid n) {
+  std::vector<Edge> edges;
+  for (vid i = 0; i < n; ++i) {
+    for (vid j = i + 1; j < n; ++j) edges.push_back({i, j, 1.0});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_binary_tree(vid n) {
+  std::vector<Edge> edges;
+  for (vid i = 1; i < n; ++i) edges.push_back({(i - 1) / 2, i, 1.0});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_grid(vid rows, vid cols) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 2);
+  auto id = [cols](vid r, vid c) { return r * cols + c; };
+  for (vid r = 0; r < rows; ++r) {
+    for (vid c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), 1.0});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), 1.0});
+    }
+  }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
+Graph make_torus(vid rows, vid cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](vid r, vid c) { return r * cols + c; };
+  for (vid r = 0; r < rows; ++r) {
+    for (vid c = 0; c < cols; ++c) {
+      edges.push_back({id(r, c), id(r, (c + 1) % cols), 1.0});
+      edges.push_back({id(r, c), id((r + 1) % rows, c), 1.0});
+    }
+  }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
+Graph make_random_graph(vid n, eid m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    // Resample (deterministically, by stepping the counter in a disjoint
+    // subspace) until u != v. Duplicate edges are merged by the builder.
+    std::uint64_t ctr = i * 64;
+    vid u, v;
+    do {
+      u = static_cast<vid>(rng.uniform_int(ctr++, n));
+      v = static_cast<vid>(rng.uniform_int(ctr++, n));
+    } while (u == v);
+    edges[i] = {u, v, 1.0};
+  });
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_rmat(vid n, eid m, std::uint64_t seed, double a, double b, double c) {
+  // Round n up to a power of two for the recursive quadrant construction,
+  // then clamp ids back into [0, n).
+  int levels = 0;
+  while ((vid{1} << levels) < n) ++levels;
+  Rng rng(seed);
+  std::vector<Edge> edges(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    std::uint64_t ctr = i * (levels + 2) * 4;
+    vid u = 0, v = 0;
+    for (int l = 0; l < levels; ++l) {
+      double r = rng.uniform(ctr++);
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    u %= n;
+    v %= n;
+    if (u == v) v = (v + 1) % n;
+    edges[i] = {u, v, 1.0};
+  });
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_geometric(vid n, double radius, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    x[i] = rng.uniform(2 * i);
+    y[i] = rng.uniform(2 * i + 1);
+  });
+  // Grid-bucket the points so neighbour search is O(n) expected.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  std::vector<std::vector<vid>> bucket(static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](double p) {
+    return std::min(cells - 1, static_cast<int>(p * cells));
+  };
+  for (vid i = 0; i < n; ++i) {
+    bucket[static_cast<std::size_t>(cell_of(x[i])) * cells + cell_of(y[i])].push_back(i);
+  }
+  std::vector<Edge> edges;
+  const double r2 = radius * radius;
+  for (vid i = 0; i < n; ++i) {
+    int cx = cell_of(x[i]), cy = cell_of(y[i]);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (vid j : bucket[static_cast<std::size_t>(nx) * cells + ny]) {
+          if (j <= i) continue;
+          double dx2 = x[i] - x[j], dy2 = y[i] - y[j];
+          double d2 = dx2 * dx2 + dy2 * dy2;
+          if (d2 <= r2) {
+            // Scale distances so min weight ~1; ceil to keep integers.
+            double w = std::max(1.0, std::ceil(std::sqrt(d2) / radius * 16.0));
+            edges.push_back({i, j, w});
+          }
+        }
+      }
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_path_with_chords(vid n, eid extra, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(n + extra);
+  for (vid i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1, 1.0});
+  for (eid i = 0; i < extra; ++i) {
+    vid u = static_cast<vid>(rng.uniform_int(2 * i, n));
+    vid v = static_cast<vid>(rng.uniform_int(2 * i + 1, n));
+    if (u != v) edges.push_back({u, v, 1.0});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_hypercube(int dim) {
+  const vid n = vid{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (vid v = 0; v < n; ++v) {
+    for (int b = 0; b < dim; ++b) {
+      const vid u = v ^ (vid{1} << b);
+      if (v < u) edges.push_back({v, u, 1.0});
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_random_regular(vid n, vid d, std::uint64_t seed) {
+  // Configuration model: n*d stubs, paired by a random permutation.
+  Rng rng(seed);
+  std::vector<vid> stubs(static_cast<std::size_t>(n) * d);
+  for (std::size_t i = 0; i < stubs.size(); ++i) stubs[i] = static_cast<vid>(i / d);
+  // Fisher-Yates with the counter-based stream.
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_int(i, i);
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) edges.push_back({stubs[i], stubs[i + 1], 1.0});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph make_barbell(vid k, vid bridge) {
+  std::vector<Edge> edges;
+  const vid right = k + bridge;  // first vertex of the right clique
+  for (vid i = 0; i < k; ++i) {
+    for (vid j = i + 1; j < k; ++j) {
+      edges.push_back({i, j, 1.0});
+      edges.push_back({right + i, right + j, 1.0});
+    }
+  }
+  // Bridge path: k-1 -> k -> ... -> right (bridge interior vertices).
+  vid prev = k - 1;
+  for (vid b = 0; b < bridge; ++b) {
+    edges.push_back({prev, k + b, 1.0});
+    prev = k + b;
+  }
+  edges.push_back({prev, right, 1.0});
+  return Graph::from_edges(2 * k + bridge, std::move(edges));
+}
+
+Graph make_caterpillar(vid spine, vid legs) {
+  std::vector<Edge> edges;
+  for (vid i = 0; i + 1 < spine; ++i) edges.push_back({i, i + 1, 1.0});
+  vid next = spine;
+  for (vid i = 0; i < spine; ++i) {
+    for (vid l = 0; l < legs; ++l) edges.push_back({i, next++, 1.0});
+  }
+  return Graph::from_edges(spine * (legs + 1), std::move(edges));
+}
+
+namespace {
+
+template <typename F>
+Graph reweight(const Graph& g, F weight_of) {
+  std::vector<Edge> edges = g.undirected_edges();
+  std::size_t i = 0;
+  for (Edge& e : edges) e.w = weight_of(i++, e);
+  return Graph::from_edges(g.num_vertices(), std::move(edges));
+}
+
+}  // namespace
+
+Graph with_uniform_weights(const Graph& g, std::uint64_t lo, std::uint64_t hi,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  return reweight(g, [&](std::size_t i, const Edge&) {
+    return static_cast<weight_t>(lo + rng.uniform_int(i, hi - lo + 1));
+  });
+}
+
+Graph with_log_uniform_weights(const Graph& g, double ratio, std::uint64_t seed) {
+  Rng rng(seed);
+  const double log_ratio = std::log(std::max(1.0, ratio));
+  return reweight(g, [&](std::size_t i, const Edge&) {
+    double w = std::exp(rng.uniform(i) * log_ratio);
+    return std::max<weight_t>(1.0, std::floor(w));
+  });
+}
+
+Graph ensure_connected(const Graph& g) {
+  std::vector<vid> comp = connected_components(g);
+  vid num = 0;
+  for (vid c : comp) num = std::max(num, c + 1);
+  if (num <= 1) return g;
+  // Find the smallest vertex of each component, then chain them.
+  std::vector<vid> rep(num, kNoVertex);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    if (rep[comp[v]] == kNoVertex) rep[comp[v]] = v;
+  }
+  std::vector<Edge> edges = g.undirected_edges();
+  for (vid c = 0; c + 1 < num; ++c) edges.push_back({rep[c], rep[c + 1], 1.0});
+  bool weighted = g.weighted();
+  Graph out = Graph::from_edges(g.num_vertices(), std::move(edges));
+  (void)weighted;
+  return out;
+}
+
+}  // namespace parsh

@@ -1,0 +1,85 @@
+// Synthetic graph generators.
+//
+// The paper's algorithms are evaluated analytically; this reproduction
+// exercises them on standard synthetic families. Every generator is
+// deterministic in its seed. Weight models are applied separately so any
+// topology can be combined with any weight distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// Simple path 0-1-...-n-1.
+Graph make_path(vid n);
+
+/// Cycle on n vertices.
+Graph make_cycle(vid n);
+
+/// Star: vertex 0 joined to all others.
+Graph make_star(vid n);
+
+/// Complete graph K_n (use small n only).
+Graph make_complete(vid n);
+
+/// Complete binary tree on n vertices (vertex i has children 2i+1, 2i+2).
+Graph make_binary_tree(vid n);
+
+/// rows x cols 2D grid (4-neighbour). Road-network-like topology.
+Graph make_grid(vid rows, vid cols);
+
+/// rows x cols 2D torus (grid with wraparound).
+Graph make_torus(vid rows, vid cols);
+
+/// Erdős–Rényi-style G(n, m): m distinct uniform random edges (self loops
+/// and duplicates resolved by resampling deterministic in `seed`).
+Graph make_random_graph(vid n, eid m, std::uint64_t seed);
+
+/// RMAT / Kronecker-style skewed-degree graph with ~m edges. Parameters
+/// (a,b,c) follow the usual convention; defaults give the Graph500 mix.
+/// Social-network-like topology.
+Graph make_rmat(vid n, eid m, std::uint64_t seed, double a = 0.57, double b = 0.19,
+                double c = 0.19);
+
+/// Random geometric graph: n points in the unit square, edges between
+/// pairs at distance <= radius, weighted by Euclidean distance (scaled so
+/// the minimum weight is >= 1). Mesh-like topology.
+Graph make_geometric(vid n, double radius, std::uint64_t seed);
+
+/// A long path with `extra` random chords. Worst-case-ish input for
+/// hopsets (shortest paths have many hops); used by the Figure 3 demo.
+Graph make_path_with_chords(vid n, eid extra, std::uint64_t seed);
+
+/// d-dimensional hypercube on 2^dim vertices (diameter = dim).
+Graph make_hypercube(int dim);
+
+/// Random d-regular-ish graph via the configuration model (duplicate and
+/// self-loop stubs dropped, so degrees are <= d). Expander-like topology.
+Graph make_random_regular(vid n, vid d, std::uint64_t seed);
+
+/// Barbell: two cliques of size k joined by a path of length bridge.
+/// Classic worst case for cut-based heuristics.
+Graph make_barbell(vid k, vid bridge);
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` leaves.
+Graph make_caterpillar(vid spine, vid legs);
+
+// --- Weight models -------------------------------------------------------
+
+/// Assign integer weights uniform in [lo, hi].
+Graph with_uniform_weights(const Graph& g, std::uint64_t lo, std::uint64_t hi,
+                           std::uint64_t seed);
+
+/// Assign integer weights log-uniform in [1, ratio]: exercises the
+/// bucketing in the weighted spanner (U = ratio) and the weight classes in
+/// Appendix B.
+Graph with_log_uniform_weights(const Graph& g, double ratio, std::uint64_t seed);
+
+/// Connect the graph by adding one unit edge between consecutive
+/// components (components ordered by smallest vertex id). Generators can
+/// produce disconnected graphs; benches that measure distances use this.
+Graph ensure_connected(const Graph& g);
+
+}  // namespace parsh

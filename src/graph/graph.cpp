@@ -1,0 +1,160 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/sort.hpp"
+
+namespace parsh {
+
+namespace {
+
+/// Directed arc used during construction.
+struct Arc {
+  vid u, v;
+  weight_t w;
+};
+
+}  // namespace
+
+Graph build_csr(vid n, std::vector<Edge>&& arcs_in, bool dedup, bool any_weighted) {
+  // `arcs_in` holds directed arcs (u=src stored in Edge::u).
+  std::vector<Arc> arcs(arcs_in.size());
+  parallel_for(0, arcs_in.size(), [&](std::size_t i) {
+    arcs[i] = {arcs_in[i].u, arcs_in[i].v, arcs_in[i].w};
+  });
+  arcs_in.clear();
+  parallel_sort(arcs, [](const Arc& a, const Arc& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.w < b.w;
+  });
+  if (dedup) {
+    auto last = std::unique(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+      return a.u == b.u && a.v == b.v;  // sorted by weight, so first kept = min
+    });
+    arcs.erase(last, arcs.end());
+  }
+  Graph g;
+  g.n_ = n;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<eid> counts(n, 0);
+  for (const Arc& a : arcs) ++counts[a.u];
+  for (vid v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + counts[v];
+  g.targets_.resize(arcs.size());
+  if (any_weighted) g.weights_.resize(arcs.size());
+  parallel_for(0, arcs.size(), [&](std::size_t i) {
+    g.targets_[i] = arcs[i].v;
+    if (any_weighted) g.weights_[i] = arcs[i].w;
+  });
+  return g;
+}
+
+namespace {
+
+std::vector<Edge> make_arcs(std::vector<Edge>& edges, bool symmetrize, bool* any_weighted) {
+  *any_weighted = false;
+  for (const Edge& e : edges) {
+    if (e.w != weight_t{1}) {
+      *any_weighted = true;
+      break;
+    }
+  }
+  std::vector<Edge> arcs;
+  arcs.reserve(edges.size() * (symmetrize ? 2 : 1));
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;  // drop self loops
+    arcs.push_back(e);
+    if (symmetrize) arcs.push_back({e.v, e.u, e.w});
+  }
+  return arcs;
+}
+
+}  // namespace
+
+Graph Graph::from_edges(vid n, std::vector<Edge> edges, bool symmetrize) {
+  bool any_weighted = false;
+  auto arcs = make_arcs(edges, symmetrize, &any_weighted);
+  return build_csr(n, std::move(arcs), /*dedup=*/true, any_weighted);
+}
+
+Graph Graph::from_edges_keep_parallel(vid n, std::vector<Edge> edges, bool symmetrize) {
+  bool any_weighted = false;
+  auto arcs = make_arcs(edges, symmetrize, &any_weighted);
+  return build_csr(n, std::move(arcs), /*dedup=*/false, any_weighted);
+}
+
+weight_t Graph::min_weight() const {
+  if (num_arcs() == 0) return 0;
+  if (!weighted()) return 1;
+  weight_t lo = weights_[0];
+  for (weight_t w : weights_) lo = std::min(lo, w);
+  return lo;
+}
+
+weight_t Graph::max_weight() const {
+  if (num_arcs() == 0) return 0;
+  if (!weighted()) return 1;
+  weight_t hi = weights_[0];
+  for (weight_t w : weights_) hi = std::max(hi, w);
+  return hi;
+}
+
+std::vector<Edge> Graph::undirected_edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (vid u = 0; u < n_; ++u) {
+    for (eid e = begin(u); e < end(u); ++e) {
+      vid v = target(e);
+      if (u < v) out.push_back({u, v, weight(e)});
+    }
+  }
+  return out;
+}
+
+Graph Graph::with_extra_edges(const std::vector<Edge>& extra) const {
+  std::vector<Edge> edges = undirected_edges();
+  edges.insert(edges.end(), extra.begin(), extra.end());
+  bool was_weighted = weighted();
+  for (const Edge& e : extra) {
+    if (e.w != weight_t{1}) was_weighted = true;
+  }
+  Graph g = from_edges(n_, std::move(edges), /*symmetrize=*/true);
+  if (was_weighted && !g.weighted()) {
+    g.weights_.assign(g.targets_.size(), weight_t{1});
+  }
+  return g;
+}
+
+bool Graph::validate() const {
+  if (offsets_.size() != static_cast<std::size_t>(n_) + 1) return false;
+  if (offsets_.front() != 0 || offsets_.back() != targets_.size()) return false;
+  if (!weights_.empty() && weights_.size() != targets_.size()) return false;
+  for (vid v = 0; v < n_; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) return false;
+    for (eid e = begin(v); e < end(v); ++e) {
+      if (targets_[e] >= n_) return false;
+      if (targets_[e] == v) return false;  // self loop
+      if (e + 1 < end(v) && targets_[e] > targets_[e + 1]) return false;  // sorted
+      if (weight(e) <= 0) return false;
+    }
+  }
+  // Symmetry: every arc (u,v,w) must have a matching (v,u,w).
+  for (vid u = 0; u < n_; ++u) {
+    for (eid e = begin(u); e < end(u); ++e) {
+      vid v = target(e);
+      bool found = false;
+      for (eid f = begin(v); f < end(v); ++f) {
+        if (target(f) == u && weight(f) == weight(e)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parsh

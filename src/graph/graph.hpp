@@ -1,0 +1,96 @@
+// Immutable CSR (compressed sparse row) graph.
+//
+// All algorithms in the library operate on undirected graphs stored as
+// symmetric arc lists: an undirected edge {u,v} appears as arcs (u,v) and
+// (v,u). Weights are optional; an unweighted graph reports weight 1 for
+// every arc (the paper's unit-weight setting).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parsh {
+
+/// A weighted undirected edge. Builder input and spanner/hopset output.
+struct Edge {
+  vid u = 0;
+  vid v = 0;
+  weight_t w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() : offsets_(1, 0) {}
+
+  /// Build from an edge list over vertices [0, n).
+  ///
+  /// If `symmetrize`, each input edge {u,v} produces both arcs; otherwise
+  /// the input is assumed to already contain both directions. Self loops
+  /// are dropped. Parallel edges are merged keeping the minimum weight
+  /// (the quotient-graph convention from Section 2 of the paper).
+  static Graph from_edges(vid n, std::vector<Edge> edges, bool symmetrize = true);
+
+  /// Like from_edges but keeps parallel edges (used by tests).
+  static Graph from_edges_keep_parallel(vid n, std::vector<Edge> edges,
+                                        bool symmetrize = true);
+
+  [[nodiscard]] vid num_vertices() const { return n_; }
+  /// Number of directed arcs (2x the undirected edge count).
+  [[nodiscard]] eid num_arcs() const { return static_cast<eid>(targets_.size()); }
+  /// Number of undirected edges.
+  [[nodiscard]] eid num_edges() const { return num_arcs() / 2; }
+  [[nodiscard]] bool weighted() const { return !weights_.empty(); }
+
+  [[nodiscard]] eid begin(vid v) const { return offsets_[v]; }
+  [[nodiscard]] eid end(vid v) const { return offsets_[v + 1]; }
+  [[nodiscard]] vid degree(vid v) const { return static_cast<vid>(end(v) - begin(v)); }
+  [[nodiscard]] vid target(eid e) const { return targets_[e]; }
+  [[nodiscard]] weight_t weight(eid e) const {
+    return weights_.empty() ? weight_t{1} : weights_[e];
+  }
+
+  /// Min / max edge weight (1/1 for unweighted graphs; 0/0 if no edges).
+  [[nodiscard]] weight_t min_weight() const;
+  [[nodiscard]] weight_t max_weight() const;
+
+  /// All undirected edges, each reported once with u < v.
+  [[nodiscard]] std::vector<Edge> undirected_edges() const;
+
+  /// A copy of this graph with the given extra undirected edges added
+  /// (used to form G union E' when querying hopsets).
+  [[nodiscard]] Graph with_extra_edges(const std::vector<Edge>& extra) const;
+
+  /// A copy with all weights replaced by f(w) (weight rounding).
+  template <typename F>
+  [[nodiscard]] Graph map_weights(F f) const {
+    Graph g = *this;
+    if (g.weights_.empty()) g.weights_.assign(g.targets_.size(), weight_t{1});
+    for (auto& w : g.weights_) w = f(w);
+    return g;
+  }
+
+  /// Drop the weight array, making the graph unit-weight.
+  [[nodiscard]] Graph as_unweighted() const {
+    Graph g = *this;
+    g.weights_.clear();
+    return g;
+  }
+
+  /// Structural invariants: sorted adjacency, symmetric arcs, positive
+  /// weights, no self loops. Used by tests and debug assertions.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  vid n_ = 0;
+  std::vector<eid> offsets_;   // size n+1
+  std::vector<vid> targets_;   // size num_arcs
+  std::vector<weight_t> weights_;  // empty for unweighted, else size num_arcs
+
+  friend Graph build_csr(vid n, std::vector<Edge>&& arcs, bool dedup, bool any_weighted);
+};
+
+}  // namespace parsh

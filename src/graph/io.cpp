@@ -1,0 +1,75 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parsh {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (const Edge& e : g.undirected_edges()) {
+    out << e.u << " " << e.v << " " << e.w << "\n";
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_edge_list(out, g);
+}
+
+Graph read_edge_list(std::istream& in) {
+  vid n = 0;
+  eid m = 0;
+  if (!(in >> n >> m)) throw std::runtime_error("edge list: bad header");
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (eid i = 0; i < m; ++i) {
+    Edge e;
+    if (!(in >> e.u >> e.v >> e.w)) throw std::runtime_error("edge list: bad edge line");
+    edges.push_back(e);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_edge_list(in);
+}
+
+Graph read_dimacs(std::istream& in) {
+  std::string line;
+  vid n = 0;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    if (kind == 'c') continue;
+    if (kind == 'p') {
+      std::string sp;
+      eid m;
+      ls >> sp >> n >> m;
+      edges.reserve(m);
+    } else if (kind == 'a') {
+      Edge e;
+      ls >> e.u >> e.v >> e.w;
+      if (e.u == 0 || e.v == 0) throw std::runtime_error("dimacs: ids are 1-indexed");
+      --e.u;
+      --e.v;
+      edges.push_back(e);
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_dimacs(in);
+}
+
+}  // namespace parsh

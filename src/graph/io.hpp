@@ -1,0 +1,25 @@
+// Graph serialization: a simple whitespace edge-list format and DIMACS
+// shortest-path (.gr) files, so examples can load external datasets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// Write "u v w" lines (one per undirected edge) preceded by "n m".
+void write_edge_list(std::ostream& out, const Graph& g);
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+/// Read the format produced by write_edge_list.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+/// Read a DIMACS .gr file ("p sp n m" header, "a u v w" arc lines,
+/// 1-indexed). Arcs are symmetrized.
+Graph read_dimacs(std::istream& in);
+Graph read_dimacs_file(const std::string& path);
+
+}  // namespace parsh

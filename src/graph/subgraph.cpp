@@ -1,0 +1,60 @@
+#include "graph/subgraph.hpp"
+
+#include "parallel/parallel_for.hpp"
+
+namespace parsh {
+
+Subgraph induced_subgraph(const Graph& g, const std::vector<vid>& vertices) {
+  std::vector<vid> local(g.num_vertices(), kNoVertex);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    local[vertices[i]] = static_cast<vid>(i);
+  }
+  std::vector<Edge> edges;
+  for (vid u_local = 0; u_local < vertices.size(); ++u_local) {
+    const vid u = vertices[u_local];
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const vid v = g.target(e);
+      const vid v_local = local[v];
+      if (v_local == kNoVertex || v_local <= u_local) continue;
+      edges.push_back({u_local, v_local, g.weight(e)});
+    }
+  }
+  Subgraph out;
+  out.graph = Graph::from_edges(static_cast<vid>(vertices.size()), std::move(edges));
+  out.original_id = vertices;
+  return out;
+}
+
+std::vector<Subgraph> induced_subgraphs_by_label(const Graph& g,
+                                                 const std::vector<vid>& label,
+                                                 vid num_clusters) {
+  const vid n = g.num_vertices();
+  // Bucket vertices by label (stable in vertex order → deterministic).
+  std::vector<std::vector<vid>> members(num_clusters);
+  for (vid v = 0; v < n; ++v) members[label[v]].push_back(v);
+  std::vector<Subgraph> out(num_clusters);
+  parallel_for_grain(0, num_clusters, 1, [&](std::size_t c) {
+    out[c] = induced_subgraph(g, members[c]);
+  });
+  return out;
+}
+
+QuotientGraph quotient_graph(const Graph& g, const std::vector<vid>& label,
+                             vid num_components) {
+  std::vector<Edge> edges;
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const vid v = g.target(e);
+      if (u >= v) continue;
+      const vid cu = label[u], cv = label[v];
+      if (cu == cv) continue;  // self loop in the quotient — drop
+      edges.push_back({cu, cv, g.weight(e)});
+    }
+  }
+  QuotientGraph out;
+  out.graph = Graph::from_edges(num_components, std::move(edges));  // dedup keeps min w
+  out.component = label;
+  return out;
+}
+
+}  // namespace parsh

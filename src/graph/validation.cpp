@@ -1,0 +1,45 @@
+#include "graph/validation.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace parsh {
+
+void require_integer_weights(const Graph& g, const char* who) {
+  if (!g.weighted()) return;  // unit weights qualify
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const weight_t w = g.weight(e);
+      if (!(w >= 1) || w != std::floor(w) || !std::isfinite(w)) {
+        throw InvalidGraphError(
+            std::string(who) +
+            ": requires positive integer edge weights (normalise and round "
+            "first — see hopset/rounding.hpp); offending weight " +
+            std::to_string(w) + " on an edge at vertex " + std::to_string(u));
+      }
+    }
+  }
+}
+
+void require_positive_weights(const Graph& g, const char* who) {
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const weight_t w = g.weight(e);
+      if (!(w > 0) || !std::isfinite(w)) {
+        throw InvalidGraphError(std::string(who) +
+                                ": requires positive finite edge weights; got " +
+                                std::to_string(w) + " at vertex " + std::to_string(u));
+      }
+    }
+  }
+}
+
+void require_vertex(const Graph& g, vid v, const char* who) {
+  if (v >= g.num_vertices()) {
+    throw std::out_of_range(std::string(who) + ": vertex " + std::to_string(v) +
+                            " out of range [0, " + std::to_string(g.num_vertices()) +
+                            ")");
+  }
+}
+
+}  // namespace parsh

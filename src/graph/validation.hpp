@@ -1,0 +1,33 @@
+// Input validation with diagnosable errors.
+//
+// The integer-weight requirement of the bucketed engines (est_cluster,
+// weighted_bfs) is a *precondition*, not an internal invariant: user
+// input can violate it. These helpers turn violations into exceptions
+// with actionable messages instead of release-build undefined behaviour;
+// the public entry points call them on their inputs.
+#pragma once
+
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// Thrown when a graph violates a routine's documented precondition.
+class InvalidGraphError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Throws InvalidGraphError unless every weight is a positive integer
+/// (the normalised setting of Lemma 2.1). `who` names the caller in the
+/// message.
+void require_integer_weights(const Graph& g, const char* who);
+
+/// Throws InvalidGraphError unless every weight is positive and finite.
+void require_positive_weights(const Graph& g, const char* who);
+
+/// Throws std::out_of_range unless v < g.num_vertices().
+void require_vertex(const Graph& g, vid v, const char* who);
+
+}  // namespace parsh

@@ -1,0 +1,92 @@
+#include "hopset/baseline_cohen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/validation.hpp"
+#include "parallel/parallel_for.hpp"
+#include "random/rng.hpp"
+#include "sssp/weighted_bfs.hpp"
+
+namespace parsh {
+
+CohenLiteResult cohen_lite_hopset(const Graph& g, const CohenLiteParams& p) {
+  require_integer_weights(g, "cohen_lite_hopset");
+  CohenLiteResult out;
+  const vid n = g.num_vertices();
+  if (n == 0) return out;
+  Rng rng(p.seed);
+
+  // Landmark levels: level 0 is every vertex; level l >= 1 samples with
+  // probability decay^l (nested sampling — a level-(l+1) landmark is also
+  // a level-l landmark, matching the cover hierarchy's nesting).
+  std::vector<std::vector<vid>> level(p.levels + 1);
+  for (vid v = 0; v < n; ++v) level[0].push_back(v);
+  for (int l = 1; l <= p.levels; ++l) {
+    const double keep = p.decay;  // relative to the previous level
+    for (vid v : level[l - 1]) {
+      if (rng.split(l).uniform(v) < keep) level[l].push_back(v);
+    }
+  }
+  out.landmarks_per_level.resize(level.size());
+  for (std::size_t l = 0; l < level.size(); ++l) {
+    out.landmarks_per_level[l] = level[l].size();
+  }
+
+  // Mark landmark levels per vertex for the radius-limited connection
+  // step (top_level[v] = highest level containing v).
+  std::vector<int> top_level(n, 0);
+  for (int l = 1; l <= p.levels; ++l) {
+    for (vid v : level[l]) top_level[v] = l;
+  }
+
+  // For each level l < L: every level-l landmark searches to radius
+  // r_l and links to the level-(l+1) landmarks it finds. The searches
+  // run from the *upper* level's landmarks instead (fewer sources, same
+  // edges): a level-(l+1) landmark claims every level-l landmark within
+  // r_l.
+  const weight_t mean_w = g.num_edges()
+                              ? [&] {
+                                  double s = 0;
+                                  for (const Edge& e : g.undirected_edges()) s += e.w;
+                                  return s / static_cast<double>(g.num_edges());
+                                }()
+                              : 1.0;
+  double radius = p.base_radius * mean_w;
+  for (int l = 0; l < p.levels; ++l, radius *= p.radius_growth) {
+    const std::vector<vid>& uppers = level[l + 1];
+    if (uppers.empty()) break;
+    std::vector<WeightedBfsResult> search(uppers.size());
+    parallel_for_grain(0, uppers.size(), 1, [&](std::size_t i) {
+      search[i] = weighted_bfs(g, uppers[i], radius);
+      ++out.searches;
+    });
+    for (std::size_t i = 0; i < uppers.size(); ++i) {
+      for (vid v = 0; v < n; ++v) {
+        if (top_level[v] < l) continue;          // below this level
+        if (v == uppers[i]) continue;
+        const weight_t d = search[i].dist[v];
+        if (d == kInfWeight) continue;
+        out.edges.push_back({uppers[i], v, d});
+      }
+    }
+  }
+  // Dedup (nested levels can produce the same pair at several scales;
+  // keep the min = the tightest search's distance, which is exact).
+  for (Edge& e : out.edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(out.edges.begin(), out.edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.w < b.w;
+  });
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end(),
+                              [](const Edge& a, const Edge& b) {
+                                return a.u == b.u && a.v == b.v;
+                              }),
+                  out.edges.end());
+  return out;
+}
+
+}  // namespace parsh

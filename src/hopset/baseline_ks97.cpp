@@ -1,0 +1,41 @@
+#include "hopset/baseline_ks97.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "random/rng.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+
+Ks97Result ks97_hopset(const Graph& g, vid samples, std::uint64_t seed) {
+  Ks97Result r;
+  const vid n = g.num_vertices();
+  if (n == 0) return r;
+  if (samples == 0) {
+    samples = static_cast<vid>(std::ceil(std::sqrt(static_cast<double>(n))));
+  }
+  Rng rng(seed);
+  std::vector<vid> picks(samples);
+  for (vid i = 0; i < samples; ++i) {
+    picks[i] = static_cast<vid>(rng.uniform_int(i, n));
+  }
+  std::sort(picks.begin(), picks.end());
+  picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+  r.samples = picks;
+
+  std::vector<SsspResult> sp(picks.size());
+  parallel_for_grain(0, picks.size(), 1,
+                     [&](std::size_t i) { sp[i] = dijkstra(g, picks[i]); });
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    for (std::size_t j = i + 1; j < picks.size(); ++j) {
+      const weight_t d = sp[i].dist[picks[j]];
+      if (d == kInfWeight) continue;
+      r.edges.push_back({picks[i], picks[j], d});
+    }
+  }
+  return r;
+}
+
+}  // namespace parsh

@@ -1,0 +1,27 @@
+// Klein–Subramanian-style sampled hopset ([KS97]; first row of Figure 2).
+//
+// Sample `samples` vertices uniformly and connect them into a clique
+// weighted by their exact pairwise distances. With s = Theta(sqrt(n))
+// samples a shortest path acquires a sampled vertex every ~ (n/s) log n
+// hops w.h.p., giving the O(sqrt(n))-hop / O(n)-size / O(m sqrt(n))-work
+// row of the paper's comparison table. Exact distances come from one
+// Dijkstra per sample, which *is* the O(m n^0.5) work the paper charges
+// this baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct Ks97Result {
+  std::vector<Edge> edges;
+  std::vector<vid> samples;
+};
+
+/// Build the sampled-clique hopset. `samples = 0` picks ceil(sqrt(n)).
+Ks97Result ks97_hopset(const Graph& g, vid samples, std::uint64_t seed);
+
+}  // namespace parsh

@@ -1,0 +1,84 @@
+// Hopset construction (Algorithm 4, Sections 4-5).
+//
+// Recursively applies EST clustering. At each recursion level below the
+// first, clusters holding at least a 1/rho fraction of the level's
+// vertices are "large": the construction adds
+//   * star edges   (v, center)   for every v in a large cluster, weighted
+//                                by v's tree distance to the center, and
+//   * clique edges (c1, c2)      between all pairs of large-cluster
+//                                centers, weighted by their exact distance
+//                                within the current subgraph,
+// then recurses on the small clusters with beta grown by a fixed factor
+// per level. Every hopset edge's weight is the weight of an actual path
+// in the input graph (Definition 2.4, property 2).
+//
+// Guarantees (Lemmas 4.2, 4.3; Theorem 4.4): for any u,v, with
+// probability >= 1/2 the h-hop distance in G ∪ E' is within
+// (1 + O(eps_level * levels)) of dist(u,v) for
+// h ~ n^{1/delta} * n_final^{1-1/delta} * beta0 * dist(u,v); the hopset
+// has at most n star edges and O((n/n_final) * rho^2) clique edges.
+//
+// Weights must be positive integers (round first — see
+// weighted_hopset.hpp for the Section 5 pipeline that does this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct HopsetParams {
+  /// Per-level distortion budget (the paper's eps; total distortion is
+  /// ~eps * recursion levels, Lemma 4.2).
+  double epsilon = 0.25;
+  /// rho = growth^delta; delta > 1 makes cluster sizes shrink faster than
+  /// beta grows, which terminates the recursion (Section 4).
+  double delta = 1.1;
+  /// n_final = max(floor, n^gamma1): recursion stops below this size.
+  double gamma1 = 0.2;
+  /// beta0 = n^{-gamma2}: top-level decomposition rate. Larger gamma2 =>
+  /// bigger top-level clusters => fewer hops but deeper recursion.
+  double gamma2 = 0.6;
+  /// Confidence constant k of Lemma 2.1 (radius <= k beta^-1 log n whp).
+  double k_conf = 2.0;
+  /// Hard floor on n_final so tiny graphs terminate immediately.
+  vid n_final_floor = 16;
+  std::uint64_t seed = 1;
+  /// If > 0, use this beta0 instead of n^{-gamma2} (the Appendix C
+  /// limited-hopset iteration sets beta0 = 1/d directly).
+  double beta0_override = 0;
+  /// If > 0, use this n_final instead of n^{gamma1}.
+  vid n_final_override = 0;
+};
+
+struct HopsetResult {
+  std::vector<Edge> edges;  ///< star + clique edges, weights = path weights
+  std::uint64_t star_edges = 0;
+  std::uint64_t clique_edges = 0;
+  std::uint64_t levels = 0;       ///< deepest recursion level reached
+  std::uint64_t clusterings = 0;  ///< EST clustering invocations
+  std::uint64_t rounds = 0;       ///< synchronous rounds (depth proxy)
+
+  /// Derived parameters actually used (for logging/EXPERIMENTS.md).
+  double beta0 = 0;
+  double growth = 0;
+  double rho = 0;
+  vid n_final = 0;
+};
+
+/// Build a hopset for g (positive integer weights). Deterministic in
+/// (g, params).
+HopsetResult build_hopset(const Graph& g, const HopsetParams& params);
+
+/// The per-level beta growth factor (k_conf * eps^{-1} * log n, floored at
+/// 2) and rho = growth^delta, exposed for tests.
+double hopset_growth(vid n, const HopsetParams& params);
+double hopset_rho(vid n, const HopsetParams& params);
+
+/// Expected hop bound of Lemma 4.2 for a path of weight d (the quantity
+/// benches compare measured hop counts against).
+double hopset_hop_bound(vid n, const HopsetParams& params, double d);
+
+}  // namespace parsh

@@ -1,0 +1,44 @@
+// Limited hopsets (Appendix C, Theorem C.2).
+//
+// To push query depth to n^alpha for arbitrary alpha > 0, the construction
+// iterates a weaker primitive: "approximate n^{2 eta}-hop paths by
+// n^eta-hop paths" (Lemma C.1), with eta = alpha / 2. One iteration runs,
+// for every distance scale d, Algorithm 4 on the d-scale rounded graph
+// with delta = 2/eta, beta0 = 1/d_rounded and n_final = n^{eta/2}; each
+// iteration shortens every path's hop count by a factor n^eta, so 1/eta
+// iterations handle paths of any length. Hopset edges produced by earlier
+// iterations participate in later ones (they are added to the working
+// graph).
+//
+// Edge weights of the returned set are (1+zeta)-upper bounds on real path
+// weights (rounding rounds up), so estimates through them remain valid
+// upper bounds; the documented distortion accounts for this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct LimitedHopsetParams {
+  double alpha = 0.6;    ///< target hop exponent (h ~ n^alpha)
+  double epsilon = 0.3;  ///< per-iteration distortion budget
+  std::uint64_t seed = 1;
+  /// Cap on iterations (the theory needs 1/eta = 2/alpha; small graphs
+  /// converge earlier and benches can trim).
+  int max_iterations = 4;
+};
+
+struct LimitedHopsetResult {
+  std::vector<Edge> edges;
+  int iterations = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Build an Appendix C limited hopset for a positively weighted graph
+/// with polynomially bounded weight ratio.
+LimitedHopsetResult build_limited_hopset(const Graph& g, const LimitedHopsetParams& p);
+
+}  // namespace parsh

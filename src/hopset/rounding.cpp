@@ -1,0 +1,21 @@
+#include "hopset/rounding.hpp"
+
+#include <cmath>
+
+namespace parsh {
+
+RoundedGraph round_weights(const Graph& g, weight_t d, double k_hops, double zeta) {
+  RoundedGraph out;
+  out.w_hat = zeta * d / k_hops;
+  const weight_t w_hat = out.w_hat;
+  out.graph = g.map_weights([w_hat](weight_t w) {
+    return std::max<weight_t>(1.0, std::ceil(w / w_hat));
+  });
+  return out;
+}
+
+weight_t rounded_weight_bound(double c, double k_hops, double zeta) {
+  return std::ceil(c * k_hops / zeta);
+}
+
+}  // namespace parsh

@@ -1,0 +1,26 @@
+// Klein–Subramanian weight rounding (Section 5, Lemma 5.2).
+//
+// For a distance scale d, rounding granularity w_hat = zeta * d / k turns
+// edge weights into the positive integers w_tilde(e) = ceil(w(e) / w_hat).
+// Any path p with <= k hops and d <= w(p) <= c*d then satisfies
+//   w_tilde(p) <= ceil(c k / zeta)   and   w_hat * w_tilde(p) <= (1+zeta) w(p),
+// so running the integer-weight machinery on the rounded graph loses only
+// a (1+zeta) factor while bounding the search radius by O(ck/zeta).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct RoundedGraph {
+  Graph graph;     ///< integer weights w_tilde >= 1
+  weight_t w_hat;  ///< granularity: true weight ~ w_hat * rounded weight
+};
+
+/// Round g's weights for scale d with hop budget k and distortion zeta.
+RoundedGraph round_weights(const Graph& g, weight_t d, double k_hops, double zeta);
+
+/// The rounded-weight upper bound ceil(c*k/zeta) of Lemma 5.2.
+weight_t rounded_weight_bound(double c, double k_hops, double zeta);
+
+}  // namespace parsh

@@ -1,0 +1,66 @@
+#include "hopset/verify.hpp"
+
+#include <algorithm>
+
+#include "random/rng.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/hop_limited.hpp"
+
+namespace parsh {
+
+bool hopset_weights_are_path_weights(const Graph& g, const std::vector<Edge>& hopset) {
+  // Group hopset edges by source to reuse Dijkstra runs.
+  std::vector<Edge> sorted = hopset;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Edge& a, const Edge& b) { return a.u < b.u; });
+  const double tol = 1e-9;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const vid u = sorted[i].u;
+    const SsspResult sp = dijkstra(g, u);
+    for (; i < sorted.size() && sorted[i].u == u; ++i) {
+      const Edge& e = sorted[i];
+      if (sp.dist[e.v] == kInfWeight) return false;          // no path at all
+      if (e.w + tol < sp.dist[e.v]) return false;            // undercut: impossible weight
+    }
+  }
+  return true;
+}
+
+std::vector<HopMeasurement> measure_hopset(const Graph& g, const std::vector<Edge>& hopset,
+                                           double eps, vid pairs, std::uint64_t h_cap,
+                                           std::uint64_t seed) {
+  const Graph augmented = g.with_extra_edges(hopset);
+  Rng rng(seed);
+  std::vector<HopMeasurement> out;
+  out.reserve(pairs);
+  std::uint64_t ctr = 0;
+  for (vid i = 0; i < pairs; ++i) {
+    HopMeasurement m;
+    // Rejection-sample a connected pair.
+    weight_t d = kInfWeight;
+    int attempts = 0;
+    do {
+      m.s = static_cast<vid>(rng.uniform_int(ctr++, g.num_vertices()));
+      m.t = static_cast<vid>(rng.uniform_int(ctr++, g.num_vertices()));
+      if (m.s != m.t) d = st_distance(g, m.s, m.t);
+    } while ((m.s == m.t || d == kInfWeight) && ++attempts < 32);
+    if (d == kInfWeight || m.s == m.t) continue;
+    m.true_dist = d;
+    m.hops_plain = hops_to_approx(g, m.s, m.t, d, eps, h_cap);
+    m.hops_with_set = hops_to_approx(augmented, m.s, m.t, d, eps, h_cap);
+    out.push_back(m);
+  }
+  return out;
+}
+
+double fraction_within_hop_bound(const std::vector<HopMeasurement>& ms, double bound) {
+  if (ms.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const auto& m : ms) {
+    if (static_cast<double>(m.hops_with_set) <= bound) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(ms.size());
+}
+
+}  // namespace parsh

@@ -1,0 +1,37 @@
+// Hopset verification and measurement (the quantities of Definition 2.4
+// and Lemma 4.2 that fill Figure 2's columns).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// Property 2 of Definition 2.4 demands every hopset edge's weight equal
+/// the weight of an actual u-v path; in particular it can never undercut
+/// the true distance. Checks w(uv) >= dist_G(u,v) for every hopset edge
+/// (exact Dijkstra per edge endpoint — small graphs only).
+bool hopset_weights_are_path_weights(const Graph& g, const std::vector<Edge>& hopset);
+
+/// Per-pair measurement of a hopset's effect.
+struct HopMeasurement {
+  vid s = 0, t = 0;
+  weight_t true_dist = 0;
+  std::uint64_t hops_plain = 0;    ///< hops to (1+eps)-approx in G alone
+  std::uint64_t hops_with_set = 0; ///< hops to (1+eps)-approx in G ∪ E'
+};
+
+/// Measure `pairs` random connected s-t pairs: the number of hop-rounds
+/// needed to reach a (1+eps)-approximation with and without the hopset.
+/// `h_cap` bounds the search (pairs that fail to converge report h_cap).
+std::vector<HopMeasurement> measure_hopset(const Graph& g, const std::vector<Edge>& hopset,
+                                           double eps, vid pairs, std::uint64_t h_cap,
+                                           std::uint64_t seed);
+
+/// Fraction of measured pairs whose hops_with_set <= bound — the
+/// "probability >= 1/2" clause of Definition 2.4 made empirical.
+double fraction_within_hop_bound(const std::vector<HopMeasurement>& ms, double bound);
+
+}  // namespace parsh

@@ -1,0 +1,58 @@
+// Weighted hopsets (Section 5, Theorem 5.3).
+//
+// For weighted graphs the construction runs once per distance scale
+// d = (n^eta)^i covering [min weight, n * max weight]: weights are rounded
+// with granularity w_hat = zeta * d / n (Lemma 5.2), Algorithm 4 runs on
+// the rounded integer-weight graph, and the per-scale hopsets answer
+// queries whose true distance falls in [d, n^eta * d]. A query tries every
+// scale (there are O(3/eta) of them when the weight ratio is polynomial —
+// see weight_reduction.hpp for the Appendix B reduction that guarantees
+// this) and returns the best estimate; rounding up means every scale's
+// estimate is a valid upper bound, and the matching scale is
+// (1+eps)-accurate with the hopset's probability guarantee.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hopset/hopset.hpp"
+
+namespace parsh {
+
+struct WeightedHopsetParams {
+  HopsetParams hopset;
+  /// Scale ratio exponent: consecutive scales differ by n^eta.
+  double eta = 1.0 / 3.0;
+  /// Rounding distortion (Lemma 5.2's zeta); default eps/2.
+  double zeta = 0.125;
+  /// Hop budget charged to the rounding (the k of Lemma 5.2). The paper's
+  /// query stage recovers *hopset* paths, which have <= h hops — so k is
+  /// set to the hop budget, not to n; that keeps rounded weights small
+  /// enough that out-of-scale searches terminate quickly. 0 = auto
+  /// (8 sqrt(n), the laptop-scale analogue of the paper's h ~ n^gamma2).
+  double k_hops = 0;
+};
+
+/// One distance scale: the rounded graph, its hopset, and the granularity
+/// needed to convert rounded distances back.
+struct HopsetScale {
+  weight_t d = 1;         ///< scale lower bound
+  weight_t w_hat = 1;     ///< rounding granularity
+  Graph rounded;          ///< rounded G ∪ E' (hopset edges merged in)
+  std::uint64_t hopset_edges = 0;
+};
+
+struct WeightedHopset {
+  std::vector<HopsetScale> scales;
+  std::uint64_t total_hopset_edges = 0;
+  std::uint64_t rounds = 0;
+  double eta = 0;
+  /// The k of Lemma 5.2 actually used (also the natural query hop budget).
+  double k_hops = 0;
+};
+
+/// Build per-scale hopsets for a positively weighted graph.
+WeightedHopset build_weighted_hopset(const Graph& g, const WeightedHopsetParams& params);
+
+}  // namespace parsh

@@ -1,0 +1,42 @@
+// CAS-loop atomic combining operations (the CRCW PRAM "priority write").
+// EST clustering and the round-synchronous SSSP routines resolve concurrent
+// writes to the same vertex with these.
+#pragma once
+
+#include <atomic>
+
+namespace parsh {
+
+/// Atomically set *addr = min(*addr, value). Returns true iff this call
+/// strictly lowered the stored value (i.e. the caller "won").
+template <typename T>
+bool atomic_write_min(std::atomic<T>* addr, T value) {
+  T cur = addr->load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (addr->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically set *addr = max(*addr, value). Returns true iff this call
+/// strictly raised the stored value.
+template <typename T>
+bool atomic_write_max(std::atomic<T>* addr, T value) {
+  T cur = addr->load(std::memory_order_relaxed);
+  while (value > cur) {
+    if (addr->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Compare-and-swap convenience: set *addr = desired iff *addr == expected.
+template <typename T>
+bool atomic_cas(std::atomic<T>* addr, T expected, T desired) {
+  return addr->compare_exchange_strong(expected, desired, std::memory_order_relaxed);
+}
+
+}  // namespace parsh

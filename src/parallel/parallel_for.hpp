@@ -1,0 +1,84 @@
+// Shared-memory loop parallelism. The PRAM algorithms in this library are
+// expressed as synchronous rounds of flat data-parallel loops; this header
+// provides the loop primitive, backed by OpenMP when available and falling
+// back to a plain sequential loop otherwise (the semantics are identical —
+// iterations must be independent).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#ifdef PARSH_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace parsh {
+
+/// Number of worker threads the runtime will use for parallel loops.
+inline int num_workers() {
+#ifdef PARSH_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Below this iteration count, parallel_for runs sequentially: spawning
+/// threads for tiny loops costs more than it saves.
+inline constexpr std::size_t kParallelGrain = 2048;
+
+/// Apply `f(i)` for every i in [begin, end). Iterations must not depend on
+/// each other. `f` is taken by value per thread.
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, F f) {
+  if (end <= begin) return;
+#ifdef PARSH_HAVE_OPENMP
+  if (end - begin >= kParallelGrain && omp_get_max_threads() > 1 &&
+      !omp_in_parallel()) {
+    const auto b = static_cast<std::int64_t>(begin);
+    const auto e = static_cast<std::int64_t>(end);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = b; i < e; ++i) f(static_cast<std::size_t>(i));
+    return;
+  }
+#endif
+  for (std::size_t i = begin; i < end; ++i) f(i);
+}
+
+/// parallel_for with an explicit grain size (minimum iterations per task).
+template <typename F>
+void parallel_for_grain(std::size_t begin, std::size_t end, std::size_t grain, F f) {
+  if (end <= begin) return;
+#ifdef PARSH_HAVE_OPENMP
+  if (end - begin >= grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+    const auto b = static_cast<std::int64_t>(begin);
+    const auto e = static_cast<std::int64_t>(end);
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::int64_t i = b; i < e; ++i) f(static_cast<std::size_t>(i));
+    return;
+  }
+#endif
+  for (std::size_t i = begin; i < end; ++i) f(i);
+}
+
+/// Run two independent tasks, potentially in parallel (fork-join). Used by
+/// the recursive hopset construction to descend into sibling clusters.
+template <typename F1, typename F2>
+void parallel_invoke(F1 f1, F2 f2) {
+#ifdef PARSH_HAVE_OPENMP
+  if (omp_get_max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel sections num_threads(2)
+    {
+#pragma omp section
+      f1();
+#pragma omp section
+      f2();
+    }
+    return;
+  }
+#endif
+  f1();
+  f2();
+}
+
+}  // namespace parsh

@@ -1,0 +1,132 @@
+// Flat data-parallel building blocks: reduce, exclusive scan (prefix sum),
+// pack/filter, and counting. These are the PRAM primitives every algorithm
+// in the paper is built from; all are O(n) work and O(log n) depth in the
+// abstract model (implemented as blocked two-pass loops).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parsh {
+
+namespace detail {
+inline std::size_t num_blocks(std::size_t n, std::size_t block) {
+  return (n + block - 1) / block;
+}
+inline constexpr std::size_t kScanBlock = 4096;
+}  // namespace detail
+
+/// Sum-reduce `f(i)` over [0, n).
+template <typename T, typename F>
+T parallel_reduce_sum(std::size_t n, F f) {
+  if (n == 0) return T{};
+  const std::size_t nb = detail::num_blocks(n, detail::kScanBlock);
+  std::vector<T> partial(nb, T{});
+  parallel_for(0, nb, [&](std::size_t b) {
+    std::size_t lo = b * detail::kScanBlock;
+    std::size_t hi = std::min(n, lo + detail::kScanBlock);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += f(i);
+    partial[b] = acc;
+  });
+  T total{};
+  for (const T& p : partial) total += p;
+  return total;
+}
+
+/// Max-reduce `f(i)` over [0, n); returns `identity` for empty ranges.
+template <typename T, typename F>
+T parallel_reduce_max(std::size_t n, F f, T identity) {
+  if (n == 0) return identity;
+  const std::size_t nb = detail::num_blocks(n, detail::kScanBlock);
+  std::vector<T> partial(nb, identity);
+  parallel_for(0, nb, [&](std::size_t b) {
+    std::size_t lo = b * detail::kScanBlock;
+    std::size_t hi = std::min(n, lo + detail::kScanBlock);
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = f(i);
+      if (acc < v) acc = v;
+    }
+    partial[b] = acc;
+  });
+  T total = identity;
+  for (const T& p : partial) {
+    if (total < p) total = p;
+  }
+  return total;
+}
+
+/// Exclusive prefix sum of `values` in place; returns the grand total.
+/// values[i] becomes sum of the original values[0..i).
+template <typename T>
+T exclusive_scan_inplace(std::vector<T>& values) {
+  const std::size_t n = values.size();
+  if (n == 0) return T{};
+  const std::size_t nb = detail::num_blocks(n, detail::kScanBlock);
+  std::vector<T> block_sum(nb, T{});
+  parallel_for(0, nb, [&](std::size_t b) {
+    std::size_t lo = b * detail::kScanBlock;
+    std::size_t hi = std::min(n, lo + detail::kScanBlock);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += values[i];
+    block_sum[b] = acc;
+  });
+  T running{};
+  for (std::size_t b = 0; b < nb; ++b) {
+    T next = running + block_sum[b];
+    block_sum[b] = running;
+    running = next;
+  }
+  parallel_for(0, nb, [&](std::size_t b) {
+    std::size_t lo = b * detail::kScanBlock;
+    std::size_t hi = std::min(n, lo + detail::kScanBlock);
+    T acc = block_sum[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T next = acc + values[i];
+      values[i] = acc;
+      acc = next;
+    }
+  });
+  return running;
+}
+
+/// Keep index i iff pred(i); returns the surviving indices in order.
+template <typename Pred>
+std::vector<std::size_t> pack_indices(std::size_t n, Pred pred) {
+  std::vector<std::size_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(i) ? 1 : 0; });
+  std::vector<std::size_t> offsets = flags;
+  std::size_t total = exclusive_scan_inplace(offsets);
+  std::vector<std::size_t> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = i;
+  });
+  return out;
+}
+
+/// Pack values: out contains f(i) for every i passing pred, in index order.
+template <typename T, typename Pred, typename F>
+std::vector<T> pack_values(std::size_t n, Pred pred, F f) {
+  std::vector<std::size_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(i) ? 1 : 0; });
+  std::vector<std::size_t> offsets = flags;
+  std::size_t total = exclusive_scan_inplace(offsets);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = f(i);
+  });
+  return out;
+}
+
+/// Count the i in [0, n) with pred(i).
+template <typename Pred>
+std::size_t parallel_count(std::size_t n, Pred pred) {
+  return parallel_reduce_sum<std::size_t>(
+      n, [&](std::size_t i) { return pred(i) ? std::size_t{1} : std::size_t{0}; });
+}
+
+}  // namespace parsh

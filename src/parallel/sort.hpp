@@ -1,0 +1,46 @@
+// Parallel comparison sort (blocked merge sort). Used by the CSR builder
+// (sorting edge lists) and by the weighted spanner's bucket grouping.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parsh {
+
+namespace detail {
+
+template <typename It, typename Cmp>
+void merge_sort_rec(It begin, It end, typename std::iterator_traits<It>::value_type* buf,
+                    Cmp cmp, int levels) {
+  const auto n = static_cast<std::size_t>(end - begin);
+  if (levels <= 0 || n < 8192) {
+    std::sort(begin, end, cmp);
+    return;
+  }
+  It mid = begin + static_cast<std::ptrdiff_t>(n / 2);
+  parallel_invoke([&] { merge_sort_rec(begin, mid, buf, cmp, levels - 1); },
+                  [&] { merge_sort_rec(mid, end, buf + n / 2, cmp, levels - 1); });
+  std::merge(begin, mid, mid, end, buf, cmp);
+  std::copy(buf, buf + n, begin);
+}
+
+}  // namespace detail
+
+/// Sort `v` with comparator `cmp`, splitting the work across threads.
+/// Stable within each leaf (std::sort) but not globally stable.
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(std::vector<T>& v, Cmp cmp = Cmp{}) {
+  if (v.size() < 8192 || num_workers() == 1) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  std::vector<T> buf(v.size());
+  int levels = 0;
+  for (int w = num_workers(); (1 << levels) < w; ++levels) {
+  }
+  detail::merge_sort_rec(v.begin(), v.end(), buf.data(), cmp, levels + 1);
+}
+
+}  // namespace parsh

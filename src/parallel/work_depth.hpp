@@ -1,0 +1,69 @@
+// Work/depth instrumentation.
+//
+// The paper's evaluation (Figures 1 and 2) compares algorithms by PRAM
+// *work* (total operations) and *depth* (longest chain of dependent
+// rounds). Wall-clock time on a fixed machine cannot exhibit those columns,
+// so every round-synchronous algorithm in this library reports into these
+// counters: one `round` per synchronous step, and `work` units for edges or
+// vertices touched. Benches print them next to wall time; the *shape* of
+// the paper's tables (who does asymptotically less work, whose depth scales
+// with k vs n^γ) is reproduced through them.
+//
+// Counters are process-global and thread-safe. Scoped trackers snapshot a
+// region. Instrumentation overhead is a couple of relaxed atomics per
+// round, negligible next to the graph traversal itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace parsh {
+namespace wd {
+
+struct Counters {
+  std::uint64_t work = 0;    ///< operations performed (edges/vertices touched)
+  std::uint64_t rounds = 0;  ///< synchronous rounds executed (depth proxy)
+};
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_work{0};
+inline std::atomic<std::uint64_t> g_rounds{0};
+}  // namespace detail
+
+/// Record `units` of work (e.g. edges relaxed in a round).
+inline void add_work(std::uint64_t units) {
+  detail::g_work.fetch_add(units, std::memory_order_relaxed);
+}
+
+/// Record one synchronous round (one unit of depth).
+inline void add_round(std::uint64_t count = 1) {
+  detail::g_rounds.fetch_add(count, std::memory_order_relaxed);
+}
+
+/// Current global counters.
+inline Counters snapshot() {
+  return {detail::g_work.load(std::memory_order_relaxed),
+          detail::g_rounds.load(std::memory_order_relaxed)};
+}
+
+/// Zero the global counters.
+inline void reset() {
+  detail::g_work.store(0, std::memory_order_relaxed);
+  detail::g_rounds.store(0, std::memory_order_relaxed);
+}
+
+/// Measures the work/rounds accumulated during its lifetime.
+class Region {
+ public:
+  Region() : start_(snapshot()) {}
+  [[nodiscard]] Counters delta() const {
+    Counters now = snapshot();
+    return {now.work - start_.work, now.rounds - start_.rounds};
+  }
+
+ private:
+  Counters start_;
+};
+
+}  // namespace wd
+}  // namespace parsh

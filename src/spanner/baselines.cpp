@@ -1,0 +1,215 @@
+#include "spanner/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <queue>
+
+#include "random/rng.hpp"
+
+namespace parsh {
+
+namespace {
+
+/// Dynamic adjacency list used by the greedy construction.
+class DynGraph {
+ public:
+  explicit DynGraph(vid n) : adj_(n) {}
+
+  void add_edge(vid u, vid v, weight_t w) {
+    adj_[u].push_back({v, w});
+    adj_[v].push_back({u, w});
+  }
+
+  /// Is dist(u, v) <= limit in the current graph? Early-exit Dijkstra.
+  bool within(vid u, vid v, weight_t limit) const {
+    if (u == v) return true;
+    std::vector<std::pair<vid, weight_t>> touched;
+    dist_[u] = 0;
+    touched.push_back({u, 0});
+    using QItem = std::pair<weight_t, vid>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    pq.push({0, u});
+    bool found = false;
+    while (!pq.empty()) {
+      auto [d, x] = pq.top();
+      pq.pop();
+      if (d > dist_[x]) continue;
+      if (x == v) {
+        found = true;
+        break;
+      }
+      for (auto [y, w] : adj_[x]) {
+        const weight_t nd = d + w;
+        if (nd > limit) continue;
+        if (nd < dist_[y]) {
+          if (dist_[y] == kInfWeight) touched.push_back({y, 0});
+          dist_[y] = nd;
+          pq.push({nd, y});
+        }
+      }
+    }
+    for (auto [x, unused] : touched) {
+      (void)unused;
+      dist_[x] = kInfWeight;
+    }
+    return found;
+  }
+
+  void ensure_scratch() const {
+    if (dist_.size() != adj_.size()) dist_.assign(adj_.size(), kInfWeight);
+  }
+
+ private:
+  std::vector<std::vector<std::pair<vid, weight_t>>> adj_;
+  mutable std::vector<weight_t> dist_;
+};
+
+}  // namespace
+
+std::vector<Edge> greedy_spanner(const Graph& g, double k) {
+  std::vector<Edge> edges = g.undirected_edges();
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.w, a.u, a.v) < std::tie(b.w, b.u, b.v);
+  });
+  const double stretch = 2.0 * k - 1.0;
+  DynGraph h(g.num_vertices());
+  h.ensure_scratch();
+  std::vector<Edge> out;
+  for (const Edge& e : edges) {
+    if (!h.within(e.u, e.v, stretch * e.w)) {
+      h.add_edge(e.u, e.v, e.w);
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Edge> baswana_sen_spanner(const Graph& g, int k, std::uint64_t seed) {
+  const vid n = g.num_vertices();
+  const double sample_p = std::pow(static_cast<double>(std::max<vid>(n, 2)), -1.0 / k);
+  Rng rng(seed);
+
+  // cluster[v]: id of v's cluster (center vertex id) or kNoVertex if v has
+  // been discarded from the clustering (its edges were resolved).
+  std::vector<vid> cluster(n);
+  for (vid v = 0; v < n; ++v) cluster[v] = v;
+  std::vector<Edge> spanner;
+
+  // Active edge list; edges are removed once resolved.
+  std::vector<Edge> edges = g.undirected_edges();
+
+  for (int phase = 1; phase <= k - 1; ++phase) {
+    // 1. Sample cluster centers.
+    std::vector<char> sampled_cluster(n, 0);
+    Rng phase_rng = rng.split(phase);
+    for (vid c = 0; c < n; ++c) {
+      sampled_cluster[c] = phase_rng.uniform(c) < sample_p ? 1 : 0;
+    }
+    // 2. For every vertex in an unsampled cluster: find the lightest edge
+    //    to each adjacent cluster; if some neighbour cluster is sampled,
+    //    join the lightest sampled one and keep edges lighter than it;
+    //    otherwise keep one lightest edge per adjacent cluster and drop
+    //    out.
+    // Group incident edges per vertex (only edges between clusters).
+    std::vector<std::vector<Edge>> inc(n);
+    for (const Edge& e : edges) {
+      if (cluster[e.u] == kNoVertex || cluster[e.v] == kNoVertex) continue;
+      if (cluster[e.u] == cluster[e.v]) continue;  // intra-cluster: drop
+      inc[e.u].push_back(e);
+      inc[e.v].push_back({e.v, e.u, e.w});
+    }
+    std::vector<vid> new_cluster = cluster;
+    for (vid v = 0; v < n; ++v) {
+      if (cluster[v] == kNoVertex) continue;
+      if (sampled_cluster[cluster[v]]) continue;  // survives as-is
+      // Lightest edge per adjacent cluster.
+      std::vector<std::pair<vid, Edge>> best;  // (cluster, lightest edge)
+      {
+        std::vector<std::pair<vid, Edge>> cand;
+        cand.reserve(inc[v].size());
+        for (const Edge& e : inc[v]) cand.push_back({cluster[e.v], e});
+        std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
+          if (a.first != b.first) return a.first < b.first;
+          return std::tie(a.second.w, a.second.v) < std::tie(b.second.w, b.second.v);
+        });
+        for (std::size_t i = 0; i < cand.size(); ++i) {
+          if (i > 0 && cand[i].first == cand[i - 1].first) continue;
+          best.push_back(cand[i]);
+        }
+      }
+      // Lightest edge to a *sampled* adjacent cluster, if any.
+      const std::pair<vid, Edge>* join = nullptr;
+      for (const auto& ce : best) {
+        if (!sampled_cluster[ce.first]) continue;
+        if (!join || std::tie(ce.second.w, ce.second.v) <
+                         std::tie(join->second.w, join->second.v)) {
+          join = &ce;
+        }
+      }
+      if (join) {
+        spanner.push_back({v, join->second.v, join->second.w});
+        new_cluster[v] = join->first;
+        // Also keep every strictly lighter inter-cluster edge.
+        for (const auto& ce : best) {
+          if (&ce == join) continue;
+          if (ce.second.w < join->second.w) {
+            spanner.push_back({v, ce.second.v, ce.second.w});
+          }
+        }
+      } else {
+        for (const auto& ce : best) spanner.push_back({v, ce.second.v, ce.second.w});
+        new_cluster[v] = kNoVertex;  // v leaves the clustering
+      }
+    }
+    cluster = std::move(new_cluster);
+    // Drop edges now internal to a cluster or incident to discarded
+    // vertices (their requirements were just satisfied).
+    std::vector<Edge> next_edges;
+    next_edges.reserve(edges.size());
+    for (const Edge& e : edges) {
+      if (cluster[e.u] == kNoVertex || cluster[e.v] == kNoVertex) continue;
+      if (cluster[e.u] == cluster[e.v]) continue;
+      next_edges.push_back(e);
+    }
+    edges = std::move(next_edges);
+  }
+
+  // Phase 2: vertex-cluster joining — every remaining vertex keeps the
+  // lightest edge to each adjacent surviving cluster.
+  std::vector<std::vector<Edge>> inc(n);
+  for (const Edge& e : edges) {
+    inc[e.u].push_back(e);
+    inc[e.v].push_back({e.v, e.u, e.w});
+  }
+  for (vid v = 0; v < n; ++v) {
+    if (inc[v].empty()) continue;
+    std::vector<std::pair<vid, Edge>> cand;
+    cand.reserve(inc[v].size());
+    for (const Edge& e : inc[v]) cand.push_back({cluster[e.v], e});
+    std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return std::tie(a.second.w, a.second.v) < std::tie(b.second.w, b.second.v);
+    });
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (i > 0 && cand[i].first == cand[i - 1].first) continue;
+      spanner.push_back({v, cand[i].second.v, cand[i].second.w});
+    }
+  }
+  // Dedup (an edge may be added from both sides).
+  for (Edge& e : spanner) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(spanner.begin(), spanner.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+  });
+  spanner.erase(std::unique(spanner.begin(), spanner.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.u == b.u && a.v == b.v;
+                            }),
+                spanner.end());
+  return spanner;
+}
+
+}  // namespace parsh

@@ -1,0 +1,30 @@
+// Baseline spanner constructions from Figure 1.
+//
+// * greedy_spanner — the classic (2k-1)-spanner of Althöfer et al.
+//   [ADD+93]: scan edges lightest-first, keep an edge iff the spanner
+//   built so far does not already connect its endpoints within
+//   (2k-1) * w. Size <= n^{1+1/k} * O(1) (it is a sparsest-possible
+//   construction) but O(m * n^{1+1/k}) work and inherently sequential —
+//   the first row of the paper's Figure 1.
+// * baswana_sen_spanner — the randomized linear-work (2k-1)-spanner of
+//   Baswana & Sen [BS07]: k-1 rounds of cluster sampling with probability
+//   n^{-1/k} followed by the vertex-cluster joining phase; size
+//   O(k n^{1+1/k}). The second row of Figure 1 and the strongest prior
+//   parallel baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// [ADD+93] greedy (2k-1)-spanner. Exact stretch guarantee; use on small
+/// and mid-size graphs only (quadratic-ish work).
+std::vector<Edge> greedy_spanner(const Graph& g, double k);
+
+/// [BS07] randomized (2k-1)-spanner; k must be a positive integer.
+std::vector<Edge> baswana_sen_spanner(const Graph& g, int k, std::uint64_t seed);
+
+}  // namespace parsh

@@ -1,0 +1,132 @@
+#include "spanner/distributed_spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "cluster/est_cluster.hpp"
+#include "graph/validation.hpp"
+
+namespace parsh {
+
+namespace {
+
+/// A BFS-wave message: "I joined cluster `cluster`; through me your key
+/// would be `key`". One O(1)-word message per edge per wave step.
+struct WaveMessage {
+  vid to;
+  vid from;
+  vid cluster;
+  double key;
+};
+
+}  // namespace
+
+DistributedSpannerResult distributed_unweighted_spanner(const Graph& g, double k,
+                                                        std::uint64_t seed) {
+  if (g.weighted()) {
+    throw InvalidGraphError(
+        "distributed_unweighted_spanner: the distributed port exists only for "
+        "unweighted graphs (Section 2.2 — weighted needs contractions, which "
+        "the message-passing model does not support)");
+  }
+  DistributedSpannerResult out;
+  const vid n = g.num_vertices();
+  if (n == 0) return out;
+
+  // Local coin flips: each processor draws its own shift (same stream as
+  // the shared-memory implementation so the outputs coincide).
+  const double beta = std::log(std::max<vid>(n, 2)) / (2.0 * k);
+  const std::vector<double> delta = est_shifts(n, beta, seed);
+  double delta_max = 0;
+  for (double d : delta) delta_max = std::max(delta_max, d);
+
+  // Per-processor state.
+  std::vector<double> key(n, kInfWeight);
+  std::vector<vid> cluster(n, kNoVertex);
+  std::vector<vid> parent(n, kNoVertex);
+
+  // Message queues indexed by delivery round.
+  std::vector<std::vector<WaveMessage>> inbox;
+  auto deliver_at = [&](std::size_t round, WaveMessage m) {
+    if (round >= inbox.size()) inbox.resize(round + 1);
+    inbox[round].push_back(m);
+    ++out.messages;
+  };
+
+  vid settled = 0;
+  for (std::size_t t = 0; settled < n; ++t) {
+    ++out.rounds;
+    // Collect this round's candidates: delivered messages plus local
+    // wake-ups (floor(start) == t).
+    std::vector<WaveMessage> cand;
+    if (t < inbox.size()) cand.swap(inbox[t]);
+    for (vid v = 0; v < n; ++v) {
+      const double start = delta_max - delta[v];
+      if (cluster[v] == kNoVertex && static_cast<std::size_t>(start) == t) {
+        cand.push_back({v, kNoVertex, v, start});
+      }
+    }
+    if (cand.empty()) continue;
+    // Each processor resolves its own minimum (ties toward smaller
+    // sender, mirroring the CRCW priority write).
+    std::sort(cand.begin(), cand.end(), [](const WaveMessage& a, const WaveMessage& b) {
+      if (a.to != b.to) return a.to < b.to;
+      if (a.key != b.key) return a.key < b.key;
+      return a.from < b.from;
+    });
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (i > 0 && cand[i].to == cand[i - 1].to) continue;
+      const WaveMessage& m = cand[i];
+      if (cluster[m.to] != kNoVertex) continue;
+      cluster[m.to] = m.cluster;
+      parent[m.to] = m.from;
+      key[m.to] = m.key;
+      ++settled;
+      // Broadcast the wave to all neighbours for the next round.
+      for (eid e = g.begin(m.to); e < g.end(m.to); ++e) {
+        const vid u = g.target(e);
+        if (cluster[u] != kNoVertex) continue;  // settled ignore the wave
+        deliver_at(t + 1, {u, m.to, cluster[m.to], key[m.to] + 1.0});
+      }
+    }
+  }
+
+  // One synchronous exchange of cluster ids across every edge, after
+  // which boundary selection is a local decision.
+  ++out.rounds;
+  out.messages += g.num_arcs();
+
+  for (vid v = 0; v < n; ++v) {
+    if (parent[v] != kNoVertex) out.edges.push_back({v, parent[v], 1.0});
+  }
+  std::vector<std::pair<vid, vid>> picks;
+  for (vid v = 0; v < n; ++v) {
+    picks.clear();
+    for (eid e = g.begin(v); e < g.end(v); ++e) {
+      const vid u = g.target(e);
+      if (cluster[u] != cluster[v]) picks.emplace_back(cluster[u], u);
+    }
+    std::sort(picks.begin(), picks.end());
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+      if (i > 0 && picks[i].first == picks[i - 1].first) continue;
+      out.edges.push_back({v, picks[i].second, 1.0});
+    }
+  }
+  // Canonicalize and dedup (both endpoints may nominate the same edge) —
+  // identical to the shared-memory construction's post-pass.
+  for (Edge& e : out.edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(out.edges.begin(), out.edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+  });
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end(),
+                              [](const Edge& a, const Edge& b) {
+                                return a.u == b.u && a.v == b.v;
+                              }),
+                  out.edges.end());
+  return out;
+}
+
+}  // namespace parsh

@@ -1,0 +1,48 @@
+// Low-stretch spanning trees via hierarchical EST contraction.
+//
+// The paper's introduction traces EST clustering to the low-stretch
+// spanning tree line ([AKPW95]; "stretching stretch" [CMP+14]): contract
+// exponential-shift clusters level by level, keeping the cluster forests,
+// and a spanning tree with polylog-ish average stretch falls out. This
+// module implements that AKPW-style construction on top of the same
+// est_cluster / bucket machinery the spanner uses (Algorithm 3 minus the
+// boundary edges), plus a Kruskal MST baseline for stretch comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct TreeResult {
+  /// Forest edges: |edges| = n - #components for valid output.
+  std::vector<Edge> edges;
+  /// Contraction iterations performed (depth proxy: each is one EST
+  /// clustering round-set).
+  std::uint64_t iterations = 0;
+};
+
+/// AKPW-style low-stretch spanning forest. `k` plays the same role as in
+/// the spanner (beta = ln(n)/2k per level); larger k gives deeper
+/// clusters per level and fewer levels.
+TreeResult akpw_low_stretch_tree(const Graph& g, double k, std::uint64_t seed);
+
+/// Kruskal minimum spanning forest (the classical baseline: minimum
+/// weight, but worst-case stretch Omega(n) even on a cycle).
+TreeResult minimum_spanning_tree(const Graph& g);
+
+/// Average and maximum stretch of g's edges in the tree:
+/// stretch(e) = dist_T(u,v) / w(e). Exact; small graphs only.
+struct TreeStretch {
+  double average = 0;
+  double maximum = 0;
+};
+TreeStretch tree_stretch(const Graph& g, const std::vector<Edge>& tree);
+
+/// True iff `edges` forms a spanning forest of g (acyclic, within g,
+/// spanning every connected component).
+bool is_spanning_forest(const Graph& g, const std::vector<Edge>& edges);
+
+}  // namespace parsh

@@ -1,0 +1,53 @@
+// Spanner constructions (Section 3).
+//
+// * unweighted_spanner — Algorithm 2: one EST clustering with
+//   beta = ln(n)/(2k); keep the cluster forest and one edge from each
+//   boundary vertex to each adjacent cluster. O(k) stretch, expected size
+//   O(n^{1+1/k}) (Lemma 3.2).
+// * weighted_spanner — Theorem 3.3: bucket edges by powers of two, split
+//   the buckets into O(log k) "well separated" subsequences (consecutive
+//   used buckets differ by >= ~4k in weight), and run Algorithm 3
+//   (WellSeparatedSpanner) on each: process buckets lightest-first,
+//   contracting the forest built so far (AKPW-style), and apply the
+//   unweighted construction on each quotient graph. O(k) stretch,
+//   expected size O(n^{1+1/k} log k).
+//
+// Both return the spanner as an edge list over the input graph's vertex
+// ids; every returned edge is an edge of the input graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/est_cluster.hpp"
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct SpannerResult {
+  std::vector<Edge> edges;
+  /// Synchronous rounds executed by the clustering stages (depth proxy).
+  std::uint64_t rounds = 0;
+  /// Number of EST clustering invocations (levels processed).
+  std::uint64_t levels = 0;
+};
+
+/// Algorithm 2 on an unweighted graph. `k` is the stretch parameter
+/// (stretch O(k)); size concentrates around n^{1+1/k}.
+SpannerResult unweighted_spanner(const Graph& g, double k, std::uint64_t seed);
+
+/// Theorem 3.3 on a weighted graph with positive integer weights.
+SpannerResult weighted_spanner(const Graph& g, double k, std::uint64_t seed);
+
+/// Algorithm 3 run on one well-separated bucket subsequence, exposed for
+/// tests. `buckets[i]` holds the edges of level i (weights within a
+/// factor-2 band, consecutive bands >= ~4k apart). `n` is the host vertex
+/// count.
+SpannerResult well_separated_spanner(vid n, const std::vector<std::vector<Edge>>& buckets,
+                                     double k, std::uint64_t seed);
+
+/// Split the edges of g into power-of-two weight buckets; bucket b holds
+/// weights in [2^b, 2^{b+1}). Exposed for tests and benches.
+std::vector<std::vector<Edge>> weight_buckets(const Graph& g);
+
+}  // namespace parsh

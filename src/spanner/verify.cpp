@@ -1,0 +1,86 @@
+#include "spanner/verify.hpp"
+
+#include <algorithm>
+
+#include "random/rng.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+
+Graph spanner_graph(const Graph& g, const std::vector<Edge>& edges) {
+  return Graph::from_edges(g.num_vertices(), edges);
+}
+
+bool is_subgraph(const Graph& g, const std::vector<Edge>& spanner) {
+  for (const Edge& e : spanner) {
+    if (e.u >= g.num_vertices() || e.v >= g.num_vertices()) return false;
+    bool found = false;
+    for (eid a = g.begin(e.u); a < g.end(e.u); ++a) {
+      if (g.target(a) == e.v && g.weight(a) == e.w) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Max stretch of the edges incident to each vertex in `sources`.
+double stretch_from_sources(const Graph& g, const Graph& h,
+                            const std::vector<vid>& sources) {
+  double worst = 0.0;
+  for (vid s : sources) {
+    if (g.degree(s) == 0) continue;
+    const SsspResult sp = dijkstra(h, s);
+    for (eid e = g.begin(s); e < g.end(s); ++e) {
+      const vid v = g.target(e);
+      const double ratio = sp.dist[v] / g.weight(e);
+      worst = std::max(worst, ratio);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+double max_edge_stretch(const Graph& g, const std::vector<Edge>& spanner) {
+  const Graph h = spanner_graph(g, spanner);
+  std::vector<vid> all(g.num_vertices());
+  for (vid v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  return stretch_from_sources(g, h, all);
+}
+
+double sampled_edge_stretch(const Graph& g, const std::vector<Edge>& spanner,
+                            vid samples, std::uint64_t seed) {
+  const Graph h = spanner_graph(g, spanner);
+  Rng rng(seed);
+  std::vector<vid> sources(samples);
+  for (vid i = 0; i < samples; ++i) {
+    sources[i] = static_cast<vid>(rng.uniform_int(i, g.num_vertices()));
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return stretch_from_sources(g, h, sources);
+}
+
+double sampled_pair_stretch(const Graph& g, const std::vector<Edge>& spanner,
+                            vid pairs, std::uint64_t seed) {
+  const Graph h = spanner_graph(g, spanner);
+  Rng rng(seed);
+  double worst = 0.0;
+  for (vid i = 0; i < pairs; ++i) {
+    const vid s = static_cast<vid>(rng.uniform_int(2 * i, g.num_vertices()));
+    const vid t = static_cast<vid>(rng.uniform_int(2 * i + 1, g.num_vertices()));
+    if (s == t) continue;
+    const weight_t dg = st_distance(g, s, t);
+    if (dg == kInfWeight || dg == 0) continue;
+    const weight_t dh = st_distance(h, s, t);
+    worst = std::max(worst, dh / dg);
+  }
+  return worst;
+}
+
+}  // namespace parsh

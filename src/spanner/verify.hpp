@@ -1,0 +1,36 @@
+// Spanner verification and measurement.
+//
+// A subgraph H is a t-spanner iff dist_H(u,v) <= t * w(u,v) for every
+// *edge* (u,v) of G (the per-edge bound implies the all-pairs bound).
+// These helpers measure the exact maximum edge stretch (small graphs) or a
+// sampled estimate (bench sizes), which fills the "distortion" column of
+// Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// Build a Graph from spanner edges over the same vertex set as g.
+Graph spanner_graph(const Graph& g, const std::vector<Edge>& edges);
+
+/// True iff every edge of `spanner` is an edge of g (same weight).
+bool is_subgraph(const Graph& g, const std::vector<Edge>& spanner);
+
+/// Exact max over all edges (u,v) of dist_H(u,v) / w(u,v). O(n * Dijkstra)
+/// — use on small graphs. Returns +inf if some edge is disconnected in H.
+double max_edge_stretch(const Graph& g, const std::vector<Edge>& spanner);
+
+/// Sampled estimate: max stretch over the edges incident to `samples`
+/// randomly chosen vertices. Cheap enough for bench-size graphs.
+double sampled_edge_stretch(const Graph& g, const std::vector<Edge>& spanner,
+                            vid samples, std::uint64_t seed);
+
+/// Sampled stretch over `pairs` random vertex pairs (not just edges).
+double sampled_pair_stretch(const Graph& g, const std::vector<Edge>& spanner,
+                            vid pairs, std::uint64_t seed);
+
+}  // namespace parsh

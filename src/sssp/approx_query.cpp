@@ -1,0 +1,84 @@
+#include "sssp/approx_query.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hopset/hopset.hpp"
+#include "sssp/hop_limited.hpp"
+
+namespace parsh {
+
+ApproxShortestPaths::ApproxShortestPaths(const Graph& g, Params params)
+    : params_(params), n_(g.num_vertices()) {
+  // The engine's epsilon splits between rounding distortion and hopset
+  // distortion; default the sub-knobs off the top-level target unless the
+  // caller overrode them.
+  if (params_.hopset.zeta <= 0) params_.hopset.zeta = params_.epsilon / 2.0;
+  hopset_ = build_weighted_hopset(g, params_.hopset);
+  // Per-scale hop budget: the k the rounding was charged with (a path
+  // using more hops than that would exceed the rounding's distortion
+  // allowance anyway), capped by max_hops. The Lemma 4.2 bound is the
+  // asymptotic version of the same quantity.
+  hop_budget_.resize(hopset_.scales.size());
+  for (std::size_t i = 0; i < hopset_.scales.size(); ++i) {
+    hop_budget_[i] = std::min<std::uint64_t>(
+        params_.max_hops,
+        static_cast<std::uint64_t>(std::ceil(hopset_.k_hops * params_.hop_slack)) + 2);
+  }
+}
+
+ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t) const {
+  QueryResult out;
+  if (s == t) {
+    out.estimate = 0;
+    return out;
+  }
+  const double ratio =
+      std::pow(static_cast<double>(std::max<vid>(n_, 2)), params_.hopset.eta);
+  for (std::size_t i = 0; i < hopset_.scales.size(); ++i) {
+    const HopsetScale& sc = hopset_.scales[i];
+    // Only distances up to the scale's cap are this scale's business;
+    // pruning there makes out-of-scale searches die after a few rounds.
+    const weight_t dist_limit =
+        sc.d * ratio * (1.0 + params_.epsilon) / sc.w_hat + 1.0;
+    const HopLimitedResult r = hop_limited_sssp(sc.rounded, s, hop_budget_[i],
+                                                /*stop_early=*/true, dist_limit);
+    out.rounds += r.rounds;
+    out.relaxations += r.relaxations;
+    if (r.dist[t] == kInfWeight) continue;
+    const weight_t est = r.dist[t] * sc.w_hat;
+    if (est < out.estimate) {
+      out.estimate = est;
+      out.scale_used = i;
+    }
+    // The scale whose range contains the estimate is (1+eps)-accurate;
+    // larger scales only get coarser. Stop once consistent.
+    if (est <= sc.d * ratio * (1.0 + params_.epsilon)) break;
+  }
+  return out;
+}
+
+ApproxShortestPaths::AllResult ApproxShortestPaths::query_all(vid s) const {
+  AllResult out;
+  out.estimate.assign(n_, kInfWeight);
+  if (n_ == 0) return out;
+  out.estimate[s] = 0;
+  const double ratio =
+      std::pow(static_cast<double>(std::max<vid>(n_, 2)), params_.hopset.eta);
+  for (std::size_t i = 0; i < hopset_.scales.size(); ++i) {
+    const HopsetScale& sc = hopset_.scales[i];
+    const weight_t dist_limit =
+        sc.d * ratio * (1.0 + params_.epsilon) / sc.w_hat + 1.0;
+    const HopLimitedResult r = hop_limited_sssp(sc.rounded, s, hop_budget_[i],
+                                                /*stop_early=*/true, dist_limit);
+    out.rounds += r.rounds;
+    out.relaxations += r.relaxations;
+    for (vid v = 0; v < n_; ++v) {
+      if (r.dist[v] == kInfWeight) continue;
+      out.estimate[v] = std::min(out.estimate[v], r.dist[v] * sc.w_hat);
+    }
+  }
+  return out;
+}
+
+}  // namespace parsh

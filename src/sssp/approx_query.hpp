@@ -1,0 +1,67 @@
+// End-to-end (1+eps)-approximate shortest-path engine (Theorem 1.2).
+//
+// Preprocessing: Klein-Subramanian rounding per distance scale + the
+// Algorithm 4 hopset on each rounded graph (build_weighted_hopset).
+// Query: for each scale, a hop-budgeted round-synchronous search over the
+// rounded graph-plus-hopset ([KS97]'s reduction: given an
+// (eps, h, m')-hopset, a (1+eps)-approximate distance takes O(h) rounds of
+// O(m) work). The smallest consistent scale answers; every scale's answer
+// is a valid upper bound, so the engine returns the minimum seen.
+//
+// Works for unweighted graphs too (they are the single-scale special
+// case).
+#pragma once
+
+#include <cstdint>
+
+#include "hopset/weighted_hopset.hpp"
+
+namespace parsh {
+
+class ApproxShortestPaths {
+ public:
+  struct Params {
+    double epsilon = 0.25;  ///< end-to-end approximation target
+    WeightedHopsetParams hopset;  ///< scale/rounding/hopset knobs
+    /// Safety factor on the Lemma 4.2 hop budget (Markov slack).
+    double hop_slack = 2.0;
+    /// Hard cap on per-scale query rounds.
+    std::uint64_t max_hops = 1u << 14;
+  };
+
+  /// Preprocess g (positive weights; integer not required — rounding
+  /// handles it). Deterministic in (g, params).
+  ApproxShortestPaths(const Graph& g, Params params);
+
+  struct QueryResult {
+    weight_t estimate = kInfWeight;  ///< (1+eps)-approximate distance
+    std::uint64_t rounds = 0;        ///< hop rounds executed (depth proxy)
+    std::uint64_t relaxations = 0;   ///< edges relaxed (work proxy)
+    std::size_t scale_used = 0;      ///< index of the answering scale
+  };
+
+  /// Approximate dist(s, t).
+  [[nodiscard]] QueryResult query(vid s, vid t) const;
+
+  /// Batch form: approximate distances from s to every vertex (one
+  /// hop-budgeted sweep per scale; unreachable stays kInfWeight). This is
+  /// the "single-source" reading of Theorem 1.2 — same rounds as one
+  /// query, answers for all targets.
+  struct AllResult {
+    std::vector<weight_t> estimate;
+    std::uint64_t rounds = 0;
+    std::uint64_t relaxations = 0;
+  };
+  [[nodiscard]] AllResult query_all(vid s) const;
+
+  [[nodiscard]] const WeightedHopset& hopset() const { return hopset_; }
+  [[nodiscard]] std::uint64_t preprocessing_rounds() const { return hopset_.rounds; }
+
+ private:
+  Params params_;
+  vid n_ = 0;
+  WeightedHopset hopset_;
+  std::vector<std::uint64_t> hop_budget_;  ///< per scale
+};
+
+}  // namespace parsh

@@ -1,0 +1,101 @@
+#include "sssp/bfs.hpp"
+
+#include <atomic>
+
+#include "graph/validation.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace parsh {
+
+namespace {
+
+/// Shared frontier-expansion engine. `claim(v, via)` returns true if this
+/// thread settles v (first writer wins).
+template <typename Claim>
+vid run_bfs(const Graph& g, std::vector<vid> frontier, vid max_levels, Claim claim) {
+  vid level = 0;
+  while (!frontier.empty() && level < max_levels) {
+    ++level;
+    // Expand: collect candidate (vertex claimed) children.
+    std::vector<std::vector<vid>> local(frontier.size());
+    std::size_t scanned = 0;
+    parallel_for_grain(0, frontier.size(), 64, [&](std::size_t i) {
+      const vid u = frontier[i];
+      std::vector<vid>& mine = local[i];
+      for (eid e = g.begin(u); e < g.end(u); ++e) {
+        const vid v = g.target(e);
+        if (claim(v, u, level)) mine.push_back(v);
+      }
+    });
+    for (const auto& l : local) scanned += l.size();
+    wd::add_round();
+    std::vector<vid> next;
+    next.reserve(scanned);
+    for (auto& l : local) next.insert(next.end(), l.begin(), l.end());
+    std::size_t touched = 0;
+    for (vid u : frontier) touched += g.degree(u);
+    wd::add_work(touched);
+    frontier = std::move(next);
+  }
+  return level;
+}
+
+}  // namespace
+
+BfsResult bfs(const Graph& g, vid source, vid max_levels) {
+  require_vertex(g, source, "bfs");
+  const vid n = g.num_vertices();
+  BfsResult r;
+  r.dist.assign(n, kUnreachedHops);
+  r.parent.assign(n, kNoVertex);
+  std::vector<std::atomic<vid>> claimed(n);
+  parallel_for(0, n, [&](std::size_t v) { claimed[v].store(kNoVertex); });
+  r.dist[source] = 0;
+  claimed[source].store(source);
+  r.rounds = run_bfs(g, {source}, max_levels, [&](vid v, vid via, vid level) {
+    vid expected = kNoVertex;
+    if (claimed[v].compare_exchange_strong(expected, via)) {
+      r.dist[v] = level;
+      r.parent[v] = via;
+      return true;
+    }
+    return false;
+  });
+  return r;
+}
+
+MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources, vid max_levels) {
+  const vid n = g.num_vertices();
+  MultiBfsResult r;
+  r.dist.assign(n, kUnreachedHops);
+  r.owner.assign(n, kNoVertex);
+  std::vector<std::atomic<vid>> owner(n);
+  parallel_for(0, n, [&](std::size_t v) { owner[v].store(kNoVertex); });
+  std::vector<vid> frontier;
+  frontier.reserve(sources.size());
+  // Ties at level 0 (duplicate sources) resolve to the smaller index.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const vid s = sources[i];
+    if (owner[s].load() == kNoVertex) {
+      owner[s].store(static_cast<vid>(i));
+      r.dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  r.rounds = run_bfs(g, std::move(frontier), max_levels, [&](vid v, vid via, vid level) {
+    vid expected = kNoVertex;
+    const vid via_owner = owner[via].load(std::memory_order_relaxed);
+    if (owner[v].compare_exchange_strong(expected, via_owner)) {
+      r.dist[v] = level;
+      return true;
+    }
+    return false;
+  });
+  parallel_for(0, n, [&](std::size_t v) { r.owner[v] = owner[v].load(); });
+  return r;
+}
+
+}  // namespace parsh

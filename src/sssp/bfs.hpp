@@ -1,0 +1,40 @@
+// Level-synchronous parallel breadth-first search ([UY91]-style).
+//
+// Used for unweighted distances (clique edges in the hopset construction)
+// and as the unit-weight query substrate. Each level is one synchronous
+// round; rounds are recorded in the work/depth counters.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+inline constexpr vid kUnreachedHops = kNoVertex;
+
+struct BfsResult {
+  /// Hop distance per vertex (kUnreachedHops if unreachable).
+  std::vector<vid> dist;
+  /// BFS-tree parent (kNoVertex for sources / unreached).
+  std::vector<vid> parent;
+  /// Number of levels explored (depth proxy).
+  vid rounds = 0;
+};
+
+/// BFS from one source. `max_levels` truncates the search (used when the
+/// caller knows a diameter bound, as in the hopset recursion).
+BfsResult bfs(const Graph& g, vid source, vid max_levels = kNoVertex);
+
+/// Multi-source BFS: dist is the hop distance to the nearest source, and
+/// `owner` identifies which source claimed each vertex (min source index
+/// wins ties deterministically).
+struct MultiBfsResult {
+  std::vector<vid> dist;
+  std::vector<vid> owner;  ///< index into `sources`, kNoVertex if unreached
+  vid rounds = 0;
+};
+MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources,
+                         vid max_levels = kNoVertex);
+
+}  // namespace parsh

@@ -1,0 +1,82 @@
+#include "sssp/delta_stepping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/work_depth.hpp"
+
+namespace parsh {
+
+DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta) {
+  const vid n = g.num_vertices();
+  DeltaSteppingResult r;
+  r.dist.assign(n, kInfWeight);
+  if (n == 0) return r;
+  if (delta <= 0) {
+    const double avg_deg =
+        g.num_vertices() ? static_cast<double>(g.num_arcs()) / g.num_vertices() : 1.0;
+    delta = std::max<weight_t>(1.0, g.max_weight() / std::max(1.0, avg_deg));
+  }
+  std::vector<std::vector<vid>> buckets;
+  auto bucket_of = [&](weight_t d) {
+    return static_cast<std::size_t>(d / delta);
+  };
+  auto put = [&](vid v, weight_t d) {
+    std::size_t b = bucket_of(d);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+  r.dist[source] = 0;
+  put(source, 0);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    std::vector<vid> settled;  // all vertices finalized in this bucket
+    while (!buckets[b].empty()) {
+      std::vector<vid> frontier;
+      frontier.swap(buckets[b]);
+      ++r.phases;
+      wd::add_round();
+      std::vector<vid> active;
+      active.reserve(frontier.size());
+      for (vid v : frontier) {
+        if (bucket_of(r.dist[v]) == b) active.push_back(v);
+      }
+      settled.insert(settled.end(), active.begin(), active.end());
+      // Light relaxations (w <= delta) may re-enter this bucket.
+      for (vid u : active) {
+        for (eid e = g.begin(u); e < g.end(u); ++e) {
+          const weight_t w = g.weight(e);
+          if (w > delta) continue;
+          const vid v = g.target(e);
+          const weight_t nd = r.dist[u] + w;
+          ++r.relaxations;
+          if (nd < r.dist[v]) {
+            r.dist[v] = nd;
+            put(v, nd);
+          }
+        }
+      }
+    }
+    // Heavy relaxations (w > delta) go to strictly later buckets; done
+    // once per settled vertex.
+    std::sort(settled.begin(), settled.end());
+    settled.erase(std::unique(settled.begin(), settled.end()), settled.end());
+    for (vid u : settled) {
+      if (bucket_of(r.dist[u]) != b) continue;
+      for (eid e = g.begin(u); e < g.end(u); ++e) {
+        const weight_t w = g.weight(e);
+        if (w <= delta) continue;
+        const vid v = g.target(e);
+        const weight_t nd = r.dist[u] + w;
+        ++r.relaxations;
+        if (nd < r.dist[v]) {
+          r.dist[v] = nd;
+          put(v, nd);
+        }
+      }
+    }
+    wd::add_work(r.relaxations);
+  }
+  return r;
+}
+
+}  // namespace parsh

@@ -1,0 +1,25 @@
+// Delta-stepping SSSP (Meyer & Sanders). Included as an additional
+// parallel shortest-path substrate: Figure 2's comparison is about how
+// much machinery a parallel SSSP needs — delta-stepping is the practical
+// non-hopset contender, so the benches report it alongside the
+// hopset-based query engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct DeltaSteppingResult {
+  std::vector<weight_t> dist;
+  std::uint64_t phases = 0;       ///< bucket phases (depth proxy)
+  std::uint64_t relaxations = 0;  ///< edges relaxed (work proxy)
+};
+
+/// SSSP with bucket width `delta`. delta <= 0 picks a heuristic
+/// (max_weight / average degree, clamped to >= 1).
+DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta = 0);
+
+}  // namespace parsh

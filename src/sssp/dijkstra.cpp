@@ -1,0 +1,71 @@
+#include "sssp/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace parsh {
+
+namespace {
+
+struct QItem {
+  weight_t d;
+  vid v;
+  bool operator>(const QItem& o) const { return d > o.d; }
+};
+
+SsspResult dijkstra_impl(const Graph& g, vid source, weight_t limit, vid target) {
+  const vid n = g.num_vertices();
+  SsspResult r;
+  r.dist.assign(n, kInfWeight);
+  r.parent.assign(n, kNoVertex);
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  r.dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > r.dist[u]) continue;
+    if (u == target) break;
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const vid v = g.target(e);
+      const weight_t nd = d + g.weight(e);
+      if (nd > limit) continue;
+      if (nd < r.dist[v]) {
+        r.dist[v] = nd;
+        r.parent[v] = u;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+SsspResult dijkstra(const Graph& g, vid source) {
+  return dijkstra_impl(g, source, kInfWeight, kNoVertex);
+}
+
+SsspResult dijkstra_limited(const Graph& g, vid source, weight_t limit) {
+  return dijkstra_impl(g, source, limit, kNoVertex);
+}
+
+weight_t st_distance(const Graph& g, vid s, vid t) {
+  if (s == t) return 0;
+  return dijkstra_impl(g, s, kInfWeight, t).dist[t];
+}
+
+std::vector<vid> extract_path(const std::vector<vid>& parent, vid s, vid t) {
+  std::vector<vid> path;
+  vid cur = t;
+  while (cur != kNoVertex) {
+    path.push_back(cur);
+    if (cur == s) break;
+    cur = parent[cur];
+  }
+  if (path.empty() || path.back() != s) return {};
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace parsh

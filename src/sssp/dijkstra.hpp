@@ -1,0 +1,30 @@
+// Sequential Dijkstra (binary heap). The exact-distance oracle every
+// randomized routine is tested against, and the sequential baseline for
+// Theorem 1.2's end-to-end comparison.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct SsspResult {
+  std::vector<weight_t> dist;  ///< kInfWeight if unreachable
+  std::vector<vid> parent;     ///< kNoVertex for source / unreached
+};
+
+/// Exact single-source shortest paths. O((n + m) log n).
+SsspResult dijkstra(const Graph& g, vid source);
+
+/// Dijkstra truncated at distance `limit` (vertices farther than limit
+/// stay at kInfWeight). Used by the greedy spanner baseline.
+SsspResult dijkstra_limited(const Graph& g, vid source, weight_t limit);
+
+/// Exact s-t distance (early-exit Dijkstra).
+weight_t st_distance(const Graph& g, vid s, vid t);
+
+/// Recover the path s -> t from a parent array (empty if unreachable).
+std::vector<vid> extract_path(const std::vector<vid>& parent, vid s, vid t);
+
+}  // namespace parsh

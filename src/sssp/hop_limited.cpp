@@ -1,0 +1,79 @@
+#include "sssp/hop_limited.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace parsh {
+
+namespace {
+
+/// One frontier-driven Bellman-Ford round: relax out-edges of `frontier`
+/// into `dist`, collecting improved vertices. Returns improved set.
+std::vector<vid> relax_round(const Graph& g, const std::vector<vid>& frontier,
+                             std::vector<weight_t>& dist, std::uint64_t* relaxations,
+                             weight_t dist_limit = kInfWeight) {
+  std::vector<std::vector<vid>> local(frontier.size());
+  std::uint64_t touched = 0;
+  // NOTE: per-iteration vectors keep this deterministic and race-free; a
+  // vertex improved by two frontier members appears twice and is deduped
+  // by the dist check in the next round (harmless).
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const vid u = frontier[i];
+    touched += g.degree(u);
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const vid v = g.target(e);
+      const weight_t nd = dist[u] + g.weight(e);
+      if (nd < dist[v] && nd <= dist_limit) {
+        dist[v] = nd;
+        local[i].push_back(v);
+      }
+    }
+  }
+  *relaxations += touched;
+  wd::add_work(touched);
+  wd::add_round();
+  std::vector<vid> improved;
+  for (auto& l : local) improved.insert(improved.end(), l.begin(), l.end());
+  // Dedup (a vertex may be improved via several frontier members).
+  std::sort(improved.begin(), improved.end());
+  improved.erase(std::unique(improved.begin(), improved.end()), improved.end());
+  return improved;
+}
+
+}  // namespace
+
+HopLimitedResult hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
+                                  bool stop_early, weight_t dist_limit) {
+  HopLimitedResult r;
+  r.dist.assign(g.num_vertices(), kInfWeight);
+  r.dist[source] = 0;
+  std::vector<vid> frontier{source};
+  for (std::uint64_t round = 0; round < h; ++round) {
+    if (frontier.empty() && stop_early) break;
+    if (frontier.empty()) break;  // nothing more can ever improve
+    frontier = relax_round(g, frontier, r.dist, &r.relaxations, dist_limit);
+    ++r.rounds;
+  }
+  return r;
+}
+
+std::uint64_t hops_to_approx(const Graph& g, vid s, vid t, weight_t true_dist,
+                             double eps, std::uint64_t h_cap) {
+  std::vector<weight_t> dist(g.num_vertices(), kInfWeight);
+  dist[s] = 0;
+  const weight_t goal = (1.0 + eps) * true_dist;
+  if (s == t) return 0;
+  std::vector<vid> frontier{s};
+  std::uint64_t relaxations = 0;
+  for (std::uint64_t h = 1; h <= h_cap; ++h) {
+    if (frontier.empty()) return h_cap;  // converged without reaching goal
+    frontier = relax_round(g, frontier, dist, &relaxations);
+    if (dist[t] <= goal) return h;
+  }
+  return h_cap;
+}
+
+}  // namespace parsh

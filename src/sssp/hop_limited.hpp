@@ -1,0 +1,43 @@
+// Hop-limited shortest paths (round-synchronous Bellman–Ford).
+//
+// The defining quantity of a hopset (Definition 2.4) is dist^h: the
+// lightest path using at most h edges. This module computes it exactly —
+// each of the h rounds relaxes every edge once, so the PRAM depth is
+// O(h log n) and work O(hm), matching the query stage of [KS97] that
+// Theorems 1.2 / 4.4 plug hopsets into. It also measures the *effective*
+// hop radius: the smallest h at which dist^h reaches a target value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct HopLimitedResult {
+  /// dist[v] = weight of the lightest path source->v with <= h edges.
+  std::vector<weight_t> dist;
+  /// Rounds actually executed (may be < h if distances converged early).
+  std::uint64_t rounds = 0;
+  /// Total edge relaxations performed (work proxy).
+  std::uint64_t relaxations = 0;
+};
+
+/// Exact dist^h from `source` with at most `h` hops. If `stop_early` the
+/// loop exits once no distance improves (making the result dist^n when the
+/// graph converges faster — useful as an exact oracle). Vertices farther
+/// than `dist_limit` are pruned: the Section 5 query engine passes each
+/// scale's distance cap so out-of-scale searches die cheaply.
+HopLimitedResult hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
+                                  bool stop_early = true,
+                                  weight_t dist_limit = kInfWeight);
+
+/// The number of hops needed for the s-t distance to drop to within
+/// (1+eps) of `true_dist`: runs rounds until
+/// dist^h(s,t) <= (1+eps) * true_dist and returns that h
+/// (or `h_cap` if the bound is not reached by then).
+std::uint64_t hops_to_approx(const Graph& g, vid s, vid t, weight_t true_dist,
+                             double eps, std::uint64_t h_cap);
+
+}  // namespace parsh

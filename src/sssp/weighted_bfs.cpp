@@ -1,0 +1,103 @@
+#include "sssp/weighted_bfs.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "graph/validation.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace parsh {
+
+namespace {
+
+/// Dial-style bucketed search over integer weights. Buckets live in an
+/// ordered map so memory scales with the number of *nonempty* distance
+/// values (after Klein-Subramanian rounding the weight range can be large
+/// while the frontier touches few distinct distances). Each nonempty
+/// bucket is one synchronous round in the PRAM reading of the weighted
+/// parallel BFS of Section 5.
+struct DialEngine {
+  const Graph& g;
+  std::vector<weight_t> dist;
+  std::vector<vid> parent;
+  std::vector<vid> owner;
+  std::uint64_t rounds = 0;
+
+  explicit DialEngine(const Graph& graph)
+      : g(graph),
+        dist(graph.num_vertices(), kInfWeight),
+        parent(graph.num_vertices(), kNoVertex),
+        owner(graph.num_vertices(), kNoVertex) {}
+
+  void run(const std::vector<vid>& sources, weight_t limit) {
+    std::map<std::uint64_t, std::vector<vid>> buckets;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const vid s = sources[i];
+      if (dist[s] != kInfWeight) continue;  // duplicate source
+      dist[s] = 0;
+      owner[s] = static_cast<vid>(i);
+      buckets[0].push_back(s);
+    }
+    while (!buckets.empty()) {
+      auto it = buckets.begin();
+      const auto d = static_cast<weight_t>(it->first);
+      if (d > limit) break;
+      std::vector<vid> bucket = std::move(it->second);
+      buckets.erase(it);
+      // A vertex may be queued several times (re-inserted on improvement);
+      // only entries matching their final distance are settled here.
+      std::vector<vid> settled;
+      settled.reserve(bucket.size());
+      for (vid v : bucket) {
+        if (dist[v] == d) settled.push_back(v);
+      }
+      if (settled.empty()) continue;
+      ++rounds;
+      wd::add_round();
+      std::uint64_t touched = 0;
+      for (vid u : settled) {
+        touched += g.degree(u);
+        for (eid e = g.begin(u); e < g.end(u); ++e) {
+          const vid v = g.target(e);
+          const weight_t w = g.weight(e);
+          assert(w >= 1 && w == std::floor(w) && "weighted_bfs requires integer weights");
+          const weight_t nd = dist[u] + w;
+          if (nd > limit) continue;
+          if (nd < dist[v]) {
+            dist[v] = nd;
+            parent[v] = u;
+            owner[v] = owner[u];
+            buckets[static_cast<std::uint64_t>(nd)].push_back(v);
+          } else if (nd == dist[v] && owner[u] < owner[v]) {
+            // Deterministic tie-break: smaller source index wins. Safe
+            // because w >= 1 puts v's bucket strictly after u's, so v has
+            // not propagated yet.
+            parent[v] = u;
+            owner[v] = owner[u];
+          }
+        }
+      }
+      wd::add_work(touched);
+    }
+  }
+};
+
+}  // namespace
+
+WeightedBfsResult weighted_bfs(const Graph& g, vid source, weight_t limit) {
+  require_integer_weights(g, "weighted_bfs");
+  require_vertex(g, source, "weighted_bfs");
+  DialEngine eng(g);
+  eng.run({source}, limit);
+  return {std::move(eng.dist), std::move(eng.parent), eng.rounds};
+}
+
+MultiWeightedBfsResult multi_weighted_bfs(const Graph& g, const std::vector<vid>& sources,
+                                          weight_t limit) {
+  DialEngine eng(g);
+  eng.run(sources, limit);
+  return {std::move(eng.dist), std::move(eng.owner), eng.rounds};
+}
+
+}  // namespace parsh

@@ -1,0 +1,39 @@
+// Weighted parallel BFS over integer weights (Dial bucket queue).
+//
+// Section 5 runs "weighted parallel BFS" after Klein–Subramanian rounding
+// has made all weights small positive integers: the search advances one
+// distance unit per synchronous round, so depth is proportional to the
+// (rounded) radius, exactly as the paper analyses. Requires integer
+// weights >= 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+struct WeightedBfsResult {
+  std::vector<weight_t> dist;  ///< kInfWeight if unreached
+  std::vector<vid> parent;
+  std::uint64_t rounds = 0;  ///< buckets processed (depth proxy)
+};
+
+/// Weighted BFS from `source`; weights must be positive integers. The
+/// search stops at distance `limit` (exclusive of farther vertices).
+WeightedBfsResult weighted_bfs(const Graph& g, vid source,
+                               weight_t limit = kInfWeight);
+
+/// Multi-source variant: dist to the nearest source; `owner` gives the
+/// index of the claiming source (smaller index wins exact ties).
+struct MultiWeightedBfsResult {
+  std::vector<weight_t> dist;
+  std::vector<vid> owner;
+  std::uint64_t rounds = 0;
+};
+MultiWeightedBfsResult multi_weighted_bfs(const Graph& g,
+                                          const std::vector<vid>& sources,
+                                          weight_t limit = kInfWeight);
+
+}  // namespace parsh

@@ -1,0 +1,31 @@
+// Minimal command-line flag parser for benches and examples.
+//
+// Usage:
+//   parsh::Cli cli(argc, argv);
+//   int n = cli.get_int("n", 10000);
+//   double eps = cli.get_double("eps", 0.25);
+// Flags are written `--name value` or `--name=value`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace parsh {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, const std::string& def) const;
+  [[nodiscard]] long long get_int(const std::string& name, long long def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+  [[nodiscard]] std::uint64_t get_seed(const std::string& name, std::uint64_t def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace parsh

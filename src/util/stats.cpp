@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parsh {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  auto interp = [&](double p) {
+    double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(idx);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.p50 = interp(50);
+  s.p90 = interp(90);
+  s.p99 = interp(99);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LinearFit f;
+  if (xs.size() != ys.size() || xs.size() < 2) return f;
+  auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0, ybar = sy / n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double pred = f.slope * xs[i] + f.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ybar) * (ys[i] - ybar);
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LinearFit fit_power_law(const std::vector<double>& xs, const std::vector<double>& ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) lx[i] = std::log(xs[i]);
+  for (std::size_t i = 0; i < ys.size(); ++i) ly[i] = std::log(ys[i]);
+  return fit_line(lx, ly);
+}
+
+}  // namespace parsh

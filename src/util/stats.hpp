@@ -1,0 +1,45 @@
+// Summary statistics and small regression helpers used by the benchmark
+// harness (e.g. fitting the size exponent in Theorem 1.1 experiments).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace parsh {
+
+/// Summary of a sample: count, mean, standard deviation, extremes and
+/// selected percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute a Summary of `xs`. Empty input yields a zero Summary.
+Summary summarize(const std::vector<double>& xs);
+
+/// Percentile in [0,100] by linear interpolation on the sorted sample.
+double percentile(std::vector<double> xs, double p);
+
+/// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1].
+  double r2 = 0.0;
+};
+
+/// Least-squares line through (xs[i], ys[i]). Requires xs.size()==ys.size()
+/// and at least two points; otherwise returns a zero fit.
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fit y = c * x^e by regressing log y on log x; returns {slope=e,
+/// intercept=log c, r2}. All inputs must be positive.
+LinearFit fit_power_law(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace parsh

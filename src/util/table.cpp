@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace parsh {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision + 3, value);
+  // %.*g with generous precision, then trim: use fixed formatting for
+  // moderate magnitudes so columns read like the paper's tables.
+  if (value != 0 && (std::abs(value) >= 1e7 || std::abs(value) < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  }
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+std::string Table::to_string(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream out;
+  if (!title.empty()) out << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      out << (c == 0 ? "| " : " | ");
+      out << v;
+      out << std::string(width[c] - v.size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  std::size_t total = 1;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + 3;
+  out << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::fputs(to_string(title).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace parsh

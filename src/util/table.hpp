@@ -1,0 +1,36 @@
+// Console table printer. The benchmark harness uses it to emit rows in the
+// same layout as the paper's Figures 1 and 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parsh {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+/// Numeric convenience overloads format with sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+  Table& cell(int value);
+
+  /// Render to stdout with a title line and column separators.
+  void print(const std::string& title = "") const;
+
+  /// Render as a string (used by tests).
+  [[nodiscard]] std::string to_string(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parsh

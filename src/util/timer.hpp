@@ -1,0 +1,29 @@
+// Wall-clock timing helper used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace parsh {
+
+/// Monotonic wall-clock timer. Construction starts the clock.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the clock.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace parsh

@@ -1,0 +1,25 @@
+// Fundamental scalar types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace parsh {
+
+/// Vertex identifier. 32 bits suffice for the laptop-scale graphs this
+/// reproduction targets (up to ~4e9 vertices).
+using vid = std::uint32_t;
+
+/// Edge identifier / offset into CSR arrays. 64 bits so that m can exceed
+/// 2^32 without overflow in prefix sums.
+using eid = std::uint64_t;
+
+/// Edge weight / distance. The paper normalises weights to be >= 1 and
+/// rounds to integers where the parallel algorithms need it; `double`
+/// represents both regimes exactly for the integer ranges we use (< 2^53).
+using weight_t = double;
+
+inline constexpr vid kNoVertex = std::numeric_limits<vid>::max();
+inline constexpr weight_t kInfWeight = std::numeric_limits<weight_t>::infinity();
+
+}  // namespace parsh

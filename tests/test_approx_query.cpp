@@ -1,0 +1,171 @@
+// Tests for the Theorem 1.2 end-to-end engine: approximate distances
+// against exact Dijkstra across topologies, weights and epsilons.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "random/rng.hpp"
+#include "sssp/approx_query.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+namespace {
+
+/// End-to-end distortion envelope asserted by these tests. The engine's
+/// guarantee composes rounding (1+zeta) with the per-level hopset
+/// distortion, so the bound is a small constant factor rather than the
+/// bare epsilon; 1.75 is far below what a broken construction produces
+/// (which typically inflates by the hop budget, i.e. orders of magnitude).
+constexpr double kEnvelope = 1.75;
+
+class QueryTopologies
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  Graph graph() const {
+    const auto [which, seed] = GetParam();
+    switch (which) {
+      case 0: return make_grid(20, 20);
+      case 1: return with_uniform_weights(make_grid(18, 18), 1, 9, seed);
+      case 2:
+        return with_log_uniform_weights(
+            ensure_connected(make_random_graph(400, 1400, seed)), 128.0, seed + 1);
+      default: return make_path_with_chords(600, 30, seed);
+    }
+  }
+};
+
+TEST_P(QueryTopologies, EstimatesAreValidAndTight) {
+  const auto [which, seed] = GetParam();
+  (void)which;
+  const Graph g = graph();
+  ApproxShortestPaths::Params p;
+  p.epsilon = 0.25;
+  p.hopset.hopset.seed = seed + 7;
+  const ApproxShortestPaths engine(g, p);
+  Rng rng(seed ^ 0xfeedULL);
+  int checked = 0;
+  for (int q = 0; q < 12; ++q) {
+    const vid s = static_cast<vid>(rng.uniform_int(2 * q, g.num_vertices()));
+    const vid t = static_cast<vid>(rng.uniform_int(2 * q + 1, g.num_vertices()));
+    const weight_t exact = st_distance(g, s, t);
+    if (exact == kInfWeight) continue;
+    const auto qr = engine.query(s, t);
+    if (s == t) {
+      EXPECT_EQ(qr.estimate, 0);
+      continue;
+    }
+    ASSERT_NE(qr.estimate, kInfWeight) << "s=" << s << " t=" << t;
+    EXPECT_GE(qr.estimate + 1e-6, exact);             // never undercuts
+    EXPECT_LE(qr.estimate, exact * kEnvelope + 1e-6)  // within the envelope
+        << "s=" << s << " t=" << t;
+    ++checked;
+  }
+  EXPECT_GE(checked, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueryTopologies,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(ApproxQuery, IdenticalEndpointsAreZero) {
+  const Graph g = make_grid(8, 8);
+  const ApproxShortestPaths engine(g, {});
+  EXPECT_EQ(engine.query(5, 5).estimate, 0);
+}
+
+TEST(ApproxQuery, DisconnectedPairsReportInfinity) {
+  const Graph g = Graph::from_edges(6, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}});
+  const ApproxShortestPaths engine(g, {});
+  EXPECT_EQ(engine.query(0, 5).estimate, kInfWeight);
+}
+
+TEST(ApproxQuery, RoundsStayFarBelowGraphDiameterHops) {
+  // The whole point of the hopset: query rounds are much smaller than
+  // the plain BFS hop radius on long-diameter graphs.
+  const Graph g = make_path_with_chords(2000, 50, 3);
+  ApproxShortestPaths::Params p;
+  p.epsilon = 0.5;
+  p.hopset.hopset.gamma2 = 0.5;
+  const ApproxShortestPaths engine(g, p);
+  const auto qr = engine.query(0, 1999);
+  ASSERT_NE(qr.estimate, kInfWeight);
+  EXPECT_LT(qr.rounds, 1500u);  // far less than ~2000 plain hops over scales
+}
+
+TEST(ApproxQuery, TighterEpsilonGivesTighterEstimates) {
+  const Graph g = with_uniform_weights(make_grid(15, 15), 1, 7, 5);
+  ApproxShortestPaths::Params loose;
+  loose.epsilon = 0.8;
+  loose.hopset.hopset.epsilon = 0.8;
+  loose.hopset.zeta = 0.4;
+  ApproxShortestPaths::Params tight;
+  tight.epsilon = 0.1;
+  tight.hopset.hopset.epsilon = 0.1;
+  tight.hopset.zeta = 0.05;
+  const ApproxShortestPaths e_loose(g, loose);
+  const ApproxShortestPaths e_tight(g, tight);
+  Rng rng(4);
+  double loose_sum = 0, tight_sum = 0;
+  for (int q = 0; q < 10; ++q) {
+    const vid s = static_cast<vid>(rng.uniform_int(2 * q, g.num_vertices()));
+    const vid t = static_cast<vid>(rng.uniform_int(2 * q + 1, g.num_vertices()));
+    if (s == t) continue;
+    const weight_t exact = st_distance(g, s, t);
+    loose_sum += e_loose.query(s, t).estimate / exact;
+    tight_sum += e_tight.query(s, t).estimate / exact;
+  }
+  // Not strictly monotone pointwise (different clusterings), but the
+  // aggregate must not be meaningfully worse at the tighter setting.
+  EXPECT_LE(tight_sum, loose_sum + 0.05);
+}
+
+TEST(ApproxQuery, DeterministicAcrossConstructions) {
+  const Graph g = make_grid(12, 12);
+  ApproxShortestPaths::Params p;
+  p.hopset.hopset.seed = 77;
+  const ApproxShortestPaths a(g, p);
+  const ApproxShortestPaths b(g, p);
+  for (vid s : {0u, 5u, 100u}) {
+    EXPECT_EQ(a.query(s, 143).estimate, b.query(s, 143).estimate);
+  }
+}
+
+TEST(ApproxQuery, ReportsScalesAndPreprocessingCounters) {
+  const Graph g = with_log_uniform_weights(make_grid(10, 10), 64.0, 3);
+  const ApproxShortestPaths engine(g, {});
+  EXPECT_GE(engine.hopset().scales.size(), 2u);
+  EXPECT_GT(engine.preprocessing_rounds(), 0u);
+}
+
+TEST(ApproxQuery, QueryAllMatchesPointQueriesFromAbove) {
+  // query_all's estimate is the min over all scales; a point query may
+  // stop at the first consistent scale, so query_all is never worse.
+  const Graph g = with_uniform_weights(make_grid(12, 12), 1, 6, 3);
+  const ApproxShortestPaths engine(g, {});
+  const vid s = 0;
+  const auto all = engine.query_all(s);
+  for (vid t = 0; t < g.num_vertices(); t += 17) {
+    const auto q = engine.query(s, t);
+    if (q.estimate == kInfWeight) {
+      EXPECT_EQ(all.estimate[t], kInfWeight);
+    } else {
+      EXPECT_LE(all.estimate[t], q.estimate + 1e-9) << t;
+    }
+  }
+}
+
+TEST(ApproxQuery, QueryAllIsValidUpperBoundOnExact) {
+  const Graph g = with_uniform_weights(make_grid(10, 10), 1, 5, 7);
+  const ApproxShortestPaths engine(g, {});
+  const auto all = engine.query_all(3);
+  const auto exact = dijkstra(g, 3);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    if (exact.dist[v] == kInfWeight) continue;
+    EXPECT_GE(all.estimate[v] + 1e-6, exact.dist[v]) << v;
+    EXPECT_LE(all.estimate[v], exact.dist[v] * 1.75 + 1e-6) << v;
+  }
+  EXPECT_EQ(all.estimate[3], 0);
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,73 @@
+// Tests for connectivity-by-clustering (the [SDB14] tie-in the paper's
+// introduction cites) against the label-propagation implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster_connectivity.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace parsh {
+namespace {
+
+class ClusterConnSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  Graph graph() const {
+    const auto [which, seed] = GetParam();
+    switch (which) {
+      case 0: return make_grid(15, 15);
+      case 1: return make_random_graph(400, 300, seed);  // many components
+      case 2: return make_random_graph(400, 1600, seed);
+      case 3: return Graph::from_edges(10, {});          // fully isolated
+      default: return with_uniform_weights(make_torus(12, 12), 1, 6, seed);
+    }
+  }
+};
+
+TEST_P(ClusterConnSweep, MatchesLabelPropagation) {
+  const auto [which, seed] = GetParam();
+  (void)which;
+  const Graph g = graph();
+  const auto expected = connected_components(g);
+  const auto got = cluster_connectivity(g, seed);
+  EXPECT_EQ(got.component, expected);
+  vid expect_num = 0;
+  for (vid c : expected) expect_num = std::max(expect_num, c + 1);
+  EXPECT_EQ(got.num_components, expect_num);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterConnSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(ClusterConnectivity, RoundsAreLogarithmicNotLinear) {
+  // Corollary 2.3 drives geometric contraction: rounds should be well
+  // below log2(n) * constant, never anywhere near n.
+  const Graph g = make_path(4096);
+  const auto r = cluster_connectivity(g, 7);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_LE(r.rounds, 12 * static_cast<std::uint64_t>(std::log2(4096.0)));
+}
+
+TEST(ClusterConnectivity, BetaControlsRoundCount) {
+  // Bigger beta => smaller clusters per round => more rounds.
+  const Graph g = make_torus(20, 20);
+  std::uint64_t small_beta = 0, large_beta = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    small_beta += cluster_connectivity(g, seed, 0.05).rounds;
+    large_beta += cluster_connectivity(g, seed, 0.9).rounds;
+  }
+  EXPECT_LT(small_beta, large_beta);
+}
+
+TEST(ClusterConnectivity, EmptyGraph) {
+  const auto r = cluster_connectivity(Graph(), 1);
+  EXPECT_EQ(r.num_components, 0u);
+  EXPECT_TRUE(r.component.empty());
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,85 @@
+// Tests for the Cohen-flavored hierarchical-landmark hopset baseline
+// (the simplified [Coh00] row of Figure 2).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+#include "hopset/baseline_cohen.hpp"
+#include "hopset/verify.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(CohenLite, EdgesCarryExactTruncatedDistances) {
+  const Graph g = make_grid(12, 12);
+  const CohenLiteResult r = cohen_lite_hopset(g, CohenLiteParams{});
+  for (const Edge& e : r.edges) {
+    EXPECT_DOUBLE_EQ(e.w, st_distance(g, e.u, e.v)) << e.u << "-" << e.v;
+  }
+}
+
+TEST(CohenLite, LandmarkLevelsAreNestedAndDecaying) {
+  const Graph g = make_torus(20, 20);
+  CohenLiteParams p;
+  p.levels = 3;
+  p.decay = 0.25;
+  const CohenLiteResult r = cohen_lite_hopset(g, p);
+  ASSERT_EQ(r.landmarks_per_level.size(), 4u);
+  EXPECT_EQ(r.landmarks_per_level[0], 400u);
+  for (std::size_t l = 1; l < r.landmarks_per_level.size(); ++l) {
+    EXPECT_LE(r.landmarks_per_level[l], r.landmarks_per_level[l - 1]);
+  }
+  // decay=1/4: level 1 around 100, generous band.
+  EXPECT_GT(r.landmarks_per_level[1], 50u);
+  EXPECT_LT(r.landmarks_per_level[1], 200u);
+}
+
+TEST(CohenLite, ReducesHopsOnLongPaths) {
+  const Graph g = make_path(1500);
+  CohenLiteParams p;
+  p.levels = 3;
+  p.base_radius = 8.0;
+  p.radius_growth = 6.0;
+  const CohenLiteResult r = cohen_lite_hopset(g, p);
+  ASSERT_FALSE(r.edges.empty());
+  const auto ms = measure_hopset(g, r.edges, 0.5, 8, 3000, 5);
+  double plain = 0, with_set = 0;
+  for (const auto& m : ms) {
+    plain += static_cast<double>(m.hops_plain);
+    with_set += static_cast<double>(m.hops_with_set);
+    EXPECT_LE(m.hops_with_set, m.hops_plain);
+  }
+  EXPECT_LT(with_set, plain);
+}
+
+TEST(CohenLite, WeightsArePathWeights) {
+  const Graph g = with_uniform_weights(make_grid(10, 10), 1, 4, 7);
+  const CohenLiteResult r = cohen_lite_hopset(g, CohenLiteParams{});
+  EXPECT_TRUE(hopset_weights_are_path_weights(g, r.edges));
+}
+
+TEST(CohenLite, DeterministicInSeed) {
+  const Graph g = make_grid(10, 10);
+  CohenLiteParams p;
+  p.seed = 42;
+  const auto a = cohen_lite_hopset(g, p);
+  const auto b = cohen_lite_hopset(g, p);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(CohenLite, RejectsFractionalWeights) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 1.5}, {1, 2, 1}});
+  EXPECT_THROW(cohen_lite_hopset(g, CohenLiteParams{}), InvalidGraphError);
+}
+
+TEST(CohenLite, NoDuplicatePairs) {
+  const Graph g = make_torus(12, 12);
+  const CohenLiteResult r = cohen_lite_hopset(g, CohenLiteParams{});
+  for (std::size_t i = 1; i < r.edges.size(); ++i) {
+    EXPECT_FALSE(r.edges[i - 1].u == r.edges[i].u && r.edges[i - 1].v == r.edges[i].v);
+  }
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,116 @@
+// Tests for parallel connected components against a sequential union-find
+// reference, over a parameter sweep of random graphs.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace parsh {
+namespace {
+
+/// Sequential DSU reference.
+std::vector<vid> reference_components(const Graph& g) {
+  std::vector<vid> p(g.num_vertices());
+  std::iota(p.begin(), p.end(), 0);
+  std::function<vid(vid)> find = [&](vid v) {
+    while (p[v] != v) {
+      p[v] = p[p[v]];
+      v = p[v];
+    }
+    return v;
+  };
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const vid a = find(u), b = find(g.target(e));
+      if (a != b) p[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  // Densify by smallest member, matching connected_components' contract.
+  std::vector<vid> label(g.num_vertices());
+  std::vector<vid> remap(g.num_vertices(), kNoVertex);
+  vid next = 0;
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    const vid r = find(v);
+    if (remap[r] == kNoVertex) remap[r] = next++;
+    label[v] = remap[r];
+  }
+  return label;
+}
+
+TEST(Connectivity, SingleVertexAndEmpty) {
+  EXPECT_EQ(connected_components(Graph::from_edges(1, {})), std::vector<vid>{0});
+  EXPECT_TRUE(connected_components(Graph()).empty());
+}
+
+TEST(Connectivity, PathIsOneComponent) {
+  EXPECT_EQ(num_components(make_path(100)), 1u);
+}
+
+TEST(Connectivity, DisjointCliques) {
+  std::vector<Edge> edges;
+  for (vid base : {0u, 5u, 10u}) {
+    for (vid i = 0; i < 5; ++i) {
+      for (vid j = i + 1; j < 5; ++j) edges.push_back({base + i, base + j, 1});
+    }
+  }
+  const Graph g = Graph::from_edges(15, edges);
+  EXPECT_EQ(num_components(g), 3u);
+  const auto comp = connected_components(g);
+  for (vid v = 0; v < 15; ++v) EXPECT_EQ(comp[v], v / 5);
+}
+
+class ConnectivityRandom
+    : public ::testing::TestWithParam<std::tuple<vid, eid, std::uint64_t>> {};
+
+TEST_P(ConnectivityRandom, MatchesUnionFindReference) {
+  const auto [n, m, seed] = GetParam();
+  const Graph g = make_random_graph(n, m, seed);
+  EXPECT_EQ(connected_components(g), reference_components(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConnectivityRandom,
+    ::testing::Combine(::testing::Values<vid>(50, 200, 1000),
+                       ::testing::Values<eid>(30, 200, 1500),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Connectivity, FilteredComponentsRespectMask) {
+  // Path 0-1-2-3; mask out the middle edge.
+  const Graph g = make_path(4);
+  std::vector<char> keep(g.num_arcs(), 1);
+  for (vid u = 0; u < 4; ++u) {
+    for (eid e = g.begin(u); e < g.end(u); ++e) {
+      const vid v = g.target(e);
+      if ((u == 1 && v == 2) || (u == 2 && v == 1)) keep[e] = 0;
+    }
+  }
+  const auto comp = connected_components_filtered(g, keep);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Connectivity, FilteredAllMaskedIsDiscrete) {
+  const Graph g = make_cycle(10);
+  std::vector<char> keep(g.num_arcs(), 0);
+  const auto comp = connected_components_filtered(g, keep);
+  for (vid v = 0; v < 10; ++v) EXPECT_EQ(comp[v], v);
+}
+
+TEST(Connectivity, LabelsAreDenseAndOrderedBySmallestMember) {
+  const Graph g = Graph::from_edges(6, {{3, 4, 1}, {0, 1, 1}});
+  const auto comp = connected_components(g);
+  // Component of 0 gets label 0; vertex 2 gets the next fresh label, etc.
+  EXPECT_EQ(comp[0], 0u);
+  EXPECT_EQ(comp[1], 0u);
+  EXPECT_EQ(comp[2], 1u);
+  EXPECT_EQ(comp[3], 2u);
+  EXPECT_EQ(comp[4], 2u);
+  EXPECT_EQ(comp[5], 3u);
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,81 @@
+// Tests for the distributed (synchronized message-passing) port of
+// Algorithm 2, substantiating Section 2.2's porting claim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+#include "spanner/distributed_spanner.hpp"
+#include "spanner/spanner.hpp"
+#include "spanner/verify.hpp"
+
+namespace parsh {
+namespace {
+
+class DistSweep : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(DistSweep, MatchesSharedMemoryConstructionExactly) {
+  // Same shifts, same argmin, same boundary rule => identical spanners.
+  const auto [k, seed] = GetParam();
+  const Graph g = ensure_connected(make_random_graph(300, 1200, seed + 40));
+  const DistributedSpannerResult dist = distributed_unweighted_spanner(g, k, seed);
+  const SpannerResult shared = unweighted_spanner(g, k, seed);
+  EXPECT_EQ(dist.edges, shared.edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistSweep,
+    ::testing::Combine(::testing::Values(2.0, 4.0),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(DistributedSpanner, RoundComplexityScalesWithKNotN) {
+  // Section 2.2 / Figure 1: O(k log* n)-round construction. Rounds track
+  // delta_max + cluster radius ~ (k/ln n) * log n * const — compare two
+  // graph sizes at fixed k: rounds must grow far slower than n.
+  const double kk = 3.0;
+  const Graph small = make_torus(16, 16);    // n = 256
+  const Graph large = make_torus(64, 64);    // n = 4096 (16x more)
+  double r_small = 0, r_large = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    r_small += static_cast<double>(
+        distributed_unweighted_spanner(small, kk, seed).rounds);
+    r_large += static_cast<double>(
+        distributed_unweighted_spanner(large, kk, seed).rounds);
+  }
+  EXPECT_LT(r_large, r_small * 4.0);  // 16x vertices, < 4x rounds
+}
+
+TEST(DistributedSpanner, MoreRoundsForLargerK) {
+  const Graph g = make_torus(24, 24);
+  double r2 = 0, r8 = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    r2 += static_cast<double>(distributed_unweighted_spanner(g, 2.0, seed).rounds);
+    r8 += static_cast<double>(distributed_unweighted_spanner(g, 8.0, seed).rounds);
+  }
+  EXPECT_LT(r2, r8);  // beta shrinks with k => deeper waves
+}
+
+TEST(DistributedSpanner, MessageComplexityLinearInWaveWork) {
+  // Each vertex broadcasts once when settled plus one id-exchange per
+  // arc: total <= 2 * arcs.
+  const Graph g = ensure_connected(make_random_graph(400, 1600, 3));
+  const DistributedSpannerResult r = distributed_unweighted_spanner(g, 3.0, 5);
+  EXPECT_LE(r.messages, 2 * g.num_arcs());
+  EXPECT_GE(r.messages, g.num_arcs());  // the id exchange alone
+}
+
+TEST(DistributedSpanner, RejectsWeightedGraphs) {
+  const Graph g = with_uniform_weights(make_grid(4, 4), 1, 5, 2);
+  EXPECT_THROW(distributed_unweighted_spanner(g, 2.0, 1), InvalidGraphError);
+}
+
+TEST(DistributedSpanner, SpannerQualityCarriesOver) {
+  const Graph g = ensure_connected(make_random_graph(250, 1000, 9));
+  const DistributedSpannerResult r = distributed_unweighted_spanner(g, 3.0, 2);
+  EXPECT_TRUE(is_subgraph(g, r.edges));
+  EXPECT_LE(max_edge_stretch(g, r.edges), 6.0 * 3.0 + 1.0);
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,206 @@
+// Tests for the synthetic graph generators and weight models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(Generators, PathHasNMinusOneEdgesAndEndpointsDegreeOne) {
+  const Graph g = make_path(100);
+  EXPECT_EQ(g.num_edges(), 99u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(99), 1u);
+  for (vid v = 1; v < 99; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Generators, CycleIsTwoRegular) {
+  const Graph g = make_cycle(50);
+  EXPECT_EQ(g.num_edges(), 50u);
+  for (vid v = 0; v < 50; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, StarDegrees) {
+  const Graph g = make_star(10);
+  EXPECT_EQ(g.degree(0), 9u);
+  for (vid v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const Graph g = make_complete(8);
+  EXPECT_EQ(g.num_edges(), 28u);
+  for (vid v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 7u);
+}
+
+TEST(Generators, BinaryTreeIsConnectedAcyclic) {
+  const Graph g = make_binary_tree(31);
+  EXPECT_EQ(g.num_edges(), 30u);
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+TEST(Generators, GridDimensionsAndDegrees) {
+  const Graph g = make_grid(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24u);
+  // Corners have degree 2, edges 3, interior 4.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(7), 4u);  // (1,1)
+  EXPECT_EQ(num_components(g), 1u);
+  EXPECT_EQ(g.num_edges(), static_cast<eid>(4 * 5 + 3 * 6));
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = make_torus(5, 7);
+  for (vid v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+TEST(Generators, TinyTorusDoesNotBlowUp) {
+  // 2x2 torus has parallel edges that must merge.
+  const Graph g = make_torus(2, 2);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Generators, RandomGraphHasRequestedSizeApproximately) {
+  const Graph g = make_random_graph(1000, 5000, 3);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  // Duplicates merge, so m is slightly below the request.
+  EXPECT_LE(g.num_edges(), 5000u);
+  EXPECT_GE(g.num_edges(), 4800u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Generators, RandomGraphDeterministicInSeed) {
+  const Graph a = make_random_graph(500, 2000, 11);
+  const Graph b = make_random_graph(500, 2000, 11);
+  const Graph c = make_random_graph(500, 2000, 12);
+  EXPECT_EQ(a.undirected_edges(), b.undirected_edges());
+  EXPECT_NE(a.undirected_edges(), c.undirected_edges());
+}
+
+TEST(Generators, RmatIsSkewed) {
+  const Graph g = make_rmat(1 << 10, 8 << 10, 7);
+  EXPECT_TRUE(g.validate());
+  vid max_deg = 0;
+  double sum_deg = 0;
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+    sum_deg += g.degree(v);
+  }
+  const double avg = sum_deg / g.num_vertices();
+  EXPECT_GT(max_deg, 4 * avg);  // hubs exist
+}
+
+TEST(Generators, GeometricEdgesRespectRadiusWeights) {
+  const Graph g = make_geometric(500, 0.08, 5);
+  EXPECT_TRUE(g.validate());
+  EXPECT_GT(g.num_edges(), 0u);
+  EXPECT_GE(g.min_weight(), 1);
+  for (const Edge& e : g.undirected_edges()) {
+    EXPECT_LE(e.w, 17);  // scaled distance <= ceil(16) + rounding
+  }
+}
+
+TEST(Generators, PathWithChordsContainsThePath) {
+  const Graph g = make_path_with_chords(200, 20, 9);
+  for (vid v = 0; v + 1 < 200; ++v) {
+    bool found = false;
+    for (eid e = g.begin(v); e < g.end(v); ++e) {
+      if (g.target(e) == v + 1) found = true;
+    }
+    EXPECT_TRUE(found) << v;
+  }
+  EXPECT_GE(g.num_edges(), 199u);
+}
+
+TEST(WeightModels, UniformWeightsInRange) {
+  const Graph g = with_uniform_weights(make_grid(10, 10), 3, 9, 4);
+  EXPECT_TRUE(g.weighted());
+  for (const Edge& e : g.undirected_edges()) {
+    EXPECT_GE(e.w, 3);
+    EXPECT_LE(e.w, 9);
+    EXPECT_EQ(e.w, std::floor(e.w));  // integer weights
+  }
+}
+
+TEST(WeightModels, LogUniformRespectsRatio) {
+  const Graph g = with_log_uniform_weights(make_grid(20, 20), 256.0, 4);
+  EXPECT_GE(g.min_weight(), 1);
+  EXPECT_LE(g.max_weight(), 256);
+  // Both decades appear (statistically certain at this size).
+  EXPECT_LT(g.min_weight(), 4);
+  EXPECT_GT(g.max_weight(), 64);
+}
+
+TEST(WeightModels, TopologyPreservedByReweighting) {
+  const Graph base = make_grid(8, 8);
+  const Graph w = with_uniform_weights(base, 1, 100, 6);
+  EXPECT_EQ(w.num_vertices(), base.num_vertices());
+  EXPECT_EQ(w.num_edges(), base.num_edges());
+}
+
+TEST(EnsureConnected, JoinsComponents) {
+  // Two disjoint triangles.
+  const Graph g = Graph::from_edges(
+      6, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {3, 4, 1}, {4, 5, 1}, {3, 5, 1}});
+  EXPECT_EQ(num_components(g), 2u);
+  const Graph c = ensure_connected(g);
+  EXPECT_EQ(num_components(c), 1u);
+  EXPECT_EQ(c.num_edges(), g.num_edges() + 1);
+}
+
+TEST(EnsureConnected, NoOpOnConnectedGraph) {
+  const Graph g = make_cycle(10);
+  const Graph c = ensure_connected(g);
+  EXPECT_EQ(c.num_edges(), g.num_edges());
+}
+
+class GeneratorConnectivity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorConnectivity, EnsureConnectedOnRandomGraphs) {
+  const Graph g = ensure_connected(make_random_graph(300, 400, GetParam()));
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorConnectivity, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Generators, HypercubeDegreesAndDiameter) {
+  const Graph g = make_hypercube(6);
+  EXPECT_EQ(g.num_vertices(), 64u);
+  for (vid v = 0; v < 64; ++v) EXPECT_EQ(g.degree(v), 6u);
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+TEST(Generators, RandomRegularDegreesBounded) {
+  const Graph g = make_random_regular(400, 6, 9);
+  double sum = 0;
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(g.degree(v), 6u);
+    sum += g.degree(v);
+  }
+  EXPECT_GT(sum / g.num_vertices(), 4.5);  // few stubs lost
+  EXPECT_EQ(num_components(g), 1u);        // 6-regular: connected whp
+}
+
+TEST(Generators, BarbellStructure) {
+  const Graph g = make_barbell(5, 3);
+  EXPECT_EQ(g.num_vertices(), 13u);
+  // Clique vertices have degree 4 (+1 for the two bridge attachment points).
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(4), 5u);  // attachment
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+TEST(Generators, CaterpillarIsATree) {
+  const Graph g = make_caterpillar(10, 3);
+  EXPECT_EQ(g.num_vertices(), 40u);
+  EXPECT_EQ(g.num_edges(), 39u);
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+}  // namespace
+}  // namespace parsh

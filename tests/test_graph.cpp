@@ -1,0 +1,152 @@
+// Tests for the CSR graph container: construction invariants, dedup and
+// symmetrization rules, weight handling, derived copies, and I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  for (vid v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_FALSE(g.weighted());
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, SelfLoopsDropped) {
+  const Graph g = Graph::from_edges(3, {{0, 0, 1}, {1, 1, 5}, {0, 1, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, ParallelEdgesKeepMinWeight) {
+  const Graph g = Graph::from_edges(2, {{0, 1, 5}, {0, 1, 2}, {1, 0, 9}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weight(g.begin(0)), 2);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, KeepParallelVariantKeepsThem) {
+  const Graph g = Graph::from_edges_keep_parallel(2, {{0, 1, 5}, {0, 1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, AdjacencySortedByTarget) {
+  const Graph g = Graph::from_edges(5, {{0, 4, 1}, {0, 2, 1}, {0, 1, 1}, {0, 3, 1}});
+  vid prev = 0;
+  for (eid e = g.begin(0); e < g.end(0); ++e) {
+    EXPECT_GE(g.target(e), prev);
+    prev = g.target(e);
+  }
+}
+
+TEST(Graph, UnweightedReportsWeightOne) {
+  const Graph g = Graph::from_edges(2, {{0, 1, 1}});
+  EXPECT_FALSE(g.weighted());
+  EXPECT_EQ(g.weight(g.begin(0)), 1);
+  EXPECT_EQ(g.min_weight(), 1);
+  EXPECT_EQ(g.max_weight(), 1);
+}
+
+TEST(Graph, WeightedDetectedAndMinMax) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 4}, {1, 2, 10}});
+  EXPECT_TRUE(g.weighted());
+  EXPECT_EQ(g.min_weight(), 4);
+  EXPECT_EQ(g.max_weight(), 10);
+}
+
+TEST(Graph, UndirectedEdgesReportsEachOnceOriented) {
+  const Graph g = Graph::from_edges(4, {{2, 1, 3}, {0, 3, 7}});
+  const auto edges = g.undirected_edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, RoundTripThroughUndirectedEdges) {
+  const Graph g = Graph::from_edges(6, {{0, 1, 2}, {1, 2, 3}, {3, 4, 1}, {4, 5, 8}});
+  const Graph h = Graph::from_edges(6, g.undirected_edges());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.undirected_edges(), g.undirected_edges());
+}
+
+TEST(Graph, WithExtraEdgesMergesAndKeepsMin) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 5}});
+  const Graph h = g.with_extra_edges({{1, 2, 4}, {0, 1, 2}});
+  EXPECT_EQ(h.num_edges(), 2u);
+  // The parallel (0,1) edge resolves to the lighter weight 2.
+  weight_t w01 = 0;
+  for (eid e = h.begin(0); e < h.end(0); ++e) {
+    if (h.target(e) == 1) w01 = h.weight(e);
+  }
+  EXPECT_EQ(w01, 2);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(Graph, MapWeightsTransformsEveryArc) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 3}, {1, 2, 5}});
+  const Graph h = g.map_weights([](weight_t w) { return w * 2; });
+  EXPECT_EQ(h.min_weight(), 6);
+  EXPECT_EQ(h.max_weight(), 10);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(Graph, AsUnweightedDropsWeights) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 3}, {1, 2, 5}});
+  const Graph h = g.as_unweighted();
+  EXPECT_FALSE(h.weighted());
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_EQ(h.weight(h.begin(0)), 1);
+}
+
+TEST(Graph, IsolatedVerticesAllowed) {
+  const Graph g = Graph::from_edges(10, {{0, 1, 1}});
+  EXPECT_EQ(g.num_vertices(), 10u);
+  for (vid v = 2; v < 10; ++v) EXPECT_EQ(g.degree(v), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const Graph g = Graph::from_edges(5, {{0, 1, 2.5}, {1, 2, 1}, {3, 4, 7}});
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.undirected_edges(), g.undirected_edges());
+}
+
+TEST(GraphIo, DimacsParsesHeaderCommentsAndArcs) {
+  std::stringstream ss;
+  ss << "c a comment line\n"
+     << "p sp 4 3\n"
+     << "a 1 2 5\n"
+     << "a 2 3 1\n"
+     << "a 3 4 2\n";
+  const Graph g = read_dimacs(ss);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.weighted());
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(GraphIo, BadHeaderThrows) {
+  std::stringstream ss("garbage");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,243 @@
+// Tests for the Algorithm 4 hopset construction: Definition 2.4
+// properties, Lemma 4.3 size bounds, Lemma 4.2 hop/distortion behaviour,
+// recursion mechanics and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hopset/baseline_ks97.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/verify.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/hop_limited.hpp"
+
+namespace parsh {
+namespace {
+
+HopsetParams laptop_params(std::uint64_t seed) {
+  HopsetParams p;
+  p.epsilon = 0.25;
+  p.delta = 1.1;
+  p.gamma1 = 0.2;
+  p.gamma2 = 0.6;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Hopset, EmptyAndTinyGraphs) {
+  EXPECT_TRUE(build_hopset(Graph(), laptop_params(1)).edges.empty());
+  EXPECT_TRUE(build_hopset(make_path(5), laptop_params(1)).edges.empty());
+}
+
+TEST(Hopset, EdgesAreWithinVertexRange) {
+  const Graph g = make_grid(40, 40);
+  const HopsetResult r = build_hopset(g, laptop_params(3));
+  for (const Edge& e : r.edges) {
+    EXPECT_LT(e.u, g.num_vertices());
+    EXPECT_LT(e.v, g.num_vertices());
+    EXPECT_NE(e.u, e.v);
+    EXPECT_GE(e.w, 1);
+  }
+}
+
+TEST(Hopset, WeightsArePathWeights) {
+  // Definition 2.4 property 2: every hopset edge corresponds to a real
+  // path, so its weight can never undercut the true distance.
+  const Graph g = make_grid(30, 30);
+  const HopsetResult r = build_hopset(g, laptop_params(5));
+  EXPECT_TRUE(hopset_weights_are_path_weights(g, r.edges));
+}
+
+TEST(Hopset, WeightsArePathWeightsOnWeightedInput) {
+  const Graph g = with_uniform_weights(make_grid(25, 25), 1, 5, 9);
+  const HopsetResult r = build_hopset(g, laptop_params(7));
+  EXPECT_TRUE(hopset_weights_are_path_weights(g, r.edges));
+}
+
+TEST(Hopset, StarAndCliqueCountsMatchEdgeList) {
+  const Graph g = make_grid(40, 40);
+  const HopsetResult r = build_hopset(g, laptop_params(11));
+  EXPECT_EQ(r.edges.size(), r.star_edges + r.clique_edges);
+}
+
+TEST(Hopset, Lemma43StarBound) {
+  // At most n star edges: each vertex joins a large cluster at most once.
+  const Graph g = make_grid(50, 50);
+  const HopsetResult r = build_hopset(g, laptop_params(13));
+  EXPECT_LE(r.star_edges, static_cast<std::uint64_t>(g.num_vertices()));
+}
+
+TEST(Hopset, Lemma43CliqueBound) {
+  // O((n / n_final) * rho^2) clique edges.
+  const Graph g = make_grid(50, 50);
+  const HopsetResult r = build_hopset(g, laptop_params(17));
+  const double bound = static_cast<double>(g.num_vertices()) /
+                       static_cast<double>(r.n_final) * r.rho * r.rho;
+  EXPECT_LE(static_cast<double>(r.clique_edges), 4.0 * bound);
+}
+
+TEST(Hopset, DeterministicInSeed) {
+  const Graph g = make_grid(30, 30);
+  const HopsetResult a = build_hopset(g, laptop_params(21));
+  const HopsetResult b = build_hopset(g, laptop_params(21));
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Hopset, ReportsDerivedParameters) {
+  const Graph g = make_grid(30, 30);
+  const HopsetParams p = laptop_params(1);
+  const HopsetResult r = build_hopset(g, p);
+  EXPECT_DOUBLE_EQ(r.growth, hopset_growth(g.num_vertices(), p));
+  EXPECT_DOUBLE_EQ(r.rho, hopset_rho(g.num_vertices(), p));
+  EXPECT_GT(r.beta0, 0);
+  EXPECT_GE(r.n_final, p.n_final_floor);
+}
+
+TEST(Hopset, OverridesRespected) {
+  const Graph g = make_grid(20, 20);
+  HopsetParams p = laptop_params(1);
+  p.beta0_override = 0.33;
+  p.n_final_override = 44;
+  const HopsetResult r = build_hopset(g, p);
+  EXPECT_DOUBLE_EQ(r.beta0, 0.33);
+  EXPECT_EQ(r.n_final, 44u);
+}
+
+TEST(Hopset, ReducesHopRadiusOnLongPaths) {
+  // The defining behaviour: on a high-diameter graph, far pairs need far
+  // fewer hop rounds with the hopset than without.
+  const Graph g = make_path_with_chords(1500, 40, 3);
+  HopsetParams p = laptop_params(5);
+  p.gamma2 = 0.5;  // beta0 ~ n^{-1/2}: top clusters of ~sqrt(n) radius
+  const HopsetResult r = build_hopset(g, p);
+  ASSERT_FALSE(r.edges.empty());
+  const auto ms = measure_hopset(g, r.edges, 0.5, 12, 4000, 9);
+  ASSERT_FALSE(ms.empty());
+  double plain = 0, with_set = 0;
+  for (const auto& m : ms) {
+    plain += static_cast<double>(m.hops_plain);
+    with_set += static_cast<double>(m.hops_with_set);
+    EXPECT_LE(m.hops_with_set, m.hops_plain);  // never worse
+  }
+  EXPECT_LT(with_set, 0.8 * plain);  // substantial aggregate reduction
+}
+
+TEST(Hopset, AugmentedDistancesNeverBelowTrue) {
+  // Hopset edges are path weights, so G ∪ E' has exactly the same
+  // shortest-path metric as G.
+  const Graph g = make_grid(20, 20);
+  const HopsetResult r = build_hopset(g, laptop_params(29));
+  const Graph aug = g.with_extra_edges(r.edges);
+  const auto d_g = dijkstra(g, 0);
+  const auto d_aug = dijkstra(aug, 0);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(d_aug.dist[v], d_g.dist[v]) << v;
+  }
+}
+
+TEST(Hopset, HopBoundFormulaMonotonicities) {
+  const HopsetParams p = laptop_params(1);
+  // More distance -> more hops; bigger gamma2 (smaller beta0) -> fewer.
+  EXPECT_LT(hopset_hop_bound(10000, p, 10), hopset_hop_bound(10000, p, 1000));
+  HopsetParams p2 = p;
+  p2.gamma2 = 0.9;
+  EXPECT_LT(hopset_hop_bound(10000, p2, 1000), hopset_hop_bound(10000, p, 1000));
+}
+
+class HopsetTopologies : public ::testing::TestWithParam<int> {
+ protected:
+  Graph graph() const {
+    switch (GetParam()) {
+      case 0: return make_grid(35, 35);
+      case 1: return make_torus(30, 30);
+      case 2: return ensure_connected(make_random_graph(1000, 2500, 7));
+      case 3: return make_path_with_chords(1200, 100, 7);
+      default: return with_uniform_weights(make_grid(30, 30), 1, 4, 11);
+    }
+  }
+};
+
+TEST_P(HopsetTopologies, StructurallySoundAcrossTopologies) {
+  const Graph g = graph();
+  const HopsetResult r = build_hopset(g, laptop_params(31));
+  EXPECT_LE(r.star_edges, static_cast<std::uint64_t>(g.num_vertices()));
+  EXPECT_EQ(r.edges.size(), r.star_edges + r.clique_edges);
+  EXPECT_TRUE(hopset_weights_are_path_weights(g, r.edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, HopsetTopologies, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Ks97Baseline, CliqueOverSamplesWithExactDistances) {
+  const Graph g = make_grid(15, 15);
+  const Ks97Result r = ks97_hopset(g, 10, 3);
+  EXPECT_LE(r.samples.size(), 10u);
+  // Every edge connects two samples at their exact distance.
+  for (const Edge& e : r.edges) {
+    EXPECT_DOUBLE_EQ(e.w, st_distance(g, e.u, e.v));
+  }
+  EXPECT_TRUE(hopset_weights_are_path_weights(g, r.edges));
+}
+
+TEST(Ks97Baseline, DefaultSampleCountIsSqrtN) {
+  const Graph g = make_grid(20, 20);  // n = 400
+  const Ks97Result r = ks97_hopset(g, 0, 5);
+  EXPECT_LE(r.samples.size(), 20u);
+  EXPECT_GE(r.samples.size(), 15u);  // duplicates shave a few off
+}
+
+TEST(Ks97Baseline, ReducesHopsOnPaths) {
+  const Graph g = make_path(800);
+  const Ks97Result r = ks97_hopset(g, 0, 9);
+  const auto ms = measure_hopset(g, r.edges, 0.25, 8, 2000, 2);
+  for (const auto& m : ms) {
+    EXPECT_LE(m.hops_with_set, m.hops_plain);
+  }
+}
+
+TEST(MeasureHopset, PlainHopsEqualBfsDistanceOnUnitGraphs) {
+  // Without a hopset and with eps below 1/diameter, reaching the exact
+  // distance takes exactly dist hops on unweighted graphs.
+  const Graph g = make_grid(12, 12);
+  const auto ms = measure_hopset(g, {}, 1e-9, 10, 1000, 4);
+  for (const auto& m : ms) {
+    EXPECT_EQ(static_cast<weight_t>(m.hops_plain), m.true_dist);
+    EXPECT_EQ(m.hops_with_set, m.hops_plain);
+  }
+}
+
+TEST(MeasureHopset, FractionWithinBoundComputes) {
+  std::vector<HopMeasurement> ms(4);
+  ms[0].hops_with_set = 5;
+  ms[1].hops_with_set = 10;
+  ms[2].hops_with_set = 15;
+  ms[3].hops_with_set = 20;
+  EXPECT_DOUBLE_EQ(fraction_within_hop_bound(ms, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_within_hop_bound(ms, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_within_hop_bound({}, 1.0), 0.0);
+}
+
+TEST(Hopset, Definition24ProbabilityClause) {
+  // The definition demands: for any pair, with probability >= 1/2 the
+  // h-hop distance in G ∪ E' is within (1+eps) of the true distance.
+  // Measure the empirical success fraction against a generous 4x-of-mean
+  // hop budget across many pairs; it must clear 1/2 comfortably.
+  const Graph g = make_path(2500);
+  HopsetParams p;
+  p.gamma2 = 0.6;
+  p.epsilon = 0.5;
+  p.seed = 13;
+  const HopsetResult r = build_hopset(g, p);
+  const auto ms = measure_hopset(g, r.edges, 0.5, 24, 5000, 21);
+  ASSERT_GE(ms.size(), 20u);
+  double budget_sum = 0;
+  for (const auto& m : ms) {
+    budget_sum += 4.0 * hopset_hop_bound(g.num_vertices(), p, m.true_dist);
+  }
+  const double mean_budget = budget_sum / static_cast<double>(ms.size());
+  const double frac = fraction_within_hop_bound(ms, mean_budget);
+  EXPECT_GE(frac, 0.5);
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,124 @@
+// Property sweeps over the hopset parameter space (Theorem 4.4's knobs):
+// for every (delta, gamma2, epsilon) combination the structural
+// guarantees must hold, and the documented monotonicities must show up
+// in aggregate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "hopset/verify.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+namespace {
+
+class HopsetParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {
+ protected:
+  HopsetParams params() const {
+    const auto [delta, gamma2, eps] = GetParam();
+    HopsetParams p;
+    p.delta = delta;
+    p.gamma2 = gamma2;
+    p.epsilon = eps;
+    p.seed = 9;
+    return p;
+  }
+};
+
+TEST_P(HopsetParamSweep, StructuralGuaranteesHoldEverywhere) {
+  const Graph g = make_path_with_chords(1200, 20, 5);
+  const HopsetParams p = params();
+  const HopsetResult r = build_hopset(g, p);
+  // Lemma 4.3 star bound.
+  EXPECT_LE(r.star_edges, static_cast<std::uint64_t>(g.num_vertices()));
+  // Lemma 4.3 clique bound (with constant slack).
+  const double clique_bound = static_cast<double>(g.num_vertices()) /
+                              static_cast<double>(r.n_final) * r.rho * r.rho;
+  EXPECT_LE(static_cast<double>(r.clique_edges), 4.0 * clique_bound);
+  // Definition 2.4 property 2 on a sample of edges (full check is O(n m)).
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < r.edges.size() && checked < 40; i += 7, ++checked) {
+    const Edge& e = r.edges[i];
+    EXPECT_GE(e.w + 1e-9, st_distance(g, e.u, e.v)) << e.u << "-" << e.v;
+  }
+  // The augmented graph preserves the metric exactly.
+  const Graph aug = g.with_extra_edges(r.edges);
+  const auto d_g = dijkstra(g, 0);
+  const auto d_a = dijkstra(aug, 0);
+  for (vid v = 0; v < g.num_vertices(); v += 97) {
+    EXPECT_DOUBLE_EQ(d_a.dist[v], d_g.dist[v]) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HopsetParamSweep,
+    ::testing::Combine(::testing::Values(1.05, 1.5, 2.5),   // delta
+                       ::testing::Values(0.4, 0.6, 0.8),    // gamma2
+                       ::testing::Values(0.25, 1.0)));      // epsilon
+
+TEST(HopsetParamLaws, LargerGamma2CutsMoreHopsOnPaths) {
+  // gamma2 controls the top-level cluster radius: bigger clusters =>
+  // longer star shortcuts => fewer residual hops (Lemma 4.2's beta0*d
+  // term). Aggregate over pairs and seeds to wash out noise.
+  const Graph g = make_path(3000);
+  double hops_small_g2 = 0, hops_large_g2 = 0;
+  for (std::uint64_t seed = 0; seed < 2; ++seed) {
+    HopsetParams p;
+    p.epsilon = 0.5;
+    p.seed = seed;
+    p.gamma2 = 0.35;
+    const auto ms1 = measure_hopset(g, build_hopset(g, p).edges, 0.5, 6, 6000, 3);
+    p.gamma2 = 0.75;
+    const auto ms2 = measure_hopset(g, build_hopset(g, p).edges, 0.5, 6, 6000, 3);
+    for (const auto& m : ms1) hops_small_g2 += static_cast<double>(m.hops_with_set);
+    for (const auto& m : ms2) hops_large_g2 += static_cast<double>(m.hops_with_set);
+  }
+  EXPECT_LT(hops_large_g2, hops_small_g2);
+}
+
+TEST(HopsetParamLaws, SmallerDeltaGrowsCliqueBudget) {
+  // rho = growth^delta: smaller delta => smaller rho => *fewer* large
+  // clusters per level... but also slower size shrink. The direct,
+  // testable consequence is on rho itself and on the Lemma 4.3 budget.
+  HopsetParams a;
+  a.delta = 1.05;
+  HopsetParams b;
+  b.delta = 2.5;
+  EXPECT_LT(hopset_rho(10000, a), hopset_rho(10000, b));
+}
+
+TEST(HopsetParamLaws, GrowthFactorMatchesFormula) {
+  HopsetParams p;
+  p.k_conf = 2.0;
+  p.epsilon = 0.5;
+  const double expected = 2.0 * std::log(10000.0) / 0.5;
+  EXPECT_DOUBLE_EQ(hopset_growth(10000, p), expected);
+}
+
+TEST(HopsetParamLaws, NfinalFloorKicksInOnSmallGraphs) {
+  const Graph g = make_grid(8, 8);  // n = 64
+  HopsetParams p;
+  p.gamma1 = 0.2;  // 64^0.2 ~ 2.3 < floor
+  p.n_final_floor = 16;
+  const HopsetResult r = build_hopset(g, p);
+  EXPECT_EQ(r.n_final, 16u);
+}
+
+TEST(HopsetParamLaws, SeedsChangeTheHopsetButNotItsValidity) {
+  const Graph g = make_path_with_chords(800, 10, 2);
+  HopsetParams p;
+  p.gamma2 = 0.5;
+  p.seed = 1;
+  const HopsetResult a = build_hopset(g, p);
+  p.seed = 2;
+  const HopsetResult b = build_hopset(g, p);
+  EXPECT_NE(a.edges, b.edges);  // different randomness
+  EXPECT_TRUE(hopset_weights_are_path_weights(g, a.edges));
+  EXPECT_TRUE(hopset_weights_are_path_weights(g, b.edges));
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,138 @@
+// Cross-module integration tests: the full pipelines a user of the
+// library would compose, exercised end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/parsh.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(Integration, SpannerOfSpannerStillApproximates) {
+  // Composing two O(k)-spanners multiplies the stretch — and must still
+  // be a valid subgraph pipeline.
+  const Graph g = ensure_connected(make_random_graph(300, 2400, 3));
+  const SpannerResult s1 = unweighted_spanner(g, 2.0, 1);
+  const Graph h1 = spanner_graph(g, s1.edges);
+  const SpannerResult s2 = unweighted_spanner(h1, 2.0, 2);
+  const Graph h2 = spanner_graph(h1, s2.edges);
+  EXPECT_LE(h2.num_edges(), h1.num_edges());
+  EXPECT_EQ(num_components(h2), 1u);
+  const double st1 = max_edge_stretch(g, s1.edges);
+  const double st2 = max_edge_stretch(h1, s2.edges);
+  EXPECT_LE(st1 * st2, (6 * 2 + 1) * (6 * 2 + 1));
+}
+
+TEST(Integration, HopsetOnSpannerGivesSparseQueryStructure) {
+  // The paper's intended composition: sparsify with a spanner, then add a
+  // hopset for parallel queries. Distances degrade only by the spanner
+  // stretch; hop counts stay low.
+  const Graph g = ensure_connected(make_random_graph(600, 6000, 5));
+  const SpannerResult sp = unweighted_spanner(g, 3.0, 1);
+  const Graph h = spanner_graph(g, sp.edges);
+  const HopsetResult hs = build_hopset(h, HopsetParams{});
+  const Graph augmented = h.with_extra_edges(hs.edges);
+  // Metric sanity: dist_augmented == dist_spanner >= dist_g.
+  const auto d_g = dijkstra(g, 0);
+  const auto d_h = dijkstra(h, 0);
+  const auto d_a = dijkstra(augmented, 0);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(d_a.dist[v], d_h.dist[v]);
+    EXPECT_GE(d_h.dist[v] + 1e-9, d_g.dist[v]);
+  }
+}
+
+TEST(Integration, WeightDecompositionFeedsApproxQueries) {
+  // Appendix B + Section 5: decompose a wide-ratio graph, run the query
+  // engine on the mapped level, compare to exact.
+  const vid n = 80;
+  std::vector<Edge> edges;
+  for (vid i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1, (i % 20 == 10) ? 1e8 : static_cast<weight_t>(1 + i % 3)});
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  const WeightDecomposition dec = WeightDecomposition::build(g, 0.25);
+  const auto q = dec.map_query(3, n - 2);
+  ASSERT_TRUE(q.connected);
+  const Graph& level_graph = dec.level(q.level).graph;
+  ApproxShortestPaths::Params p;
+  p.epsilon = 0.25;
+  const ApproxShortestPaths engine(level_graph, p);
+  const auto qr = engine.query(q.s, q.t);
+  const weight_t exact = st_distance(g, 3, n - 2);
+  ASSERT_NE(qr.estimate, kInfWeight);
+  // Decomposition loses (1-eps) downward; engine adds (1+envelope) upward.
+  EXPECT_GE(qr.estimate, (1.0 - 0.25) * exact * 0.99);
+  EXPECT_LE(qr.estimate, exact * 1.75 + 1e-6);
+}
+
+TEST(Integration, WorkDepthCountersTrackAlgorithmScale) {
+  // Rounds for one EST clustering scale with 1/beta, not with n — the
+  // heart of the paper's depth claims.
+  const Graph small_beta_graph = make_grid(40, 40);
+  wd::reset();
+  {
+    wd::Region r;
+    est_cluster(small_beta_graph, 1.0, 3);
+    const auto tight = r.delta();
+    wd::Region r2;
+    est_cluster(small_beta_graph, 0.05, 3);
+    const auto loose = r2.delta();
+    EXPECT_LT(tight.rounds, loose.rounds);
+  }
+}
+
+TEST(Integration, QuickstartPipelineSmall) {
+  // The README quickstart, asserted.
+  const Graph g = ensure_connected(make_random_graph(500, 1500, 1));
+  const SpannerResult sp = unweighted_spanner(g, 3.0, 1);
+  EXPECT_TRUE(is_subgraph(g, sp.edges));
+  const HopsetResult hs = build_hopset(g, HopsetParams{});
+  EXPECT_TRUE(hopset_weights_are_path_weights(g, hs.edges));
+  ApproxShortestPaths::Params qp;
+  qp.epsilon = 0.25;
+  const ApproxShortestPaths engine(g, qp);
+  const auto qr = engine.query(0, g.num_vertices() - 1);
+  const weight_t exact = st_distance(g, 0, g.num_vertices() - 1);
+  if (exact != kInfWeight) {
+    EXPECT_GE(qr.estimate + 1e-6, exact);
+    EXPECT_LE(qr.estimate, exact * 1.75 + 1e-6);
+  }
+}
+
+TEST(Integration, SerializationRoundTripPreservesAlgorithms) {
+  // Write a graph, read it back, and check a seeded clustering agrees —
+  // the IO layer must not perturb anything the algorithms see.
+  const Graph g = with_uniform_weights(make_grid(9, 9), 1, 4, 2);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  const Clustering cg = est_cluster(g, 0.4, 31);
+  const Clustering ch = est_cluster(h, 0.4, 31);
+  EXPECT_EQ(cg.cluster_of, ch.cluster_of);
+  EXPECT_EQ(cg.center, ch.center);
+}
+
+TEST(Integration, Figure3ShortcutStory) {
+  // The Figure 3 scenario: an s-t path crossing large clusters gets
+  // bridged by star+clique edges; the shortcut path exists in G ∪ E' and
+  // uses fewer hops at bounded extra length.
+  const Graph g = make_path(3000);
+  HopsetParams p;
+  p.gamma2 = 0.5;
+  p.epsilon = 0.5;
+  p.seed = 5;
+  const HopsetResult hs = build_hopset(g, p);
+  ASSERT_GT(hs.star_edges, 0u);
+  const Graph aug = g.with_extra_edges(hs.edges);
+  const vid s = 0, t = 2999;
+  const weight_t exact = 2999;
+  const std::uint64_t h_plain = hops_to_approx(g, s, t, exact, 1.0, 3000);
+  const std::uint64_t h_aug = hops_to_approx(aug, s, t, 1.0 * exact, 1.0, 3000);
+  EXPECT_EQ(h_plain, 2999u);
+  EXPECT_LT(h_aug, 2999u);
+}
+
+}  // namespace
+}  // namespace parsh

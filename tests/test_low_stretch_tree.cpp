@@ -1,0 +1,131 @@
+// Tests for the AKPW-style low-stretch spanning tree (the [AKPW95]
+// lineage the paper's introduction builds on) and the MST baseline.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spanner/low_stretch_tree.hpp"
+
+namespace parsh {
+namespace {
+
+class TreeTopologies : public ::testing::TestWithParam<int> {
+ protected:
+  Graph graph() const {
+    switch (GetParam()) {
+      case 0: return make_grid(12, 12);
+      case 1: return make_torus(10, 10);
+      case 2: return ensure_connected(make_random_graph(200, 800, 7));
+      case 3: return with_log_uniform_weights(make_grid(10, 10), 64.0, 3);
+      case 4: return make_hypercube(7);
+      default: return make_complete(24);
+    }
+  }
+};
+
+TEST_P(TreeTopologies, AkpwProducesSpanningForest) {
+  const Graph g = graph();
+  const TreeResult t = akpw_low_stretch_tree(g, 2.0, 11);
+  EXPECT_TRUE(is_spanning_forest(g, t.edges)) << GetParam();
+}
+
+TEST_P(TreeTopologies, MstProducesSpanningForest) {
+  const Graph g = graph();
+  const TreeResult t = minimum_spanning_tree(g);
+  EXPECT_TRUE(is_spanning_forest(g, t.edges)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, TreeTopologies, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Mst, MatchesKnownWeightOnSmallExample) {
+  // Square with a heavy diagonal: MST = three lightest edges.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}, {0, 2, 10}});
+  const TreeResult t = minimum_spanning_tree(g);
+  double total = 0;
+  for (const Edge& e : t.edges) total += e.w;
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+TEST(Mst, TotalWeightNeverAboveAkpw) {
+  // MST minimizes total weight by definition.
+  const Graph g = with_log_uniform_weights(
+      ensure_connected(make_random_graph(150, 600, 5)), 128.0, 9);
+  double mst_w = 0, akpw_w = 0;
+  for (const Edge& e : minimum_spanning_tree(g).edges) mst_w += e.w;
+  for (const Edge& e : akpw_low_stretch_tree(g, 2.0, 3).edges) akpw_w += e.w;
+  EXPECT_LE(mst_w, akpw_w + 1e-9);
+}
+
+TEST(TreeStretch, CycleWorstCase) {
+  // Any spanning tree of a cycle has one edge at stretch n-1.
+  const Graph g = make_cycle(20);
+  const TreeResult t = minimum_spanning_tree(g);
+  const TreeStretch s = tree_stretch(g, t.edges);
+  EXPECT_DOUBLE_EQ(s.maximum, 19.0);
+}
+
+TEST(TreeStretch, TreeInputHasStretchOne) {
+  const Graph g = make_binary_tree(63);
+  const TreeResult t = akpw_low_stretch_tree(g, 2.0, 1);
+  const TreeStretch s = tree_stretch(g, t.edges);
+  EXPECT_DOUBLE_EQ(s.average, 1.0);
+  EXPECT_DOUBLE_EQ(s.maximum, 1.0);
+}
+
+TEST(TreeStretch, AkpwBeatsStarOfMstOnTorus) {
+  // On a torus, MST is an arbitrary grid tree with poor average stretch;
+  // AKPW's cluster hierarchy should do no worse (typically better).
+  const Graph g = make_torus(12, 12);
+  const TreeStretch mst = tree_stretch(g, minimum_spanning_tree(g).edges);
+  double best_akpw = 1e18;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const TreeStretch akpw = tree_stretch(g, akpw_low_stretch_tree(g, 2.0, seed).edges);
+    best_akpw = std::min(best_akpw, akpw.average);
+  }
+  EXPECT_LE(best_akpw, mst.average * 1.5);
+  EXPECT_GE(best_akpw, 1.0);
+}
+
+TEST(Akpw, DeterministicInSeed) {
+  const Graph g = make_grid(9, 9);
+  const TreeResult a = akpw_low_stretch_tree(g, 2.0, 21);
+  const TreeResult b = akpw_low_stretch_tree(g, 2.0, 21);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Akpw, DisconnectedGraphsYieldForests) {
+  const Graph g = Graph::from_edges(
+      7, {{0, 1, 1}, {1, 2, 1}, {3, 4, 2}, {4, 5, 2}, {5, 3, 2}});  // + isolated 6
+  const TreeResult t = akpw_low_stretch_tree(g, 2.0, 4);
+  EXPECT_TRUE(is_spanning_forest(g, t.edges));
+  EXPECT_EQ(t.edges.size(), 4u);  // 7 vertices, 3 components
+}
+
+TEST(Akpw, WellSeparatedWeightsContractLightFirst) {
+  // Light triangle then a heavy bridge: the triangle must be contracted
+  // by light edges; the bridge enters the tree as-is.
+  const Graph g = Graph::from_edges(
+      6, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {2, 3, 100}, {3, 4, 1}, {4, 5, 1}});
+  const TreeResult t = akpw_low_stretch_tree(g, 2.0, 8);
+  ASSERT_TRUE(is_spanning_forest(g, t.edges));
+  int heavy = 0;
+  for (const Edge& e : t.edges) {
+    if (e.w == 100) ++heavy;
+  }
+  EXPECT_EQ(heavy, 1);  // exactly the bridge
+}
+
+TEST(IsSpanningForest, RejectsCyclesForeignEdgesAndNonSpanning) {
+  const Graph g = make_cycle(4);
+  // Full cycle: has a cycle.
+  EXPECT_FALSE(is_spanning_forest(g, g.undirected_edges()));
+  // Foreign edge.
+  EXPECT_FALSE(is_spanning_forest(g, {{0, 2, 1}}));
+  // Not spanning (too few edges).
+  EXPECT_FALSE(is_spanning_forest(g, {{0, 1, 1}, {1, 2, 1}}));
+  // A proper spanning tree.
+  EXPECT_TRUE(is_spanning_forest(g, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}));
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,204 @@
+// Tests for the parallel primitives substrate (scan, pack, reduce, sort,
+// atomics, parallel_for) against sequential references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/sort.hpp"
+#include "parallel/work_depth.hpp"
+#include "random/rng.hpp"
+
+namespace parsh {
+namespace {
+
+class PrimitivesSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrimitivesSizes, ExclusiveScanMatchesReference) {
+  const std::size_t n = GetParam();
+  Rng rng(42);
+  std::vector<std::uint64_t> v(n), ref(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform_int(i, 1000);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ref[i] = acc;
+    acc += v[i];
+  }
+  auto got = v;
+  const std::uint64_t total = exclusive_scan_inplace(got);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(got, ref);
+}
+
+TEST_P(PrimitivesSizes, ReduceSumMatchesAccumulate) {
+  const std::size_t n = GetParam();
+  Rng rng(7);
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform_int(i, 1 << 20);
+  const auto expect = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  const auto got =
+      parallel_reduce_sum<std::uint64_t>(n, [&](std::size_t i) { return v[i]; });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitivesSizes, ReduceMaxMatchesMaxElement) {
+  const std::size_t n = GetParam();
+  Rng rng(9);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform(i);
+  const double expect = n == 0 ? -1.0 : *std::max_element(v.begin(), v.end());
+  const double got =
+      parallel_reduce_max<double>(n, [&](std::size_t i) { return v[i]; }, -1.0);
+  EXPECT_DOUBLE_EQ(got, expect);
+}
+
+TEST_P(PrimitivesSizes, PackIndicesKeepsExactlyMatchingOnesInOrder) {
+  const std::size_t n = GetParam();
+  auto pred = [](std::size_t i) { return i % 3 == 1; };
+  const auto got = pack_indices(n, pred);
+  std::vector<std::size_t> expect;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred(i)) expect.push_back(i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitivesSizes, PackValuesTransformsSurvivors) {
+  const std::size_t n = GetParam();
+  auto pred = [](std::size_t i) { return i % 2 == 0; };
+  const auto got =
+      pack_values<std::size_t>(n, pred, [](std::size_t i) { return i * i; });
+  std::vector<std::size_t> expect;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred(i)) expect.push_back(i * i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitivesSizes, ParallelCountMatchesCountIf) {
+  const std::size_t n = GetParam();
+  auto pred = [](std::size_t i) { return (i * 2654435761u) % 5 == 0; };
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred(i)) ++expect;
+  }
+  EXPECT_EQ(parallel_count(n, pred), expect);
+}
+
+TEST_P(PrimitivesSizes, ParallelSortSortsLikeStdSort) {
+  const std::size_t n = GetParam();
+  Rng rng(1234);
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.bits(i);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimitivesSizes,
+                         ::testing::Values(0, 1, 2, 5, 100, 4096, 4097, 50000));
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesDoNothing) {
+  bool ran = false;
+  parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  parallel_for(7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelInvoke, RunsBothTasks) {
+  std::atomic<int> a{0}, b{0};
+  parallel_invoke([&] { a.store(1); }, [&] { b.store(2); });
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+}
+
+TEST(Atomics, WriteMinOnlyLowers) {
+  std::atomic<int> x{10};
+  EXPECT_TRUE(atomic_write_min(&x, 5));
+  EXPECT_EQ(x.load(), 5);
+  EXPECT_FALSE(atomic_write_min(&x, 7));
+  EXPECT_EQ(x.load(), 5);
+  EXPECT_FALSE(atomic_write_min(&x, 5));  // equal: no strict improvement
+}
+
+TEST(Atomics, WriteMaxOnlyRaises) {
+  std::atomic<double> x{1.5};
+  EXPECT_TRUE(atomic_write_max(&x, 2.5));
+  EXPECT_FALSE(atomic_write_max(&x, 0.5));
+  EXPECT_DOUBLE_EQ(x.load(), 2.5);
+}
+
+TEST(Atomics, WriteMinUnderContentionFindsGlobalMin) {
+  std::atomic<std::uint64_t> x{~0ULL};
+  Rng rng(5);
+  const std::size_t n = 100000;
+  std::uint64_t expect = ~0ULL;
+  std::vector<std::uint64_t> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vals[i] = rng.bits(i);
+    expect = std::min(expect, vals[i]);
+  }
+  parallel_for(0, n, [&](std::size_t i) { atomic_write_min(&x, vals[i]); });
+  EXPECT_EQ(x.load(), expect);
+}
+
+TEST(Atomics, CasSwapsOnlyOnExpected) {
+  std::atomic<int> x{3};
+  EXPECT_FALSE(atomic_cas(&x, 4, 9));
+  EXPECT_EQ(x.load(), 3);
+  EXPECT_TRUE(atomic_cas(&x, 3, 9));
+  EXPECT_EQ(x.load(), 9);
+}
+
+TEST(WorkDepth, CountersAccumulateAndRegionsSnapshot) {
+  wd::reset();
+  wd::add_work(10);
+  wd::add_round();
+  wd::Region region;
+  wd::add_work(5);
+  wd::add_round(2);
+  const auto d = region.delta();
+  EXPECT_EQ(d.work, 5u);
+  EXPECT_EQ(d.rounds, 2u);
+  const auto total = wd::snapshot();
+  EXPECT_EQ(total.work, 15u);
+  EXPECT_EQ(total.rounds, 3u);
+  wd::reset();
+  const auto zero = wd::snapshot();
+  EXPECT_EQ(zero.work, 0u);
+  EXPECT_EQ(zero.rounds, 0u);
+}
+
+TEST(ParallelSort, CustomComparatorDescending) {
+  std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+  parallel_sort(v, std::greater<int>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int>{}));
+}
+
+TEST(ParallelSort, AlreadySortedAndAllEqualInputs) {
+  std::vector<int> sorted(1000);
+  std::iota(sorted.begin(), sorted.end(), 0);
+  auto expect = sorted;
+  parallel_sort(sorted);
+  EXPECT_EQ(sorted, expect);
+  std::vector<int> equal(1000, 7);
+  parallel_sort(equal);
+  EXPECT_TRUE(std::all_of(equal.begin(), equal.end(), [](int x) { return x == 7; }));
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,22 @@
+// Build smoke test: the umbrella header compiles and the most basic
+// end-to-end pipeline runs.
+#include <gtest/gtest.h>
+
+#include "core/parsh.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(Smoke, UmbrellaHeaderPipeline) {
+  const Graph g = make_grid(10, 10);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  const Clustering c = est_cluster(g, 0.5, /*seed=*/7);
+  EXPECT_GT(c.num_clusters, 0u);
+  const SpannerResult sp = unweighted_spanner(g, 2.0, /*seed=*/7);
+  EXPECT_FALSE(sp.edges.empty());
+  const HopsetResult hs = build_hopset(g, HopsetParams{});
+  EXPECT_GE(hs.edges.size(), 0u);
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,244 @@
+// Tests for the EST spanner constructions (Algorithms 2 and 3,
+// Theorems 1.1 / 3.3): subgraph validity, stretch, size laws, and the
+// well-separated contraction pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spanner/spanner.hpp"
+#include "spanner/verify.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(UnweightedSpanner, IsSubgraphAndPreservesConnectivity) {
+  const Graph g = ensure_connected(make_random_graph(400, 2000, 3));
+  const SpannerResult r = unweighted_spanner(g, 3.0, 1);
+  EXPECT_TRUE(is_subgraph(g, r.edges));
+  const Graph h = spanner_graph(g, r.edges);
+  EXPECT_EQ(num_components(h), 1u);
+}
+
+TEST(UnweightedSpanner, DeterministicInSeed) {
+  const Graph g = make_grid(15, 15);
+  const auto a = unweighted_spanner(g, 2.0, 9);
+  const auto b = unweighted_spanner(g, 2.0, 9);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+class SpannerStretch
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(SpannerStretch, EdgeStretchWithinOk) {
+  // Lemma 3.2: stretch O(k) w.h.p. The constant certified by the proof is
+  // ~4k+1 (two tree radii of 2k each plus the crossing edge); assert an
+  // explicit 6k+1 envelope to keep the test sharp but non-flaky.
+  const auto [k, seed] = GetParam();
+  const Graph g = ensure_connected(make_random_graph(250, 900, seed));
+  const SpannerResult r = unweighted_spanner(g, k, seed);
+  const double stretch = max_edge_stretch(g, r.edges);
+  EXPECT_LE(stretch, 6.0 * k + 1.0) << "k=" << k;
+  EXPECT_GE(stretch, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpannerStretch,
+    ::testing::Combine(::testing::Values(2.0, 3.0, 4.0),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(UnweightedSpanner, SizeConcentratesNearTheTheorem11Law) {
+  // Expected size O(n^{1+1/k}). On a dense-enough random graph the
+  // boundary-edge count should be well below m and within a constant of
+  // n^{1+1/k}.
+  const vid n = 2000;
+  const Graph g = ensure_connected(make_random_graph(n, 20000, 5));
+  for (double k : {2.0, 3.0, 5.0}) {
+    double size = 0;
+    const int trials = 3;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+      size += static_cast<double>(unweighted_spanner(g, k, seed).edges.size());
+    }
+    size /= trials;
+    const double law = std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+    EXPECT_LE(size, 4.0 * law + 2.0 * n) << "k=" << k;
+  }
+}
+
+TEST(UnweightedSpanner, LargerKGivesSparserSpanner) {
+  const Graph g = ensure_connected(make_random_graph(1500, 15000, 6));
+  double prev = 1e18;
+  for (double k : {1.5, 3.0, 6.0}) {
+    double size = 0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      size += static_cast<double>(unweighted_spanner(g, k, seed).edges.size());
+    }
+    EXPECT_LT(size, prev) << k;
+    prev = size;
+  }
+}
+
+TEST(UnweightedSpanner, CompleteGraphShrinksDrastically) {
+  const Graph g = make_complete(60);  // m = 1770
+  const SpannerResult r = unweighted_spanner(g, 2.0, 4);
+  EXPECT_LT(r.edges.size(), 900u);
+  EXPECT_LE(max_edge_stretch(g, r.edges), 13.0);
+}
+
+TEST(UnweightedSpanner, TreeInputKeepsAllEdges) {
+  // A tree is its own only spanner: every edge is a forest or boundary
+  // edge and none may be dropped (connectivity must survive).
+  const Graph g = make_binary_tree(127);
+  const SpannerResult r = unweighted_spanner(g, 3.0, 2);
+  const Graph h = spanner_graph(g, r.edges);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(WeightBuckets, PowersOfTwoPartition) {
+  const Graph g = Graph::from_edges(6, {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 4, 9}, {4, 5, 1000}});
+  const auto buckets = weight_buckets(g);
+  // weight 1 -> bucket 0; 2,3 -> bucket 1; 9 -> bucket 3; 1000 -> bucket 9.
+  ASSERT_GE(buckets.size(), 10u);
+  EXPECT_EQ(buckets[0].size(), 1u);
+  EXPECT_EQ(buckets[1].size(), 2u);
+  EXPECT_EQ(buckets[3].size(), 1u);
+  EXPECT_EQ(buckets[9].size(), 1u);
+  std::size_t total = 0;
+  for (const auto& b : buckets) total += b.size();
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(WeightedSpanner, IsSubgraphPreservesConnectivity) {
+  const Graph g = with_log_uniform_weights(
+      ensure_connected(make_random_graph(300, 1500, 7)), 512.0, 8);
+  const SpannerResult r = weighted_spanner(g, 3.0, 1);
+  EXPECT_TRUE(is_subgraph(g, r.edges));
+  EXPECT_EQ(num_components(spanner_graph(g, r.edges)), 1u);
+}
+
+class WeightedSpannerStretch
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WeightedSpannerStretch, StretchWithinOkAcrossWeightRatios) {
+  const auto [k, ratio] = GetParam();
+  const Graph g = with_log_uniform_weights(
+      ensure_connected(make_random_graph(200, 800, 11)), ratio, 13);
+  const SpannerResult r = weighted_spanner(g, k, 3);
+  const double stretch = max_edge_stretch(g, r.edges);
+  // Theorem 3.3's stretch is O(k) with a larger constant than the
+  // unweighted case (contraction doubles it); 12k covers the certified
+  // constant with margin for the high-probability radius events.
+  EXPECT_LE(stretch, 12.0 * k) << "k=" << k << " U=" << ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WeightedSpannerStretch,
+                         ::testing::Combine(::testing::Values(2.0, 3.0),
+                                            ::testing::Values(16.0, 256.0, 4096.0)));
+
+TEST(WeightedSpanner, UnitWeightsReduceToUnweightedBehaviour) {
+  const Graph g = make_grid(12, 12);
+  const SpannerResult w = weighted_spanner(g, 2.0, 5);
+  EXPECT_TRUE(is_subgraph(g, w.edges));
+  EXPECT_EQ(num_components(spanner_graph(g, w.edges)), 1u);
+}
+
+TEST(WellSeparatedSpanner, ContractionSkipsAlreadyJoinedPieces) {
+  // Two buckets: light triangle 0-1-2, then heavy edges among {0,1,2}
+  // (quotient collapses them, so the heavy bucket adds nothing).
+  std::vector<std::vector<Edge>> buckets(2);
+  buckets[0] = {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  buckets[1] = {{0, 1, 64}, {1, 2, 64}};
+  const SpannerResult r = well_separated_spanner(3, buckets, 2.0, 1);
+  for (const Edge& e : r.edges) EXPECT_LT(e.w, 64) << "heavy edge leaked";
+}
+
+TEST(WellSeparatedSpanner, HeavyBucketBridgesSurvive) {
+  // Light edges form two cliques; one heavy edge bridges them and must be
+  // kept (it is a forest edge of the level-2 quotient).
+  std::vector<std::vector<Edge>> buckets(2);
+  buckets[0] = {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}};
+  buckets[1] = {{2, 3, 100}};
+  const SpannerResult r = well_separated_spanner(6, buckets, 2.0, 1);
+  bool bridge = false;
+  for (const Edge& e : r.edges) {
+    if (e.w == 100) bridge = true;
+  }
+  EXPECT_TRUE(bridge);
+}
+
+TEST(WeightedSpanner, SizeOverheadLogKNotLogU) {
+  // Theorem 3.3: size O(n^{1+1/k} log k) — independent of U. Growing U by
+  // 2^6 must not grow the spanner proportionally.
+  const Graph base = ensure_connected(make_random_graph(800, 6000, 21));
+  const double size_small = static_cast<double>(
+      weighted_spanner(with_log_uniform_weights(base, 16.0, 1), 3.0, 2).edges.size());
+  const double size_large = static_cast<double>(
+      weighted_spanner(with_log_uniform_weights(base, 1024.0, 1), 3.0, 2).edges.size());
+  EXPECT_LT(size_large, size_small * 2.5);
+}
+
+TEST(SpannerVerify, IsSubgraphCatchesForeignEdges) {
+  const Graph g = make_path(5);
+  EXPECT_TRUE(is_subgraph(g, {{0, 1, 1}}));
+  EXPECT_FALSE(is_subgraph(g, {{0, 2, 1}}));   // non-edge
+  EXPECT_FALSE(is_subgraph(g, {{0, 1, 2}}));   // wrong weight
+}
+
+TEST(SpannerVerify, MaxEdgeStretchExactOnKnownExample) {
+  // Cycle of 6: dropping one edge forces a 5-hop detour for it.
+  const Graph g = make_cycle(6);
+  std::vector<Edge> spanner;
+  for (const Edge& e : g.undirected_edges()) {
+    if (!(e.u == 0 && e.v == 5)) spanner.push_back(e);
+  }
+  EXPECT_DOUBLE_EQ(max_edge_stretch(g, spanner), 5.0);
+}
+
+TEST(SpannerVerify, SampledStretchLowerBoundsExact) {
+  const Graph g = ensure_connected(make_random_graph(150, 600, 9));
+  const SpannerResult r = unweighted_spanner(g, 2.0, 3);
+  const double exact = max_edge_stretch(g, r.edges);
+  const double sampled = sampled_edge_stretch(g, r.edges, 40, 7);
+  EXPECT_LE(sampled, exact + 1e-9);
+  EXPECT_GE(sampled, 1.0);
+}
+
+TEST(SpannerVerify, PairStretchBoundedByEdgeStretch) {
+  // Triangle-inequality argument: pair stretch <= max edge stretch.
+  const Graph g = make_grid(10, 10);
+  const SpannerResult r = unweighted_spanner(g, 2.0, 6);
+  const double edge_stretch = max_edge_stretch(g, r.edges);
+  const double pair_stretch = sampled_pair_stretch(g, r.edges, 30, 5);
+  EXPECT_LE(pair_stretch, edge_stretch + 1e-9);
+}
+
+TEST(UnweightedSpanner, NoDuplicateEdgesInOutput) {
+  const Graph g = ensure_connected(make_random_graph(500, 3000, 9));
+  const SpannerResult r = unweighted_spanner(g, 2.0, 4);
+  std::set<std::pair<vid, vid>> seen;
+  for (const Edge& e : r.edges) {
+    const auto key = std::minmax(e.u, e.v);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << e.u << "-" << e.v << " duplicated";
+  }
+  EXPECT_LE(r.edges.size(), g.num_edges());
+}
+
+TEST(WeightedSpanner, NoDuplicateEdgesAndSizeAtMostM) {
+  const Graph g = with_log_uniform_weights(
+      ensure_connected(make_random_graph(500, 3000, 9)), 256.0, 2);
+  const SpannerResult r = weighted_spanner(g, 3.0, 4);
+  std::set<std::pair<vid, vid>> seen;
+  for (const Edge& e : r.edges) {
+    const auto key = std::minmax(e.u, e.v);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+  EXPECT_LE(r.edges.size(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace parsh

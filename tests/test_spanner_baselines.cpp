@@ -1,0 +1,124 @@
+// Tests for the Figure 1 baseline spanners: the greedy (2k-1)-spanner of
+// [ADD+93] and the Baswana-Sen (2k-1)-spanner of [BS07].
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "spanner/baselines.hpp"
+#include "spanner/verify.hpp"
+
+namespace parsh {
+namespace {
+
+class GreedySweep : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(GreedySweep, StretchIsAtMost2kMinus1Exactly) {
+  // The greedy construction guarantees the (2k-1) bound deterministically.
+  const auto [k, seed] = GetParam();
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_random_graph(120, 500, seed)), 1, 9, seed + 7);
+  const auto spanner = greedy_spanner(g, k);
+  EXPECT_TRUE(is_subgraph(g, spanner));
+  EXPECT_LE(max_edge_stretch(g, spanner), 2.0 * k - 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedySweep,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 3.0),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(GreedySpanner, KEqualsOneKeepsEverything) {
+  // Stretch 1 forces every edge with a unique shortest path to stay; on a
+  // tree that is all of them.
+  const Graph g = make_binary_tree(63);
+  EXPECT_EQ(greedy_spanner(g, 1.0).size(), g.num_edges());
+}
+
+TEST(GreedySpanner, CompleteGraphUnitWeightsK2IsSparse) {
+  // Greedy on K_n with k=2 yields a graph of girth > 4 — far fewer than
+  // n^2/2 edges (classic bound ~ n^{3/2}).
+  const vid n = 40;
+  const Graph g = make_complete(n);
+  const auto spanner = greedy_spanner(g, 2.0);
+  EXPECT_LT(spanner.size(), static_cast<std::size_t>(n) * n / 4);
+  const Graph h = spanner_graph(g, spanner);
+  EXPECT_EQ(num_components(h), 1u);
+}
+
+TEST(GreedySpanner, PreservesConnectivityOnWeightedGrids) {
+  const Graph g = with_uniform_weights(make_grid(8, 8), 1, 30, 3);
+  const auto spanner = greedy_spanner(g, 3.0);
+  EXPECT_EQ(num_components(spanner_graph(g, spanner)), 1u);
+}
+
+class BaswanaSenSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BaswanaSenSweep, StretchIsAtMost2kMinus1) {
+  const auto [k, seed] = GetParam();
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_random_graph(150, 700, seed)), 1, 13, seed + 3);
+  const auto spanner = baswana_sen_spanner(g, k, seed);
+  EXPECT_TRUE(is_subgraph(g, spanner));
+  EXPECT_LE(max_edge_stretch(g, spanner), 2.0 * k - 1.0 + 1e-9)
+      << "k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaswanaSenSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+TEST(BaswanaSen, KEqualsOneKeepsAllEdges) {
+  // With k=1 there are no sampling phases and every vertex keeps its
+  // lightest edge to every adjacent cluster = every neighbour.
+  const Graph g = make_grid(6, 6);
+  const auto spanner = baswana_sen_spanner(g, 1, 5);
+  EXPECT_EQ(spanner.size(), g.num_edges());
+}
+
+TEST(BaswanaSen, SizeShrinksWithK) {
+  const Graph g = ensure_connected(make_random_graph(1000, 12000, 17));
+  double prev = 1e18;
+  for (int k : {1, 2, 4}) {
+    double size = 0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      size += static_cast<double>(baswana_sen_spanner(g, k, seed).size());
+    }
+    EXPECT_LT(size, prev) << k;
+    prev = size;
+  }
+}
+
+TEST(BaswanaSen, SizeNearTheKnownLaw) {
+  // E[size] = O(k n^{1+1/k}).
+  const vid n = 1200;
+  const Graph g = ensure_connected(make_random_graph(n, 15000, 23));
+  const int k = 3;
+  double size = 0;
+  const int trials = 3;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    size += static_cast<double>(baswana_sen_spanner(g, k, seed).size());
+  }
+  size /= trials;
+  const double law = k * std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+  EXPECT_LE(size, 4.0 * law);
+}
+
+TEST(BaswanaSen, DeterministicInSeed) {
+  const Graph g = make_grid(10, 10);
+  EXPECT_EQ(baswana_sen_spanner(g, 2, 8), baswana_sen_spanner(g, 2, 8));
+}
+
+TEST(BaswanaSen, PreservesConnectivity) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = ensure_connected(make_random_graph(300, 1200, seed));
+    const auto spanner = baswana_sen_spanner(g, 3, seed);
+    EXPECT_EQ(num_components(spanner_graph(g, spanner)), 1u) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace parsh

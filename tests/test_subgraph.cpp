@@ -1,0 +1,116 @@
+// Tests for induced subgraphs, per-label subgraphs and quotient graphs —
+// the machinery the hopset recursion and Algorithm 3 contraction run on.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  // Path 0-1-2-3-4, take {1,2,3}.
+  const Graph g = make_path(5);
+  const Subgraph s = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(s.graph.num_vertices(), 3u);
+  EXPECT_EQ(s.graph.num_edges(), 2u);
+  EXPECT_EQ(s.original_id, (std::vector<vid>{1, 2, 3}));
+}
+
+TEST(InducedSubgraph, LocalIdsFollowInputOrder) {
+  const Graph g = make_complete(5);
+  const Subgraph s = induced_subgraph(g, {4, 0, 2});
+  EXPECT_EQ(s.original_id[0], 4u);
+  EXPECT_EQ(s.original_id[1], 0u);
+  EXPECT_EQ(s.original_id[2], 2u);
+  EXPECT_EQ(s.graph.num_edges(), 3u);  // triangle among the three
+}
+
+TEST(InducedSubgraph, PreservesWeights) {
+  const Graph g = Graph::from_edges(4, {{0, 1, 5}, {1, 2, 7}, {2, 3, 9}});
+  const Subgraph s = induced_subgraph(g, {1, 2});
+  ASSERT_EQ(s.graph.num_edges(), 1u);
+  EXPECT_EQ(s.graph.undirected_edges()[0].w, 7);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Graph g = make_path(5);
+  const Subgraph s = induced_subgraph(g, {});
+  EXPECT_EQ(s.graph.num_vertices(), 0u);
+}
+
+TEST(InducedSubgraph, DistancesNeverShrink) {
+  // Distances within an induced subgraph are >= host distances.
+  const Graph g = make_grid(6, 6);
+  std::vector<vid> sel;
+  for (vid v = 0; v < 36; v += 2) sel.push_back(v);
+  const Subgraph s = induced_subgraph(g, sel);
+  const SsspResult host = dijkstra(g, sel[0]);
+  const SsspResult sub = dijkstra(s.graph, 0);
+  for (vid i = 0; i < s.graph.num_vertices(); ++i) {
+    if (sub.dist[i] == kInfWeight) continue;
+    EXPECT_GE(sub.dist[i], host.dist[s.original_id[i]]);
+  }
+}
+
+TEST(InducedSubgraphsByLabel, PartitionCoversAllVertices) {
+  const Graph g = make_grid(5, 5);
+  std::vector<vid> label(25);
+  for (vid v = 0; v < 25; ++v) label[v] = v % 3;
+  const auto subs = induced_subgraphs_by_label(g, label, 3);
+  ASSERT_EQ(subs.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& s : subs) total += s.graph.num_vertices();
+  EXPECT_EQ(total, 25u);
+  // Every original id carries the right label.
+  for (vid c = 0; c < 3; ++c) {
+    for (vid ov : subs[c].original_id) EXPECT_EQ(label[ov], c);
+  }
+}
+
+TEST(QuotientGraph, ContractsTriangleToPoint) {
+  const Graph g = Graph::from_edges(4, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {2, 3, 5}});
+  std::vector<vid> label{0, 0, 0, 1};
+  const QuotientGraph q = quotient_graph(g, label, 2);
+  EXPECT_EQ(q.graph.num_vertices(), 2u);
+  EXPECT_EQ(q.graph.num_edges(), 1u);
+  EXPECT_EQ(q.graph.undirected_edges()[0].w, 5);
+}
+
+TEST(QuotientGraph, ParallelEdgesKeepShortest) {
+  // Two components joined by edges of weight 9 and 3.
+  const Graph g = Graph::from_edges(4, {{0, 1, 1}, {2, 3, 1}, {0, 2, 9}, {1, 3, 3}});
+  std::vector<vid> label{0, 0, 1, 1};
+  const QuotientGraph q = quotient_graph(g, label, 2);
+  ASSERT_EQ(q.graph.num_edges(), 1u);
+  EXPECT_EQ(q.graph.undirected_edges()[0].w, 3);
+}
+
+TEST(QuotientGraph, QuotientDistancesLowerBoundHostDistances) {
+  // dist_quotient(c(u), c(v)) <= dist_host(u, v): contraction only helps.
+  const Graph g = with_uniform_weights(make_grid(5, 5), 1, 6, 3);
+  std::vector<vid> label(25);
+  for (vid v = 0; v < 25; ++v) label[v] = v / 5;  // contract rows
+  const QuotientGraph q = quotient_graph(g, label, 5);
+  const SsspResult host = dijkstra(g, 0);
+  const SsspResult quot = dijkstra(q.graph, label[0]);
+  for (vid v = 0; v < 25; ++v) {
+    if (host.dist[v] == kInfWeight) continue;
+    EXPECT_LE(quot.dist[label[v]], host.dist[v]) << v;
+  }
+}
+
+TEST(QuotientGraph, ComponentsFromConnectivityContractToSinglePoints) {
+  const Graph g = make_random_graph(200, 150, 17);  // likely disconnected
+  const auto comp = connected_components(g);
+  vid k = 0;
+  for (vid c : comp) k = std::max(k, c + 1);
+  const QuotientGraph q = quotient_graph(g, comp, k);
+  EXPECT_EQ(q.graph.num_vertices(), k);
+  EXPECT_EQ(q.graph.num_edges(), 0u);  // no edges between components
+}
+
+}  // namespace
+}  // namespace parsh

@@ -1,0 +1,119 @@
+// Tests for the utility layer: stats, table rendering, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(Stats, SummaryOfKnownSample) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 42), 7.0);
+}
+
+TEST(Stats, FitLineRecoversExactLine) {
+  std::vector<double> xs{1, 2, 3, 4}, ys;
+  for (double x : xs) ys.push_back(3.0 * x - 1.0);
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_line({1}, {2}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit_line({1, 1}, {2, 3}).slope, 0.0);  // vertical line
+}
+
+TEST(Stats, FitPowerLawRecoversExponent) {
+  // y = 2 x^{1.5}
+  std::vector<double> xs{10, 100, 1000, 10000}, ys;
+  for (double x : xs) ys.push_back(2.0 * std::pow(x, 1.5));
+  const LinearFit f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.slope, 1.5, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 2.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedColumnsWithHeader) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(12);
+  t.row().cell("b").cell(3.5, 1);
+  const std::string s = t.to_string("demo");
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumericFormattingUsesScientificForExtremes) {
+  Table t({"x"});
+  t.row().cell(1.23e12, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("e+"), std::string::npos);
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  const char* argv[] = {"prog", "--n", "100", "--eps=0.5", "--flag", "--name", "x"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0), 0.5);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get("name", ""), "x");
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.25), 0.25);
+  EXPECT_FALSE(cli.has("n"));
+  EXPECT_EQ(cli.get_seed("seed", 9), 9u);
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Timer, MeasuresNonNegativeMonotoneTime) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace parsh

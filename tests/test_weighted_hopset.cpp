@@ -1,0 +1,191 @@
+// Tests for the Section 5 weighted-hopset machinery: Klein-Subramanian
+// rounding (Lemma 5.2), per-scale construction, and the Appendix B weight
+// decomposition (Lemma 5.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hopset/rounding.hpp"
+#include "hopset/weight_reduction.hpp"
+#include "hopset/weighted_hopset.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+namespace {
+
+TEST(Rounding, WeightsBecomePositiveIntegers) {
+  const Graph g = with_log_uniform_weights(make_grid(8, 8), 100.0, 3);
+  const RoundedGraph rg = round_weights(g, /*d=*/50, /*k_hops=*/64, /*zeta=*/0.25);
+  for (const Edge& e : rg.graph.undirected_edges()) {
+    EXPECT_GE(e.w, 1);
+    EXPECT_EQ(e.w, std::floor(e.w));
+  }
+}
+
+TEST(Rounding, RoundsUpNeverDown) {
+  // w_hat * w_tilde >= w for every edge: estimates stay upper bounds.
+  const Graph g = with_log_uniform_weights(make_grid(8, 8), 64.0, 5);
+  const RoundedGraph rg = round_weights(g, 20, 32, 0.5);
+  const auto orig = g.undirected_edges();
+  const auto rounded = rg.graph.undirected_edges();
+  ASSERT_EQ(orig.size(), rounded.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_GE(rounded[i].w * rg.w_hat + 1e-9, orig[i].w);
+  }
+}
+
+class RoundingLaw
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RoundingLaw, Lemma52PathDistortion) {
+  // For any path p with <= k hops: w_hat * w_tilde(p) <= (1+zeta) w(p) +
+  // (granularity slack). Verify on shortest paths of a weighted grid.
+  const auto [zeta, d] = GetParam();
+  const double k_hops = 64;
+  const Graph g = with_uniform_weights(make_grid(8, 8), 1, 9, 7);
+  const RoundedGraph rg = round_weights(g, d, k_hops, zeta);
+  const auto sp = dijkstra(g, 0);
+  const auto sp_r = dijkstra(rg.graph, 0);
+  for (vid v = 1; v < g.num_vertices(); ++v) {
+    const double true_w = sp.dist[v];
+    const double approx = sp_r.dist[v] * rg.w_hat;
+    EXPECT_GE(approx + 1e-9, true_w) << v;  // upper bound
+    // Each of the <= k_hops edges gains at most w_hat.
+    EXPECT_LE(approx, true_w + k_hops * rg.w_hat + 1e-9) << v;
+    // Lemma 5.2's multiplicative form for in-scale paths.
+    if (true_w >= d) {
+      EXPECT_LE(approx, (1.0 + zeta) * true_w + 1e-9) << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundingLaw,
+                         ::testing::Combine(::testing::Values(0.125, 0.25, 0.5),
+                                            ::testing::Values(8.0, 20.0)));
+
+TEST(Rounding, RoundedWeightBoundFormula) {
+  EXPECT_DOUBLE_EQ(rounded_weight_bound(4.0, 100.0, 0.5), 800.0);
+}
+
+TEST(WeightedHopset, CoversTheDistanceRangeWithScales) {
+  const Graph g = with_log_uniform_weights(
+      ensure_connected(make_random_graph(300, 900, 3)), 64.0, 5);
+  WeightedHopsetParams p;
+  p.eta = 1.0 / 3.0;
+  const WeightedHopset wh = build_weighted_hopset(g, p);
+  ASSERT_FALSE(wh.scales.empty());
+  // Scales start at the min weight and grow by n^eta.
+  EXPECT_DOUBLE_EQ(wh.scales.front().d, g.min_weight());
+  const double ratio = std::pow(static_cast<double>(g.num_vertices()), p.eta);
+  for (std::size_t i = 1; i < wh.scales.size(); ++i) {
+    EXPECT_NEAR(wh.scales[i].d / wh.scales[i - 1].d, ratio, 1e-6);
+  }
+  // The last scale covers n * max weight.
+  EXPECT_GE(wh.scales.back().d * ratio,
+            static_cast<double>(g.num_vertices()) * g.max_weight() / ratio);
+}
+
+TEST(WeightedHopset, ScaleGraphsHaveIntegerWeights) {
+  const Graph g = with_log_uniform_weights(make_grid(12, 12), 32.0, 9);
+  const WeightedHopset wh = build_weighted_hopset(g, WeightedHopsetParams{});
+  for (const auto& sc : wh.scales) {
+    for (const Edge& e : sc.rounded.undirected_edges()) {
+      EXPECT_GE(e.w, 1);
+      EXPECT_EQ(e.w, std::floor(e.w));
+    }
+  }
+}
+
+TEST(WeightedHopset, TotalsAggregateScales) {
+  const Graph g = with_uniform_weights(make_grid(10, 10), 1, 16, 4);
+  const WeightedHopset wh = build_weighted_hopset(g, WeightedHopsetParams{});
+  std::uint64_t sum = 0;
+  for (const auto& sc : wh.scales) sum += sc.hopset_edges;
+  EXPECT_EQ(sum, wh.total_hopset_edges);
+}
+
+TEST(WeightDecomposition, SingleCategoryGraphHasOneLevelPerCategory) {
+  const Graph g = make_grid(6, 6);  // all weights 1 -> one category
+  const WeightDecomposition d = WeightDecomposition::build(g, 0.25);
+  EXPECT_EQ(d.num_levels(), 1u);
+  const auto q = d.map_query(0, 35);
+  EXPECT_TRUE(q.connected);
+  EXPECT_EQ(q.level, 0u);
+}
+
+TEST(WeightDecomposition, LevelsRespectRatioBound) {
+  // Lemma 5.1: each prepared graph has weight ratio O((n/eps)^3).
+  const vid n = 100;
+  // Three widely separated weight bands.
+  std::vector<Edge> edges;
+  for (vid i = 0; i + 1 < n; ++i) {
+    const weight_t w = i % 3 == 0 ? 1.0 : (i % 3 == 1 ? 1e7 : 1e14);
+    edges.push_back({i, i + 1, w});
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  const WeightDecomposition d = WeightDecomposition::build(g, 0.5);
+  EXPECT_GE(d.num_levels(), 2u);
+  for (std::size_t j = 0; j < d.num_levels(); ++j) {
+    const Graph& lg = d.level(j).graph;
+    if (lg.num_edges() == 0) continue;
+    EXPECT_LE(lg.max_weight() / lg.min_weight(), d.ratio_bound() * 1.01) << j;
+  }
+}
+
+TEST(WeightDecomposition, QueryMapsToApproximatelyCorrectDistances) {
+  // Lemma 5.1: the mapped query is a (1-eps)-approximation. Paths across
+  // the contracted light components lose at most eps relative weight.
+  const vid n = 60;
+  std::vector<Edge> edges;
+  for (vid i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1, (i % 10 == 5) ? 1e6 : 1.0});
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  const double eps = 0.5;
+  const WeightDecomposition d = WeightDecomposition::build(g, eps);
+  const auto q = d.map_query(0, n - 1);
+  ASSERT_TRUE(q.connected);
+  const Graph& lg = d.level(q.level).graph;
+  const weight_t approx = st_distance(lg, q.s, q.t);
+  const weight_t exact = st_distance(g, 0, n - 1);
+  EXPECT_LE(approx, exact + 1e-9);                    // contraction only shrinks
+  EXPECT_GE(approx, (1.0 - eps) * exact - 1e-9);      // but not by more than eps
+}
+
+TEST(WeightDecomposition, SameComponentLightPairsMapToLowLevels) {
+  const vid n = 30;
+  std::vector<Edge> edges;
+  for (vid i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1, i == 14 ? 1e9 : 1.0});  // one heavy bridge
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  const WeightDecomposition d = WeightDecomposition::build(g, 0.5);
+  const auto low = d.map_query(0, 5);
+  const auto high = d.map_query(0, n - 1);
+  ASSERT_TRUE(low.connected);
+  ASSERT_TRUE(high.connected);
+  EXPECT_LT(low.level, high.level);
+}
+
+TEST(WeightDecomposition, DisconnectedQueryReported) {
+  const Graph g = Graph::from_edges(4, {{0, 1, 1}, {2, 3, 1}});
+  const WeightDecomposition d = WeightDecomposition::build(g, 0.25);
+  EXPECT_FALSE(d.map_query(0, 3).connected);
+  EXPECT_TRUE(d.map_query(0, 1).connected);
+}
+
+TEST(WeightDecomposition, ContractedEndpointsShareQuotientVertex) {
+  // Two vertices joined by light edges map to the same quotient vertex at
+  // a heavy level (distance 0 — correct to relative precision).
+  const Graph g = Graph::from_edges(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1e8}});
+  const WeightDecomposition d = WeightDecomposition::build(g, 0.5);
+  const auto q = d.map_query(0, 3);
+  ASSERT_TRUE(q.connected);
+  const auto q01 = d.map_query(0, 1);
+  ASSERT_TRUE(q01.connected);
+  EXPECT_LE(q01.level, q.level);
+}
+
+}  // namespace
+}  // namespace parsh
