@@ -1,9 +1,13 @@
-// Shared helpers for the table/figure benches: workload construction and
-// instrumented runs reporting wall time + PRAM work/round counters.
+// Shared helpers for the table/figure benches: workload construction,
+// instrumented runs reporting wall time + PRAM work/round counters, and a
+// machine-readable JSON report so the perf trajectory across PRs is
+// trackable by tooling (BENCH_<name>.json next to the binary).
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/parsh.hpp"
 
@@ -38,6 +42,12 @@ inline Graph workload(const std::string& name, vid n, std::uint64_t seed,
     while (side * side < n) ++side;
     return make_grid(side, side);
   }
+  if (name == "road") {
+    // Road-network proxy: grid topology with integer segment lengths.
+    vid side = 1;
+    while (side * side < n) ++side;
+    return with_uniform_weights(make_grid(side, side), 1, 8, seed + 1);
+  }
   if (name == "rmat") {
     return ensure_connected(make_rmat(n, static_cast<eid>(n) * 6, seed));
   }
@@ -50,6 +60,73 @@ inline Graph workload(const std::string& name, vid n, std::uint64_t seed,
   std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
   std::exit(2);
 }
+
+/// Flat JSON report: one object per recorded row, written as an array to
+/// BENCH_<name>.json. Strings are quoted, numbers are not; keys are
+/// expected to be plain identifiers (no escaping is attempted).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  class Row {
+   public:
+    Row& field(const std::string& key, const std::string& value) {
+      return raw_(key, "\"" + value + "\"");
+    }
+    Row& field(const std::string& key, const char* value) {
+      return field(key, std::string(value));
+    }
+    Row& field(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      return raw_(key, buf);
+    }
+    Row& field(const std::string& key, std::uint64_t value) {
+      return raw_(key, std::to_string(value));
+    }
+    Row& field(const std::string& key, int value) {
+      return raw_(key, std::to_string(value));
+    }
+
+   private:
+    friend class JsonReport;
+    Row& raw_(const std::string& key, const std::string& json_value) {
+      fields_.emplace_back(key, json_value);
+      return *this;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& row() { return rows_.emplace_back(); }
+
+  /// Write BENCH_<name>.json in the working directory; returns the path,
+  /// or an empty string if the file could not be written.
+  std::string save() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return {};
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fputs("  {", f);
+      const auto& fields = rows_[i].fields_;
+      for (std::size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "\"%s\": %s%s", fields[j].first.c_str(),
+                     fields[j].second.c_str(), j + 1 < fields.size() ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 inline void print_header(const char* title, const Graph& g, const char* workload_name) {
   std::printf("\n%s\n  workload=%s n=%u m=%llu  (work/rounds are PRAM-style counters;\n"

@@ -1,0 +1,102 @@
+// EST-SCALE — thread-scaling sweep for the EST-clustering round engine.
+//
+// The tentpole claim of the bucketed-frontier rewrite is that est_cluster's
+// per-round work (priority writes, winner settlement, frontier expansion,
+// staging compaction) parallelizes. This bench runs est_cluster over a
+// thread sweep on RMAT / grid / road workloads, reports wall time and the
+// PRAM counters, and appends every row to BENCH_est_cluster.json so the
+// perf trajectory across PRs is trackable. The sequential super-source
+// Dijkstra oracle is timed alongside as the no-engine reference point.
+//
+//   ./bench_est_cluster_scaling --n 170000 --threads 1,2,4,8 --reps 3
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  using namespace parsh;
+  using namespace parsh::bench;
+  Cli cli(argc, argv);
+  const vid n = static_cast<vid>(cli.get_int("n", 170000));  // ~1M edges on rmat
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const double beta = cli.get_double("beta", 0.4);
+
+  std::vector<int> threads;
+  {
+    std::stringstream ss(cli.get("threads", "1,2,4,8"));
+    for (std::string tok; std::getline(ss, tok, ',');) {
+      try {
+        const int t = std::stoi(tok);
+        if (t < 1) throw std::invalid_argument(tok);
+        threads.push_back(t);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --threads entry '%s' (want positive ints, e.g. 1,2,4)\n",
+                     tok.c_str());
+        return 2;
+      }
+    }
+    if (threads.empty()) threads.push_back(1);
+  }
+#ifndef PARSH_HAVE_OPENMP
+  std::printf("(built without OpenMP: thread counts beyond 1 run sequentially)\n");
+  threads.assign(1, 1);
+#endif
+
+  JsonReport report("est_cluster");
+  Table table({"workload", "n", "m", "threads", "time(s)", "speedup", "oracle(s)",
+               "work", "rounds", "clusters"});
+  for (const std::string wl : {"rmat", "grid", "road"}) {
+    const Graph g = workload(wl, n, seed);
+    print_header("EST-SCALE: est_cluster thread scaling", g, wl.c_str());
+    // Sequential reference point: the super-source Dijkstra oracle.
+    double oracle_s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      oracle_s = std::min(oracle_s, timed([&] { est_cluster_reference(g, beta, seed); }).seconds);
+    }
+    double t1 = 0;  // 1-thread engine time, denominator of the speedup column
+    for (int t : threads) {
+#ifdef PARSH_HAVE_OPENMP
+      omp_set_num_threads(t);
+#endif
+      Clustering c;
+      Run best;
+      best.seconds = 1e300;
+      for (int r = 0; r < reps; ++r) {
+        const Run run = timed([&] { c = est_cluster(g, beta, seed); });
+        if (run.seconds < best.seconds) best = run;
+      }
+      if (t == threads.front()) t1 = best.seconds;
+      table.row()
+          .cell(wl)
+          .cell(static_cast<std::size_t>(g.num_vertices()))
+          .cell(static_cast<std::size_t>(g.num_edges()))
+          .cell(t)
+          .cell(best.seconds, 4)
+          .cell(t1 / best.seconds, 2)
+          .cell(oracle_s, 4)
+          .cell(best.counters.work)
+          .cell(best.counters.rounds)
+          .cell(static_cast<std::size_t>(c.num_clusters));
+      report.row()
+          .field("bench", "est_cluster_scaling")
+          .field("workload", wl)
+          .field("n", static_cast<std::uint64_t>(g.num_vertices()))
+          .field("m", static_cast<std::uint64_t>(g.num_edges()))
+          .field("threads", t)
+          .field("beta", beta)
+          .field("seconds", best.seconds)
+          .field("speedup_vs_1t", t1 / best.seconds)
+          .field("oracle_seconds", oracle_s)
+          .field("work", best.counters.work)
+          .field("rounds", best.counters.rounds)
+          .field("clusters", static_cast<std::uint64_t>(c.num_clusters));
+    }
+  }
+  table.print();
+  const std::string path = report.save();
+  if (path.empty()) return 1;
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,15 +1,19 @@
 #include "cluster/est_cluster.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
-#include <map>
-#include <queue>
 
 #include "graph/validation.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
 #include "parallel/work_depth.hpp"
 #include "random/rng.hpp"
+
+#include <queue>
 
 namespace parsh {
 
@@ -20,41 +24,85 @@ std::vector<double> est_shifts(vid n, double beta, std::uint64_t seed) {
   return delta;
 }
 
-std::vector<std::vector<vid>> Clustering::members() const {
-  std::vector<std::vector<vid>> out(num_clusters);
-  for (vid v = 0; v < cluster_of.size(); ++v) out[cluster_of[v]].push_back(v);
+std::vector<vid> Clustering::sizes() const {
+  // Single counting pass. One partial histogram per *worker* (not per
+  // fixed-size block): with num_clusters up to Theta(n), per-block
+  // histograms would cost O(blocks * clusters) memory and merge work.
+  const std::size_t n = cluster_of.size();
+  const auto nb = static_cast<std::size_t>(num_workers());
+  if (nb <= 1 || n < kParallelGrain) {
+    std::vector<vid> out(num_clusters, 0);
+    for (vid c : cluster_of) ++out[c];
+    return out;
+  }
+  const std::size_t block = (n + nb - 1) / nb;
+  std::vector<std::vector<vid>> partial(nb);
+  parallel_for_grain(0, nb, 1, [&](std::size_t b) {
+    std::vector<vid>& mine = partial[b];
+    mine.assign(num_clusters, 0);
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(n, lo + block);
+    for (std::size_t v = lo; v < hi; ++v) ++mine[cluster_of[v]];
+  });
+  std::vector<vid> out(num_clusters, 0);
+  parallel_for(0, num_clusters, [&](std::size_t c) {
+    vid acc = 0;
+    for (const auto& mine : partial) acc += mine[c];
+    out[c] = acc;
+  });
   return out;
 }
 
-std::vector<vid> Clustering::sizes() const {
-  std::vector<vid> out(num_clusters, 0);
-  for (vid c : cluster_of) ++out[c];
+std::vector<std::vector<vid>> Clustering::members() const {
+  // Counting pass + prefix-sum offsets + one scatter pass: each member
+  // vector is allocated exactly once at its final size, instead of the
+  // push_back growth that reallocates per cluster as it fills.
+  const std::vector<vid> count = sizes();
+  std::vector<std::vector<vid>> out(num_clusters);
+  parallel_for(0, num_clusters, [&](std::size_t c) {
+    out[c].resize(count[c]);
+  });
+  std::vector<vid> cursor(num_clusters, 0);  // next write slot per cluster
+  for (vid v = 0; v < cluster_of.size(); ++v) {
+    const vid c = cluster_of[v];
+    out[c][cursor[c]++] = v;  // sequential scatter keeps vertex-id order
+  }
   return out;
 }
 
 namespace {
 
-/// Densify cluster labels (currently center vertex ids) to [0, k) ordered
-/// by center vertex id, and fill the center list.
+/// Densify cluster labels (center vertex ids) to [0, k) ordered by center
+/// vertex id, and fill the center list. A center is exactly a vertex that
+/// is its own center, so the center list is a pack (already sorted by
+/// vertex id) and the remap two scan-free parallel passes.
 void finalize_labels(Clustering& c, const std::vector<vid>& center_of) {
   const vid n = static_cast<vid>(center_of.size());
+  assert(parallel_count(n, [&](std::size_t v) { return center_of[v] == kNoVertex; }) == 0 &&
+         "every vertex must be clustered");
+  std::vector<std::size_t> centers =
+      pack_indices(n, [&](std::size_t v) { return center_of[v] == static_cast<vid>(v); });
   std::vector<vid> remap(n, kNoVertex);
-  std::vector<vid> centers;
-  std::vector<char> is_center(n, 0);
-  for (vid v = 0; v < n; ++v) {
-    assert(center_of[v] != kNoVertex && "every vertex must be clustered");
-    if (!is_center[center_of[v]]) {
-      is_center[center_of[v]] = 1;
-      centers.push_back(center_of[v]);
-    }
-  }
-  std::sort(centers.begin(), centers.end());
-  for (vid i = 0; i < centers.size(); ++i) remap[centers[i]] = i;
+  parallel_for(0, centers.size(), [&](std::size_t i) {
+    remap[centers[i]] = static_cast<vid>(i);
+  });
   c.num_clusters = static_cast<vid>(centers.size());
-  c.center = centers;
+  c.center.resize(centers.size());
+  parallel_for(0, centers.size(), [&](std::size_t i) {
+    c.center[i] = static_cast<vid>(centers[i]);
+  });
   c.cluster_of.resize(n);
-  for (vid v = 0; v < n; ++v) c.cluster_of[v] = remap[center_of[v]];
+  parallel_for(0, n, [&](std::size_t v) { c.cluster_of[v] = remap[center_of[v]]; });
 }
+
+/// A claim on vertex `v` through neighbour `via` (kNoVertex = v starts its
+/// own cluster) with key = s_center + dist(center, v) and tree distance dw.
+struct Proposal {
+  vid v;
+  vid via;
+  double key;
+  weight_t dw;
+};
 
 }  // namespace
 
@@ -68,90 +116,139 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed) {
   if (n == 0) return c;
 
   const std::vector<double> delta = est_shifts(n, beta, seed);
-  double delta_max = 0;
-  for (double d : delta) delta_max = std::max(delta_max, d);
+  const double delta_max =
+      parallel_reduce_max<double>(n, [&](std::size_t v) { return delta[v]; }, 0.0);
 
   // Start time per vertex; key(v) = s_u + dist(u,v) for its final center u.
   std::vector<double> start(n);
-  for (vid v = 0; v < n; ++v) start[v] = delta_max - delta[v];
+  parallel_for(0, n, [&](std::size_t v) { start[v] = delta_max - delta[v]; });
 
   std::vector<double> key(n, kInfWeight);
-  std::vector<vid> center_of(n, kNoVertex);
   std::vector<vid> parent(n, kNoVertex);
   std::vector<weight_t> hops(n, 0);
+  // Settled state: the claimed center per vertex (kNoVertex = open).
+  std::vector<std::atomic<vid>> center(n);
+  // Per-round CRCW priority-write scratch: the minimum proposal key seen
+  // for v this round, and the smallest via among proposals at that key.
+  // Reset per round for the touched vertices only.
+  std::vector<std::atomic<double>> best_key(n);
+  std::vector<std::atomic<vid>> best_via(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    center[v].store(kNoVertex, std::memory_order_relaxed);
+    best_key[v].store(kInfWeight, std::memory_order_relaxed);
+    best_via[v].store(kNoVertex, std::memory_order_relaxed);
+  });
 
-  // Dial-style buckets of proposals, stored sparsely (after weight
-  // rounding the integer key range can be large while only few rounds are
-  // nonempty). A proposal (v, via, key, dw) claims v through neighbour
-  // `via` (kNoVertex = v starts its own cluster).
-  struct Proposal {
-    vid v;        // vertex being claimed
-    vid via;      // neighbour it is claimed through (kNoVertex = self)
-    double key;   // s_center + dist(center, v)
-    weight_t dw;  // tree distance of v from the center
-  };
-  std::map<std::uint64_t, std::vector<Proposal>> prop_bucket;
-  auto push_prop = [&](Proposal p) {
-    prop_bucket[static_cast<std::uint64_t>(p.key)].push_back(p);
-  };
+  // Proposals live in the shared bucketed frontier engine; with integer
+  // weights every key s_u + dist lands in bucket floor(key) and every edge
+  // relaxation moves a proposal to a strictly later bucket, so one popped
+  // bucket is one exact synchronous round of the CRCW algorithm.
+  BucketEngine<Proposal> engine({.span = 256});
   // Self-start proposals: every vertex may found its own cluster at time
   // s_v (bucket floor(s_v)).
-  for (vid v = 0; v < n; ++v) push_prop({v, kNoVertex, start[v], 0});
+  parallel_for(0, n, [&](std::size_t v) {
+    const vid u = static_cast<vid>(v);
+    engine.push_from_worker(static_cast<std::uint64_t>(start[v]),
+                            {u, kNoVertex, start[v], 0});
+  });
+
+  // Per-worker scratch for the round phases: live-proposal/work tallies
+  // and winner lists (padded so the hot path never shares cache lines).
+  const auto workers = static_cast<std::size_t>(num_workers());
+  WorkerCounter tally;
+  std::vector<std::vector<vid>> newly_local(workers);
+  std::vector<vid> newly;
 
   vid assigned = 0;
   std::uint64_t rounds = 0;
-  while (assigned < n && !prop_bucket.empty()) {
-    // Gather this round's proposals: all keys in [t, t+1).
-    auto it = prop_bucket.begin();
-    std::vector<Proposal> props = std::move(it->second);
-    prop_bucket.erase(it);
-    // Drop proposals for vertices settled in earlier rounds.
-    std::erase_if(props, [&](const Proposal& p) { return center_of[p.v] != kNoVertex; });
-    if (props.empty()) continue;
+  std::vector<Proposal> props;
+  std::uint64_t round_key;
+  auto alive = [&](const Proposal& p) {
+    return center[p.v].load(std::memory_order_relaxed) == kNoVertex;
+  };
+  while (assigned < n && (round_key = engine.pop_round(props)) != kNoBucket) {
+    // Min-reduce proposals per vertex (the CRCW priority write), in three
+    // barrier-separated phases. Keys are distinct reals with probability 1;
+    // ties break toward the smaller via-vertex, so the winner — and with it
+    // the whole clustering — is independent of thread count and schedule.
+    // Proposals for vertices settled in earlier rounds ride along dead;
+    // each phase skips them with one relaxed load.
+    parallel_for(0, props.size(), [&](std::size_t i) {
+      const Proposal& p = props[i];
+      if (!alive(p)) return;
+      tally.add(1);
+      atomic_write_min(&best_key[p.v], p.key);
+    });
+    const std::uint64_t live = tally.drain();
+    if (live == 0) continue;  // a fully-stale bucket is not a round
     ++rounds;
     wd::add_round();
-    wd::add_work(props.size());
-    // Min-reduce proposals per vertex (the CRCW priority write). Keys are
-    // distinct real numbers with probability 1; ties break toward the
-    // smaller via-vertex for determinism.
-    std::sort(props.begin(), props.end(), [](const Proposal& a, const Proposal& b) {
-      if (a.v != b.v) return a.v < b.v;
-      if (a.key != b.key) return a.key < b.key;
-      return a.via < b.via;
-    });
-    std::vector<vid> newly;
-    for (std::size_t i = 0; i < props.size(); ++i) {
-      if (i > 0 && props[i].v == props[i - 1].v) continue;  // lost the min-reduce
+    wd::add_work(live);
+    parallel_for(0, props.size(), [&](std::size_t i) {
       const Proposal& p = props[i];
-      if (center_of[p.v] != kNoVertex) continue;  // settled in an earlier round
-      key[p.v] = p.key;
-      if (p.via == kNoVertex) {
-        center_of[p.v] = p.v;  // becomes a center
-      } else {
-        center_of[p.v] = center_of[p.via];
-        parent[p.v] = p.via;
+      if (alive(p) && p.key == best_key[p.v].load(std::memory_order_relaxed)) {
+        atomic_write_min(&best_via[p.v], p.via);
       }
-      hops[p.v] = p.dw;
-      newly.push_back(p.v);
-      ++assigned;
-    }
-    // Expand: settled vertices propagate along their edges. With integer
-    // weights, key + w lands exactly in bucket t + w.
-    std::uint64_t touched = 0;
-    for (vid u : newly) {
-      touched += g.degree(u);
+    });
+    parallel_for(0, props.size(), [&](std::size_t i) {
+      const Proposal& p = props[i];
+      if (p.key != best_key[p.v].load(std::memory_order_relaxed) ||
+          p.via != best_via[p.v].load(std::memory_order_relaxed)) {
+        return;
+      }
+      // p is the round's unique minimum for v up to exact duplicates
+      // (parallel edges of equal weight); the CAS admits one of those.
+      const vid ctr =
+          p.via == kNoVertex ? p.v : center[p.via].load(std::memory_order_relaxed);
+      vid open = kNoVertex;
+      if (center[p.v].compare_exchange_strong(open, ctr, std::memory_order_relaxed)) {
+        key[p.v] = p.key;
+        parent[p.v] = p.via;
+        hops[p.v] = p.dw;
+        newly_local[static_cast<std::size_t>(worker_id())].push_back(p.v);
+      }
+    });
+    // Reset the scratch minima for next rounds (touched vertices only).
+    parallel_for(0, props.size(), [&](std::size_t i) {
+      best_key[props[i].v].store(kInfWeight, std::memory_order_relaxed);
+      best_via[props[i].v].store(kNoVertex, std::memory_order_relaxed);
+    });
+    // Concatenate the per-worker winner lists with an exclusive scan.
+    std::vector<std::size_t> offset(workers);
+    for (std::size_t t = 0; t < workers; ++t) offset[t] = newly_local[t].size();
+    const std::size_t settled_now = exclusive_scan_inplace(offset);
+    newly.resize(settled_now);
+    parallel_for_grain(0, workers, 1, [&](std::size_t t) {
+      std::copy(newly_local[t].begin(), newly_local[t].end(), newly.begin() + offset[t]);
+      newly_local[t].clear();
+    });
+    assigned += static_cast<vid>(settled_now);
+
+    // Expand: settled vertices propagate along their edges into strictly
+    // later buckets (w >= 1), emitting through per-worker staging buffers.
+    // Running after every settlement of the round keeps proposals to
+    // same-round-settled neighbours off the calendar.
+    parallel_for_grain(0, newly.size(), 64, [&](std::size_t i) {
+      const vid u = newly[i];
+      tally.add(g.degree(u));
       for (eid e = g.begin(u); e < g.end(u); ++e) {
         const vid v = g.target(e);
-        if (center_of[v] != kNoVertex) continue;
+        if (center[v].load(std::memory_order_relaxed) != kNoVertex) continue;
         const weight_t w = g.weight(e);
         assert(w >= 1 && w == std::floor(w) &&
                "est_cluster requires positive integer weights");
-        push_prop({v, u, key[u] + w, hops[u] + w});
+        const double k = key[u] + w;
+        engine.push_from_worker(static_cast<std::uint64_t>(k),
+                                {v, u, k, hops[u] + w});
       }
-    }
-    wd::add_work(touched);
+    });
+    wd::add_work(tally.drain());
   }
 
+  std::vector<vid> center_of(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    center_of[v] = center[v].load(std::memory_order_relaxed);
+  });
   c.parent = std::move(parent);
   c.dist_to_center = std::move(hops);
   c.rounds = rounds;

@@ -9,13 +9,17 @@
 // radius <= k beta^-1 log n w.p. >= 1 - n^{1-k}).
 //
 // Two implementations:
-//  * est_cluster — the parallel round-synchronous engine. For integer
-//    weights the key s_u + dist(u,v) of a vertex settled in round t lies
-//    in [t, t+1) and every edge relaxation moves a key to a strictly later
-//    round, so processing integer rounds with a per-round min-reduction is
-//    an EXACT evaluation of the argmin (not the fractional-tie-break
-//    approximation discussed in [MPX13] — integer weights make it free).
-//    Depth = O(delta_max + radius) rounds; work O(m).
+//  * est_cluster — the parallel round-synchronous engine, built on the
+//    shared bucketed frontier engine (parallel/bucket_engine.hpp). For
+//    integer weights the key s_u + dist(u,v) of a vertex settled in round
+//    t lies in [t, t+1) and every edge relaxation moves a key to a
+//    strictly later round, so processing integer rounds with a per-round
+//    min-reduction is an EXACT evaluation of the argmin (not the
+//    fractional-tie-break approximation discussed in [MPX13] — integer
+//    weights make it free). The min-reduction is a CRCW-style atomic
+//    priority write resolved by (key, via) minimum, so the clustering is
+//    identical at every thread count. Depth = O(delta_max + radius)
+//    rounds; work O(m).
 //  * est_cluster_reference — sequential super-source Dijkstra with real
 //    keys. Same draws, same argmin; the test-suite oracle.
 //

@@ -33,6 +33,7 @@
 #include "hopset/weight_reduction.hpp"
 #include "hopset/weighted_hopset.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
 #include "parallel/sort.hpp"

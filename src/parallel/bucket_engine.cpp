@@ -1,0 +1,41 @@
+#include "parallel/bucket_engine.hpp"
+
+namespace parsh {
+namespace detail {
+
+CalendarIndex::CalendarIndex(std::size_t span) : counts_(span == 0 ? 1 : span, 0) {}
+
+void CalendarIndex::note_push(std::uint64_t key, std::size_t count) {
+  counts_[slot_of(key)] += count;
+  in_window_items_ += count;
+}
+
+std::uint64_t CalendarIndex::min_in_window() const {
+  if (in_window_items_ == 0) return kNoBucket;
+  for (std::size_t d = 0; d < span(); ++d) {
+    if (counts_[(cursor_ + d) % span()] != 0) return base_ + d;
+  }
+  return kNoBucket;  // unreachable: in_window_items_ > 0
+}
+
+std::size_t CalendarIndex::take(std::uint64_t key) {
+  const std::size_t slot = slot_of(key);
+  const std::size_t taken = counts_[slot];
+  counts_[slot] = 0;
+  in_window_items_ -= taken;
+  // Slide the window so `key` is the base: the slots for keys before `key`
+  // are empty (pop order is monotone) and rotate to the window's far end.
+  cursor_ = slot;
+  base_ = key;
+  return taken;
+}
+
+void CalendarIndex::rebase(std::uint64_t key) {
+  assert(in_window_items_ == 0 && "rebase requires a drained window");
+  assert(key >= base_ && "the window never moves backwards");
+  cursor_ = 0;
+  base_ = key;
+}
+
+}  // namespace detail
+}  // namespace parsh

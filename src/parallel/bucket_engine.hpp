@@ -1,0 +1,243 @@
+// Bucketed parallel frontier engine: a delta-stepping-style circular
+// calendar over integer keys.
+//
+// Every round-synchronous algorithm in this library shares one control
+// shape: items carry an integer "time" key, the least pending key is
+// processed as one synchronous round, and the round's expansion emits items
+// into the same or strictly later keys. EST clustering (proposals keyed by
+// floor(start + dist)), level-synchronous BFS (levels), delta-stepping
+// (distance buckets) and the Dial search of weighted BFS are all instances.
+// This engine owns that shape once so the consumers stay thin:
+//
+//  * a circular calendar of `span` open buckets (key modulo span), plus an
+//    ordered overflow store for keys beyond the window — memory stays
+//    proportional to the items pending, not to the key range, which matters
+//    after Klein-Subramanian weight rounding blows up the range;
+//  * per-worker staging buffers so expansions running under parallel_for
+//    emit with plain push_backs instead of locks (push_from_worker); the
+//    buffers are compacted into the calendar with an exclusive-scan concat
+//    at round boundaries (flush), never a serial per-item append race;
+//  * one pop_round == one synchronous round, counted for the work/depth
+//    instrumentation story.
+//
+// Keys must never fall behind the engine's current base (the key of the
+// last popped round): all consumers emit at key + w with w >= 0.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+
+namespace parsh {
+
+/// Sentinel returned by min_key / pop_round when the engine is drained.
+inline constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
+
+namespace detail {
+
+/// Occupancy bookkeeping for the circular calendar window: which slot each
+/// in-window key maps to, how many items each slot holds, and where the
+/// least nonempty slot lives. Non-template (items live in BucketEngine) so
+/// the cursor/rebase logic compiles once and is unit-testable on its own.
+class CalendarIndex {
+ public:
+  explicit CalendarIndex(std::size_t span);
+
+  [[nodiscard]] std::size_t span() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t base_key() const { return base_; }
+  [[nodiscard]] bool window_empty() const { return in_window_items_ == 0; }
+
+  /// True iff `key` lands in the open window [base, base + span).
+  [[nodiscard]] bool in_window(std::uint64_t key) const {
+    return key >= base_ && key - base_ < span();
+  }
+
+  /// Calendar slot of an in-window key.
+  [[nodiscard]] std::size_t slot_of(std::uint64_t key) const {
+    assert(in_window(key));
+    return (cursor_ + static_cast<std::size_t>(key - base_)) % span();
+  }
+
+  /// Record `count` items placed in `key`'s slot (key must be in window).
+  void note_push(std::uint64_t key, std::size_t count = 1);
+
+  /// Key of the least nonempty in-window bucket, or kNoBucket if the
+  /// window is empty.
+  [[nodiscard]] std::uint64_t min_in_window() const;
+
+  /// Empty `key`'s slot and advance the window so `key` becomes the base
+  /// (earlier, empty slots rotate to the far end). Returns the number of
+  /// items that were pending in the slot.
+  std::size_t take(std::uint64_t key);
+
+  /// Rotate an empty window forward so `key` becomes the base. Used when
+  /// the calendar drains and the engine refills it from overflow.
+  void rebase(std::uint64_t key);
+
+ private:
+  std::uint64_t base_ = 0;           // key of the slot under the cursor
+  std::size_t cursor_ = 0;           // slot index of base_
+  std::size_t in_window_items_ = 0;  // total items across all slots
+  std::vector<std::size_t> counts_;  // items per slot
+};
+
+}  // namespace detail
+
+/// The engine proper. `Item` is the per-frontier payload (a vertex id, an
+/// EST proposal, ...); it must be cheaply movable.
+template <typename Item>
+class BucketEngine {
+ public:
+  struct Options {
+    /// Open calendar slots. Keys >= base + span overflow into an ordered
+    /// side store and migrate into the window when it drains; a span a
+    /// little beyond the common edge weight keeps overflow off the hot
+    /// path without paying for the full key range.
+    std::size_t span = 64;
+  };
+
+  explicit BucketEngine(Options opt = {})
+      : index_(opt.span),
+        calendar_(index_.span()),
+        staging_(static_cast<std::size_t>(num_workers())) {}
+
+  /// Push from sequential context (seeding, single-threaded consumers).
+  void push(std::uint64_t key, Item item) { place_(key, std::move(item)); }
+
+  /// Push from inside a parallel expansion: lands in the calling worker's
+  /// staging buffer; visible after the next flush()/min_key()/pop_round().
+  void push_from_worker(std::uint64_t key, Item item) {
+    staging_[static_cast<std::size_t>(worker_id())].emplace_back(key, std::move(item));
+  }
+
+  /// Compact the per-worker staging buffers into the calendar: an
+  /// exclusive scan over buffer sizes + parallel move into one contiguous
+  /// block, then a single ordered placement pass (no comparisons, no map
+  /// lookups for in-window keys).
+  void flush() {
+    const std::size_t workers = staging_.size();
+    std::size_t nonempty = 0;
+    std::size_t last = 0;
+    std::vector<std::size_t> offset(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      offset[t] = staging_[t].size();
+      if (offset[t] != 0) {
+        ++nonempty;
+        last = t;
+      }
+    }
+    if (nonempty == 0) return;
+    if (nonempty == 1) {
+      // Single producer (sequential run, or one worker did all the
+      // emitting): place straight from its buffer, skipping the concat.
+      for (Staged& s : staging_[last]) place_(s.first, std::move(s.second));
+      staging_[last].clear();
+      return;
+    }
+    const std::size_t total = exclusive_scan_inplace(offset);
+    std::vector<Staged> merged(total);
+    parallel_for_grain(0, workers, 1, [&](std::size_t t) {
+      std::size_t at = offset[t];
+      for (Staged& s : staging_[t]) merged[at++] = std::move(s);
+      staging_[t].clear();
+    });
+    for (Staged& s : merged) place_(s.first, std::move(s.second));
+  }
+
+  /// Key of the least pending bucket (staged pushes included), or
+  /// kNoBucket when the engine is fully drained.
+  std::uint64_t min_key() {
+    flush();
+    drain_overflow_into_window_();
+    // After the drain every overflow key is >= base + span, i.e. beyond
+    // any in-window key, so the two stores are consulted in order.
+    if (!index_.window_empty()) return index_.min_in_window();
+    if (!overflow_.empty()) return overflow_.begin()->first;
+    return kNoBucket;
+  }
+
+  /// Pop the least pending bucket into `out` (replacing its contents);
+  /// returns the bucket's key, or kNoBucket when drained. One pop is one
+  /// synchronous round.
+  std::uint64_t pop_round(std::vector<Item>& out) {
+    const std::uint64_t key = min_key();
+    if (key == kNoBucket) {
+      out.clear();
+      return kNoBucket;
+    }
+    if (!index_.in_window(key)) refill_from_overflow_(key);
+    std::vector<Item>& slot = calendar_[index_.slot_of(key)];
+    out = std::move(slot);
+    slot.clear();
+    index_.take(key);
+    ++rounds_;
+    return key;
+  }
+
+  /// Synchronous rounds popped so far.
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+  /// Total items ever pushed (staged + placed); a work proxy for benches.
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+
+ private:
+  using Staged = std::pair<std::uint64_t, Item>;
+
+  void place_(std::uint64_t key, Item item) {
+    ++pushed_;
+    if (!index_.in_window(key)) {
+      if (key < index_.base_key()) {
+        // Consumer contract violation (emitting into the past); clamp so
+        // the item is still processed rather than silently lost.
+        assert(false && "BucketEngine: key below current base");
+        key = index_.base_key();
+      } else {
+        overflow_[key].push_back(std::move(item));
+        return;
+      }
+    }
+    calendar_[index_.slot_of(key)].push_back(std::move(item));
+    index_.note_push(key);
+  }
+
+  /// Items that overflowed an earlier window position fall inside the
+  /// window once it advances past their key; fold them into the calendar
+  /// so bucket order stays monotone (an overflow key must never be served
+  /// after a larger in-window key).
+  void drain_overflow_into_window_() {
+    auto it = overflow_.begin();
+    while (it != overflow_.end() && index_.in_window(it->first)) {
+      const std::size_t migrated = it->second.size();
+      std::vector<Item>& slot = calendar_[index_.slot_of(it->first)];
+      if (slot.empty()) {
+        slot = std::move(it->second);
+      } else {
+        for (Item& x : it->second) slot.push_back(std::move(x));
+      }
+      index_.note_push(it->first, migrated);
+      it = overflow_.erase(it);
+    }
+  }
+
+  /// The window drained but overflow has pending keys: rotate the window
+  /// to start at the least overflow key and migrate every now-in-window
+  /// overflow bucket into the calendar.
+  void refill_from_overflow_(std::uint64_t key) {
+    index_.rebase(key);
+    drain_overflow_into_window_();
+  }
+
+  detail::CalendarIndex index_;
+  std::vector<std::vector<Item>> calendar_;  // circular, index_.span() slots
+  std::map<std::uint64_t, std::vector<Item>> overflow_;
+  std::vector<std::vector<Staged>> staging_;  // one buffer per worker
+  std::uint64_t rounds_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace parsh

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #ifdef PARSH_HAVE_OPENMP
 #include <omp.h>
@@ -22,6 +23,45 @@ inline int num_workers() {
   return 1;
 #endif
 }
+
+/// Index of the calling worker in [0, num_workers()). 0 outside parallel
+/// regions; inside a parallel_for body it identifies the executing thread,
+/// so per-worker scratch indexed by it is race-free.
+inline int worker_id() {
+#ifdef PARSH_HAVE_OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Per-worker uint64 accumulator for tallies taken inside parallel loops
+/// (work counters, winner counts). One cache-line-padded slot per worker,
+/// so the hot-path add never contends or false-shares; drain() sums and
+/// resets from sequential context.
+class WorkerCounter {
+ public:
+  WorkerCounter() : slots_(static_cast<std::size_t>(num_workers())) {}
+
+  /// Add from inside a parallel region (race-free per worker).
+  void add(std::uint64_t v) { slots_[static_cast<std::size_t>(worker_id())].v += v; }
+
+  /// Sum all slots and reset them. Call between parallel regions only.
+  std::uint64_t drain() {
+    std::uint64_t total = 0;
+    for (Slot& s : slots_) {
+      total += s.v;
+      s.v = 0;
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::uint64_t v = 0;
+  };
+  std::vector<Slot> slots_;
+};
 
 /// Below this iteration count, parallel_for runs sequentially: spawning
 /// threads for tiny loops costs more than it saves.
@@ -45,7 +85,10 @@ void parallel_for(std::size_t begin, std::size_t end, F f) {
   for (std::size_t i = begin; i < end; ++i) f(i);
 }
 
-/// parallel_for with an explicit grain size (minimum iterations per task).
+/// parallel_for with an explicit grain size: `grain` is both the minimum
+/// iteration count worth going parallel for and the dynamic chunk handed
+/// to each worker. grain=1 parallelizes even tiny loops whose iterations
+/// are individually heavy (per-center BFS, per-worker buffer moves).
 template <typename F>
 void parallel_for_grain(std::size_t begin, std::size_t end, std::size_t grain, F f) {
   if (end <= begin) return;
@@ -53,7 +96,8 @@ void parallel_for_grain(std::size_t begin, std::size_t end, std::size_t grain, F
   if (end - begin >= grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
     const auto b = static_cast<std::int64_t>(begin);
     const auto e = static_cast<std::int64_t>(end);
-#pragma omp parallel for schedule(dynamic, 64)
+    const auto chunk = static_cast<std::int64_t>(grain == 0 ? 1 : grain);
+#pragma omp parallel for schedule(dynamic, chunk)
     for (std::int64_t i = b; i < e; ++i) f(static_cast<std::size_t>(i));
     return;
   }

@@ -4,6 +4,7 @@
 
 #include "graph/validation.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
 #include "parallel/work_depth.hpp"
@@ -12,33 +13,32 @@ namespace parsh {
 
 namespace {
 
-/// Shared frontier-expansion engine. `claim(v, via)` returns true if this
-/// thread settles v (first writer wins).
+/// Level-synchronous BFS on the shared bucketed frontier engine: levels
+/// are consecutive bucket keys, and claimed children are emitted through
+/// the engine's per-worker staging buffers (scan-compacted per round)
+/// instead of a serial per-level concatenation. `claim(v, via, level)`
+/// returns true if this thread settles v (first writer wins).
 template <typename Claim>
 vid run_bfs(const Graph& g, std::vector<vid> frontier, vid max_levels, Claim claim) {
+  BucketEngine<vid> engine({.span = 2});  // only levels k and k+1 are live
+  for (vid v : frontier) engine.push(0, v);
+  frontier.clear();
   vid level = 0;
-  while (!frontier.empty() && level < max_levels) {
+  std::uint64_t key;
+  while ((key = engine.pop_round(frontier)) != kNoBucket) {
+    if (level >= max_levels) break;
     ++level;
-    // Expand: collect candidate (vertex claimed) children.
-    std::vector<std::vector<vid>> local(frontier.size());
-    std::size_t scanned = 0;
+    wd::add_round();
+    wd::add_work(parallel_reduce_sum<std::uint64_t>(
+        frontier.size(), [&](std::size_t i) { return g.degree(frontier[i]); }));
+    const vid next_level = static_cast<vid>(key) + 1;
     parallel_for_grain(0, frontier.size(), 64, [&](std::size_t i) {
       const vid u = frontier[i];
-      std::vector<vid>& mine = local[i];
       for (eid e = g.begin(u); e < g.end(u); ++e) {
         const vid v = g.target(e);
-        if (claim(v, u, level)) mine.push_back(v);
+        if (claim(v, u, next_level)) engine.push_from_worker(key + 1, v);
       }
     });
-    for (const auto& l : local) scanned += l.size();
-    wd::add_round();
-    std::vector<vid> next;
-    next.reserve(scanned);
-    for (auto& l : local) next.insert(next.end(), l.begin(), l.end());
-    std::size_t touched = 0;
-    for (vid u : frontier) touched += g.degree(u);
-    wd::add_work(touched);
-    frontier = std::move(next);
   }
   return level;
 }

@@ -1,8 +1,14 @@
 #include "sssp/delta_stepping.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "parallel/atomics.hpp"
+#include "parallel/bucket_engine.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/sort.hpp"
 #include "parallel/work_depth.hpp"
 
 namespace parsh {
@@ -17,65 +23,80 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta) {
         g.num_vertices() ? static_cast<double>(g.num_arcs()) / g.num_vertices() : 1.0;
     delta = std::max<weight_t>(1.0, g.max_weight() / std::max(1.0, avg_deg));
   }
-  std::vector<std::vector<vid>> buckets;
-  auto bucket_of = [&](weight_t d) {
-    return static_cast<std::size_t>(d / delta);
-  };
-  auto put = [&](vid v, weight_t d) {
-    std::size_t b = bucket_of(d);
-    if (b >= buckets.size()) buckets.resize(b + 1);
-    buckets[b].push_back(v);
-  };
-  r.dist[source] = 0;
-  put(source, 0);
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
-    std::vector<vid> settled;  // all vertices finalized in this bucket
-    while (!buckets[b].empty()) {
-      std::vector<vid> frontier;
-      frontier.swap(buckets[b]);
-      ++r.phases;
-      wd::add_round();
-      std::vector<vid> active;
-      active.reserve(frontier.size());
-      for (vid v : frontier) {
-        if (bucket_of(r.dist[v]) == b) active.push_back(v);
-      }
-      settled.insert(settled.end(), active.begin(), active.end());
-      // Light relaxations (w <= delta) may re-enter this bucket.
-      for (vid u : active) {
-        for (eid e = g.begin(u); e < g.end(u); ++e) {
-          const weight_t w = g.weight(e);
-          if (w > delta) continue;
-          const vid v = g.target(e);
-          const weight_t nd = r.dist[u] + w;
-          ++r.relaxations;
-          if (nd < r.dist[v]) {
-            r.dist[v] = nd;
-            put(v, nd);
-          }
+  auto bucket_of = [&](weight_t d) { return static_cast<std::uint64_t>(d / delta); };
+
+  std::vector<std::atomic<weight_t>> dist(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    dist[v].store(kInfWeight, std::memory_order_relaxed);
+  });
+  // Edges-relaxed tally, per-worker so the per-edge hot path never
+  // touches a contended atomic.
+  WorkerCounter relaxed;
+
+  // Relax u's edges selected by `take`; winners of the atomic min-write
+  // re-enter the calendar at their new bucket.
+  BucketEngine<vid> engine({.span = 64});
+  auto relax_edges = [&](const std::vector<vid>& frontier, auto take) {
+    parallel_for_grain(0, frontier.size(), 64, [&](std::size_t i) {
+      const vid u = frontier[i];
+      const weight_t du = dist[u].load(std::memory_order_relaxed);
+      std::uint64_t count = 0;
+      for (eid e = g.begin(u); e < g.end(u); ++e) {
+        const weight_t w = g.weight(e);
+        if (!take(w)) continue;
+        const vid v = g.target(e);
+        const weight_t nd = du + w;
+        ++count;
+        if (atomic_write_min(&dist[v], nd)) {
+          engine.push_from_worker(bucket_of(nd), v);
         }
       }
+      relaxed.add(count);
+    });
+  };
+
+  dist[source].store(0, std::memory_order_relaxed);
+  engine.push(0, source);
+  std::vector<vid> frontier;
+  std::uint64_t b;
+  while ((b = engine.min_key()) != kNoBucket) {
+    std::vector<vid> settled;  // all vertices finalized in this bucket
+    // Light relaxations (w <= delta) may re-enter this bucket; iterate
+    // until it is drained.
+    while (engine.min_key() == b) {
+      engine.pop_round(frontier);
+      ++r.phases;
+      wd::add_round();
+      // A vertex is queued once per distance improvement; only entries
+      // whose current distance still lands in this bucket are active.
+      std::vector<vid> active = pack_values<vid>(
+          frontier.size(),
+          [&](std::size_t i) {
+            return bucket_of(dist[frontier[i]].load(std::memory_order_relaxed)) == b;
+          },
+          [&](std::size_t i) { return frontier[i]; });
+      settled.insert(settled.end(), active.begin(), active.end());
+      relax_edges(active, [&](weight_t w) { return w <= delta; });
     }
     // Heavy relaxations (w > delta) go to strictly later buckets; done
     // once per settled vertex.
-    std::sort(settled.begin(), settled.end());
+    parallel_sort(settled);
     settled.erase(std::unique(settled.begin(), settled.end()), settled.end());
-    for (vid u : settled) {
-      if (bucket_of(r.dist[u]) != b) continue;
-      for (eid e = g.begin(u); e < g.end(u); ++e) {
-        const weight_t w = g.weight(e);
-        if (w <= delta) continue;
-        const vid v = g.target(e);
-        const weight_t nd = r.dist[u] + w;
-        ++r.relaxations;
-        if (nd < r.dist[v]) {
-          r.dist[v] = nd;
-          put(v, nd);
-        }
-      }
-    }
-    wd::add_work(r.relaxations);
+    std::vector<vid> final_in_b = pack_values<vid>(
+        settled.size(),
+        [&](std::size_t i) {
+          return bucket_of(dist[settled[i]].load(std::memory_order_relaxed)) == b;
+        },
+        [&](std::size_t i) { return settled[i]; });
+    relax_edges(final_in_b, [&](weight_t w) { return w > delta; });
+    // Work charged per bucket is the relaxations *this bucket* performed.
+    const std::uint64_t in_bucket = relaxed.drain();
+    r.relaxations += in_bucket;
+    wd::add_work(in_bucket);
   }
+  parallel_for(0, n, [&](std::size_t v) {
+    r.dist[v] = dist[v].load(std::memory_order_relaxed);
+  });
   return r;
 }
 

@@ -2,21 +2,23 @@
 
 #include <cassert>
 #include <cmath>
-#include <map>
 
 #include "graph/validation.hpp"
+#include "parallel/bucket_engine.hpp"
 #include "parallel/work_depth.hpp"
 
 namespace parsh {
 
 namespace {
 
-/// Dial-style bucketed search over integer weights. Buckets live in an
-/// ordered map so memory scales with the number of *nonempty* distance
-/// values (after Klein-Subramanian rounding the weight range can be large
-/// while the frontier touches few distinct distances). Each nonempty
-/// bucket is one synchronous round in the PRAM reading of the weighted
-/// parallel BFS of Section 5.
+/// Dial-style bucketed search over integer weights, on the shared bucketed
+/// frontier engine: the calendar window covers the common distance values
+/// and the engine's overflow store absorbs far keys (after
+/// Klein-Subramanian rounding the weight range can be large while the
+/// frontier touches few distinct distances). Relaxations stay sequential —
+/// the equal-distance owner tie-break below depends on processing order.
+/// Each nonempty bucket is one synchronous round in the PRAM reading of
+/// the weighted parallel BFS of Section 5.
 struct DialEngine {
   const Graph& g;
   std::vector<weight_t> dist;
@@ -31,20 +33,19 @@ struct DialEngine {
         owner(graph.num_vertices(), kNoVertex) {}
 
   void run(const std::vector<vid>& sources, weight_t limit) {
-    std::map<std::uint64_t, std::vector<vid>> buckets;
+    BucketEngine<vid> buckets({.span = 128});
     for (std::size_t i = 0; i < sources.size(); ++i) {
       const vid s = sources[i];
       if (dist[s] != kInfWeight) continue;  // duplicate source
       dist[s] = 0;
       owner[s] = static_cast<vid>(i);
-      buckets[0].push_back(s);
+      buckets.push(0, s);
     }
-    while (!buckets.empty()) {
-      auto it = buckets.begin();
-      const auto d = static_cast<weight_t>(it->first);
+    std::vector<vid> bucket;
+    std::uint64_t key;
+    while ((key = buckets.pop_round(bucket)) != kNoBucket) {
+      const auto d = static_cast<weight_t>(key);
       if (d > limit) break;
-      std::vector<vid> bucket = std::move(it->second);
-      buckets.erase(it);
       // A vertex may be queued several times (re-inserted on improvement);
       // only entries matching their final distance are settled here.
       std::vector<vid> settled;
@@ -68,7 +69,7 @@ struct DialEngine {
             dist[v] = nd;
             parent[v] = u;
             owner[v] = owner[u];
-            buckets[static_cast<std::uint64_t>(nd)].push_back(v);
+            buckets.push(static_cast<std::uint64_t>(nd), v);
           } else if (nd == dist[v] && owner[u] < owner[v]) {
             // Deterministic tie-break: smaller source index wins. Safe
             // because w >= 1 puts v's bucket strictly after u's, so v has

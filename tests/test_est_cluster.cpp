@@ -4,6 +4,7 @@
 // Lemma 2.2 / Corollary 3.1 and Corollary 2.3.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <set>
@@ -11,6 +12,7 @@
 #include "cluster/cluster_stats.hpp"
 #include "cluster/est_cluster.hpp"
 #include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
 #include "random/rng.hpp"
 
 namespace parsh {
@@ -96,6 +98,58 @@ TEST_P(EngineVsOracle, ParallelEngineMatchesDijkstraOracle) {
 INSTANTIATE_TEST_SUITE_P(Sweep, EngineVsOracle,
                          ::testing::Combine(::testing::Values(0, 1, 2, 3),
                                             ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+class EngineVsOracleRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineVsOracleRandom, MatchesOracleOnRandomGraphs) {
+  // Random topologies, unweighted and with integer weights (including
+  // weights past the engine's calendar span, exercising overflow).
+  const std::uint64_t seed = GetParam();
+  const Graph base = ensure_connected(make_random_graph(220, 700, seed + 50));
+  for (const Graph& g :
+       {base, with_uniform_weights(base, 1, 6, seed + 7),
+        with_uniform_weights(base, 1, 400, seed + 13),
+        with_uniform_weights(make_rmat(200, 800, seed + 21), 1, 9, seed + 3)}) {
+    for (double beta : {0.1, 0.45}) {
+      const Clustering a = est_cluster(g, beta, seed);
+      const Clustering b = est_cluster_reference(g, beta, seed);
+      // parent is not compared: equal-key ties (two equal-length tree
+      // paths from the same center) are broken differently by the oracle's
+      // priority queue, and both parents are valid — validate_clustering
+      // checks the forest instead.
+      EXPECT_EQ(a.cluster_of, b.cluster_of) << "beta=" << beta;
+      EXPECT_EQ(a.center, b.center) << "beta=" << beta;
+      EXPECT_EQ(a.dist_to_center, b.dist_to_center) << "beta=" << beta;
+      EXPECT_TRUE(validate_clustering(g, a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsOracleRandom,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5));
+
+TEST(EstCluster, DeterministicAcrossThreadCounts) {
+  // The round engine's priority writes are schedule-independent: the
+  // clustering must be bit-identical at 1 worker and at many.
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_random_graph(400, 1600, 11)), 1, 5, 17);
+  Clustering one, many;
+#ifdef PARSH_HAVE_OPENMP
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(1);
+  one = est_cluster(g, 0.3, 123);
+  omp_set_num_threads(std::max(4, before));
+  many = est_cluster(g, 0.3, 123);
+  omp_set_num_threads(before);
+#else
+  one = est_cluster(g, 0.3, 123);
+  many = est_cluster(g, 0.3, 123);
+#endif
+  EXPECT_EQ(one.cluster_of, many.cluster_of);
+  EXPECT_EQ(one.center, many.center);
+  EXPECT_EQ(one.parent, many.parent);
+  EXPECT_EQ(one.dist_to_center, many.dist_to_center);
+}
 
 TEST(EstCluster, ShiftsFollowSeededExponential) {
   const auto shifts = est_shifts(1000, 0.5, 77);
