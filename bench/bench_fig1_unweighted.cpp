@@ -23,54 +23,66 @@ int main(int argc, char** argv) {
   const Graph g = workload(wl, n, seed);
   print_header("FIG1-U: unweighted spanners (paper Figure 1, top block)", g, wl.c_str());
 
+  JsonReport report("fig1_unweighted");
   Table table({"k", "algorithm", "size", "size/n^(1+1/k)", "stretch(sampled)",
                "time(s)", "work", "rounds"});
+  auto record = [&](double k, double law, const char* algo,
+                    const std::vector<Edge>& edges, const Run& r, bool parallel) {
+    const double stretch = sampled_edge_stretch(g, edges, 48, seed);
+    Table& row = table.row()
+                     .cell(k, 0)
+                     .cell(algo)
+                     .cell(edges.size())
+                     .cell(static_cast<double>(edges.size()) / law, 2)
+                     .cell(stretch, 2)
+                     .cell(r.seconds, 3);
+    if (parallel) {
+      row.cell(std::to_string(r.counters.work)).cell(std::to_string(r.counters.rounds));
+    } else {
+      row.cell("- (sequential)").cell("-");
+    }
+    JsonReport::Row& jrow = report.row()
+                                .field("bench", "fig1_unweighted")
+                                .field("workload", wl)
+                                .field("n", static_cast<std::uint64_t>(g.num_vertices()))
+                                .field("m", static_cast<std::uint64_t>(g.num_edges()))
+                                .field("k", k)
+                                .field("algorithm", algo)
+                                .field("size", static_cast<std::uint64_t>(edges.size()))
+                                .field("size_over_law", static_cast<double>(edges.size()) / law)
+                                .field("stretch_sampled", stretch)
+                                .field("seconds", r.seconds);
+    // Sequential baselines have no PRAM counters; omit the fields rather
+    // than record a misleading 0 in the cross-PR diff data.
+    if (parallel) {
+      jrow.field("work", r.counters.work).field("rounds", r.counters.rounds);
+    }
+  };
   for (double k : {2.0, 3.0, 4.0, 6.0, 8.0}) {
     const double law = std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
     if (run_greedy) {
       std::vector<Edge> edges;
       const Run r = timed([&] { edges = greedy_spanner(g, k); });
-      table.row()
-          .cell(k, 0)
-          .cell("greedy [ADD+93]")
-          .cell(edges.size())
-          .cell(static_cast<double>(edges.size()) / law, 2)
-          .cell(sampled_edge_stretch(g, edges, 48, seed), 2)
-          .cell(r.seconds, 3)
-          .cell("- (sequential)")
-          .cell("-");
+      record(k, law, "greedy [ADD+93]", edges, r, false);
     }
     {
       std::vector<Edge> edges;
       const Run r =
           timed([&] { edges = baswana_sen_spanner(g, static_cast<int>(k), seed); });
-      table.row()
-          .cell(k, 0)
-          .cell("Baswana-Sen [BS07]")
-          .cell(edges.size())
-          .cell(static_cast<double>(edges.size()) / law, 2)
-          .cell(sampled_edge_stretch(g, edges, 48, seed), 2)
-          .cell(r.seconds, 3)
-          .cell("- (sequential)")
-          .cell("-");
+      record(k, law, "Baswana-Sen [BS07]", edges, r, false);
     }
     {
       SpannerResult sp;
       const Run r = timed([&] { sp = unweighted_spanner(g, k, seed); });
-      table.row()
-          .cell(k, 0)
-          .cell("EST spanner (new)")
-          .cell(sp.edges.size())
-          .cell(static_cast<double>(sp.edges.size()) / law, 2)
-          .cell(sampled_edge_stretch(g, sp.edges, 48, seed), 2)
-          .cell(r.seconds, 3)
-          .cell(std::to_string(r.counters.work))
-          .cell(std::to_string(r.counters.rounds));
+      record(k, law, "EST spanner (new)", sp.edges, r, true);
     }
   }
   table.print("unweighted spanners");
   std::printf("\nReading guide: the paper's Figure 1 asserts (i) EST size/n^(1+1/k)\n"
               "stays ~constant while Baswana-Sen's grows ~k, (ii) EST stretch is a\n"
               "constant multiple of k, (iii) EST work is O(m), independent of k.\n");
+  const std::string path = report.save();
+  if (path.empty()) return 1;
+  std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

@@ -32,33 +32,46 @@ int main(int argc, char** argv) {
                            64.0, seed + 1)});
   workloads.push_back({"hypercube", make_hypercube(static_cast<int>(std::log2(n)))});
 
+  JsonReport report("tree_stretch");
   Table t({"workload", "tree", "avg stretch", "max stretch", "total weight",
            "time(s)"});
+  auto record = [&](const Workload& w, const char* algo, const TreeResult& tree,
+                    double secs) {
+    const TreeStretch s = tree_stretch(w.graph, tree.edges);
+    double total = 0;
+    for (const Edge& e : tree.edges) total += e.w;
+    t.row().cell(w.name).cell(algo).cell(s.average, 2).cell(s.maximum, 1)
+        .cell(total, 0).cell(secs, 3);
+    report.row()
+        .field("bench", "tree_stretch")
+        .field("workload", w.name)
+        .field("n", static_cast<std::uint64_t>(w.graph.num_vertices()))
+        .field("m", static_cast<std::uint64_t>(w.graph.num_edges()))
+        .field("algorithm", algo)
+        .field("avg_stretch", s.average)
+        .field("max_stretch", s.maximum)
+        .field("total_weight", total)
+        .field("seconds", secs)
+        .field("iterations", tree.iterations);
+  };
   for (const Workload& w : workloads) {
     {
       Timer timer;
       const TreeResult mst = minimum_spanning_tree(w.graph);
-      const double secs = timer.seconds();
-      const TreeStretch s = tree_stretch(w.graph, mst.edges);
-      double total = 0;
-      for (const Edge& e : mst.edges) total += e.w;
-      t.row().cell(w.name).cell("MST (Kruskal)").cell(s.average, 2).cell(s.maximum, 1)
-          .cell(total, 0).cell(secs, 3);
+      record(w, "MST (Kruskal)", mst, timer.seconds());
     }
     {
       Timer timer;
       const TreeResult akpw = akpw_low_stretch_tree(w.graph, 2.0, seed);
-      const double secs = timer.seconds();
-      const TreeStretch s = tree_stretch(w.graph, akpw.edges);
-      double total = 0;
-      for (const Edge& e : akpw.edges) total += e.w;
-      t.row().cell(w.name).cell("AKPW via EST").cell(s.average, 2).cell(s.maximum, 1)
-          .cell(total, 0).cell(secs, 3);
+      record(w, "AKPW via EST", akpw, timer.seconds());
     }
   }
   t.print("TREE: spanning tree stretch (intro lineage ablation)");
   std::printf("\nReading guide: MST minimizes total weight but ignores stretch;\n"
               "the EST-contraction tree trades a little weight for bounded-ish\n"
               "average stretch — the property low-stretch embeddings need.\n");
+  const std::string path = report.save();
+  if (path.empty()) return 1;
+  std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

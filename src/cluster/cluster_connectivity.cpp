@@ -21,9 +21,17 @@ ClusterConnectivityResult cluster_connectivity(const Graph& g, std::uint64_t see
   // Work on unit weights: connectivity ignores lengths.
   Graph quotient = g.as_unweighted();
 
+  // One workspace across the quotient loop: the first round warms the
+  // bucket engine and the priority arrays at full size, and every later
+  // round runs on a strictly smaller quotient inside the same buffers —
+  // zero engine heap allocations (ws.engine_alloc_events() stops moving,
+  // pinned by the reuse test in tests/test_est_cluster.cpp).
+  EstClusterWorkspace ws;
   while (quotient.num_edges() > 0) {
     ++out.rounds;
-    const Clustering c = est_cluster(quotient, beta, seed + out.rounds);
+    const Clustering c = est_cluster(quotient, beta, seed + out.rounds, ws);
+    if (out.rounds == 1) out.engine_allocs_first_round = ws.engine_alloc_events();
+    out.engine_allocs_total = ws.engine_alloc_events();
     // Contract every cluster; re-point host labels through the clustering.
     const QuotientGraph q = quotient_graph(quotient, c.cluster_of, c.num_clusters);
     for (vid v = 0; v < n; ++v) label[v] = c.cluster_of[label[v]];

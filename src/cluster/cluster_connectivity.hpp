@@ -25,6 +25,12 @@ struct ClusterConnectivityResult {
   vid num_components = 0;
   /// Contraction rounds executed (depth proxy; O(log n) w.h.p.).
   std::uint64_t rounds = 0;
+  /// Bucket-engine heap-allocation events after the first quotient round
+  /// and in total: equal iff every warm round ran entirely inside the
+  /// reused clustering workspace (the zero-allocation guarantee the test
+  /// suite pins down).
+  std::uint64_t engine_allocs_first_round = 0;
+  std::uint64_t engine_allocs_total = 0;
 };
 
 /// Compute connected components by iterated EST-cluster contraction.

@@ -18,10 +18,16 @@
 namespace parsh {
 
 std::vector<double> est_shifts(vid n, double beta, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> delta(n);
-  parallel_for(0, n, [&](std::size_t v) { delta[v] = rng.exponential(v, beta); });
+  std::vector<double> delta;
+  est_shifts_into(delta, n, beta, seed);
   return delta;
+}
+
+void est_shifts_into(std::vector<double>& out, vid n, double beta,
+                     std::uint64_t seed) {
+  const Rng rng(seed);
+  out.resize(n);
+  parallel_for(0, n, [&](std::size_t v) { out[v] = rng.exponential(v, beta); });
 }
 
 std::vector<vid> Clustering::sizes() const {
@@ -95,18 +101,50 @@ void finalize_labels(Clustering& c, const std::vector<vid>& center_of) {
   parallel_for(0, n, [&](std::size_t v) { c.cluster_of[v] = remap[center_of[v]]; });
 }
 
-/// A claim on vertex `v` through neighbour `via` (kNoVertex = v starts its
-/// own cluster) with key = s_center + dist(center, v) and tree distance dw.
-struct Proposal {
-  vid v;
-  vid via;
-  double key;
-  weight_t dw;
-};
-
 }  // namespace
 
+EstClusterWorkspace::EstClusterWorkspace()
+    : engine_({.span = 256}),
+      newly_local_(static_cast<std::size_t>(num_workers())),
+      offset_(static_cast<std::size_t>(num_workers())) {}
+
+void EstClusterWorkspace::ensure_(vid n) {
+  // The worker count may have been raised since construction (the engine
+  // handles its own staging in reset()); the per-worker winner lists and
+  // scan scratch are indexed by worker_id() and must cover it too.
+  const auto workers = static_cast<std::size_t>(num_workers());
+  if (workers > newly_local_.size()) {
+    newly_local_.resize(workers);
+    offset_.resize(workers);
+    tally_ = WorkerCounter();
+  }
+  if (static_cast<std::size_t>(n) <= vertex_capacity_) return;
+  ++grow_events_;
+  // Geometric headroom: a driver whose quotient sizes creep upwards
+  // (AKPW's weight classes can enlarge the active component set) pays
+  // O(log n) reallocations, not one per new high-water mark.
+  const std::size_t cap = std::max<std::size_t>(n, 2 * vertex_capacity_);
+  start_.resize(cap);
+  key_.resize(cap);
+  parent_.resize(cap);
+  hops_.resize(cap);
+  center_of_.resize(cap);
+  // std::atomic is immovable, so the atomic arrays are reconstructed at
+  // the new size (their values are re-initialized per call anyway).
+  center_ = std::vector<std::atomic<vid>>(cap);
+  best_key_ = std::vector<std::atomic<double>>(cap);
+  best_via_ = std::vector<std::atomic<vid>>(cap);
+  best_packed_ = std::vector<std::atomic<std::uint64_t>>(cap);
+  vertex_capacity_ = cap;
+}
+
 Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed) {
+  EstClusterWorkspace ws;
+  return est_cluster(g, beta, seed, ws);
+}
+
+Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
+                       EstClusterWorkspace& ws) {
   require_integer_weights(g, "est_cluster");
   if (!(beta > 0)) throw std::invalid_argument("est_cluster: beta must be positive");
   const vid n = g.num_vertices();
@@ -115,106 +153,173 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed) {
   c.dist_to_center.assign(n, 0);
   if (n == 0) return c;
 
-  const std::vector<double> delta = est_shifts(n, beta, seed);
+  ws.ensure_(n);
+  ws.engine_.reset();
+
+  // Same draws as est_shifts, written into the reused start buffer:
+  // first the raw delta, then start = delta_max - delta in place.
+  std::vector<double>& start = ws.start_;
+  est_shifts_into(start, n, beta, seed);
   const double delta_max =
-      parallel_reduce_max<double>(n, [&](std::size_t v) { return delta[v]; }, 0.0);
-
+      parallel_reduce_max<double>(n, [&](std::size_t v) { return start[v]; }, 0.0);
   // Start time per vertex; key(v) = s_u + dist(u,v) for its final center u.
-  std::vector<double> start(n);
-  parallel_for(0, n, [&](std::size_t v) { start[v] = delta_max - delta[v]; });
+  parallel_for(0, n, [&](std::size_t v) { start[v] = delta_max - start[v]; });
 
-  std::vector<double> key(n, kInfWeight);
-  std::vector<vid> parent(n, kNoVertex);
-  std::vector<weight_t> hops(n, 0);
+  std::vector<double>& key = ws.key_;
+  std::vector<vid>& parent = ws.parent_;
+  std::vector<weight_t>& hops = ws.hops_;
   // Settled state: the claimed center per vertex (kNoVertex = open).
-  std::vector<std::atomic<vid>> center(n);
+  std::vector<std::atomic<vid>>& center = ws.center_;
   // Per-round CRCW priority-write scratch: the minimum proposal key seen
-  // for v this round, and the smallest via among proposals at that key.
-  // Reset per round for the touched vertices only.
-  std::vector<std::atomic<double>> best_key(n);
-  std::vector<std::atomic<vid>> best_via(n);
+  // for v this round, and the smallest via among proposals at that key —
+  // either as the (best_key, best_via) pair of the three-phase reduce or
+  // as the single packed word of the fast path. Reset per round for the
+  // touched vertices only.
+  std::vector<std::atomic<double>>& best_key = ws.best_key_;
+  std::vector<std::atomic<vid>>& best_via = ws.best_via_;
+  std::vector<std::atomic<std::uint64_t>>& best_packed = ws.best_packed_;
   parallel_for(0, n, [&](std::size_t v) {
+    key[v] = kInfWeight;
+    parent[v] = kNoVertex;
+    hops[v] = 0;
     center[v].store(kNoVertex, std::memory_order_relaxed);
     best_key[v].store(kInfWeight, std::memory_order_relaxed);
     best_via[v].store(kNoVertex, std::memory_order_relaxed);
+    best_packed[v].store(kPackedInf, std::memory_order_relaxed);
   });
 
   // Proposals live in the shared bucketed frontier engine; with integer
   // weights every key s_u + dist lands in bucket floor(key) and every edge
   // relaxation moves a proposal to a strictly later bucket, so one popped
   // bucket is one exact synchronous round of the CRCW algorithm.
-  BucketEngine<Proposal> engine({.span = 256});
+  BucketEngine<EstProposal>& engine = ws.engine_;
+  // Calendar alignment: every vertex settles by time s_v <= delta_max, so
+  // the settlement mass concentrates just below delta_max — whose value
+  // shifts with n across the iterated drivers' calls. Offsetting bucket
+  // keys so floor(delta_max) always lands on the same calendar slot makes
+  // the per-slot demand profile nest across shrinking warm calls, which is
+  // what lets them reuse every slot buffer without growing it. The offset
+  // is bookkeeping only: bucket = floor(key) + cal_off, popped in the same
+  // order, with the true round recovered by subtraction.
+  const std::uint64_t span = engine.span();
+  const std::uint64_t cal_off =
+      (span - static_cast<std::uint64_t>(delta_max) % span) % span;
+  engine.start_at(cal_off);  // seeds occupy [cal_off, cal_off + delta_max]
   // Self-start proposals: every vertex may found its own cluster at time
   // s_v (bucket floor(s_v)).
   parallel_for(0, n, [&](std::size_t v) {
     const vid u = static_cast<vid>(v);
-    engine.push_from_worker(static_cast<std::uint64_t>(start[v]),
+    engine.push_from_worker(static_cast<std::uint64_t>(start[v]) + cal_off,
                             {u, kNoVertex, start[v], 0});
   });
 
   // Per-worker scratch for the round phases: live-proposal/work tallies
   // and winner lists (padded so the hot path never shares cache lines).
-  const auto workers = static_cast<std::size_t>(num_workers());
-  WorkerCounter tally;
-  std::vector<std::vector<vid>> newly_local(workers);
-  std::vector<vid> newly;
+  const std::size_t workers = ws.newly_local_.size();
+  WorkerCounter& tally = ws.tally_;
+  std::vector<std::vector<vid>>& newly_local = ws.newly_local_;
+  std::vector<vid>& newly = ws.newly_;
+
+  // The packed fast path needs every via id representable in 24 bits
+  // (kPackedNoVia is reserved for kNoVertex).
+  const bool via_packs = !ws.force_three_phase_ &&
+                         static_cast<std::uint64_t>(n) <= kPackedNoVia;
 
   vid assigned = 0;
   std::uint64_t rounds = 0;
-  std::vector<Proposal> props;
+  std::vector<EstProposal>& props = ws.props_;
   std::uint64_t round_key;
-  auto alive = [&](const Proposal& p) {
+  auto alive = [&](const EstProposal& p) {
     return center[p.v].load(std::memory_order_relaxed) == kNoVertex;
   };
+  // Phase "settle": p won the round's priority write for p.v; the CAS
+  // admits one of possibly several exact duplicates (parallel edges of
+  // equal weight carry identical (key, via, dw)), so the settled state is
+  // schedule-independent either way.
+  auto settle = [&](const EstProposal& p) {
+    const vid ctr =
+        p.via == kNoVertex ? p.v : center[p.via].load(std::memory_order_relaxed);
+    vid open = kNoVertex;
+    if (center[p.v].compare_exchange_strong(open, ctr, std::memory_order_relaxed)) {
+      key[p.v] = p.key;
+      parent[p.v] = p.via;
+      hops[p.v] = p.dw;
+      newly_local[static_cast<std::size_t>(worker_id())].push_back(p.v);
+    }
+  };
   while (assigned < n && (round_key = engine.pop_round(props)) != kNoBucket) {
-    // Min-reduce proposals per vertex (the CRCW priority write), in three
-    // barrier-separated phases. Keys are distinct reals with probability 1;
-    // ties break toward the smaller via-vertex, so the winner — and with it
-    // the whole clustering — is independent of thread count and schedule.
-    // Proposals for vertices settled in earlier rounds ride along dead;
-    // each phase skips them with one relaxed load.
-    parallel_for(0, props.size(), [&](std::size_t i) {
-      const Proposal& p = props[i];
-      if (!alive(p)) return;
-      tally.add(1);
-      atomic_write_min(&best_key[p.v], p.key);
-    });
-    const std::uint64_t live = tally.drain();
-    if (live == 0) continue;  // a fully-stale bucket is not a round
+    round_key -= cal_off;  // back to the true time floor(key)
+    // Min-reduce proposals per vertex (the CRCW priority write). Keys are
+    // distinct reals with probability 1; ties break toward the smaller
+    // via-vertex, so the winner — and with it the whole clustering — is
+    // independent of thread count and schedule. Proposals for vertices
+    // settled in earlier rounds ride along dead; each phase skips them
+    // with one relaxed load.
+    //
+    // Two equivalent reduction strategies, chosen per round:
+    //  * packed fast path — the round's keys quantize order-exactly into
+    //    40 bits (atomics.hpp), so (key, via) fuses into one 64-bit word
+    //    and the reduce is a single atomic_write_min pass;
+    //  * three-phase fallback — min key, then min via at that key, then
+    //    settle, barrier-separated.
+    // Both compute the same argmin, so the output is bit-identical.
+    std::uint64_t live;
+    if (via_packs && packed_round_fits(round_key)) {
+      const std::uint64_t base_bits =
+          double_order_bits(static_cast<double>(round_key));
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        const EstProposal& p = props[i];
+        if (!alive(p)) return;
+        tally.add(1);
+        atomic_write_min(&best_packed[p.v], pack_key_via(p.key, base_bits, p.via));
+      });
+      live = tally.drain();
+      if (live == 0) continue;  // a fully-stale bucket is not a round
+      ++ws.packed_rounds_;
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        const EstProposal& p = props[i];
+        if (best_packed[p.v].load(std::memory_order_relaxed) ==
+            pack_key_via(p.key, base_bits, p.via)) {
+          settle(p);
+        }
+      });
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        best_packed[props[i].v].store(kPackedInf, std::memory_order_relaxed);
+      });
+    } else {
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        const EstProposal& p = props[i];
+        if (!alive(p)) return;
+        tally.add(1);
+        atomic_write_min(&best_key[p.v], p.key);
+      });
+      live = tally.drain();
+      if (live == 0) continue;  // a fully-stale bucket is not a round
+      ++ws.fallback_rounds_;
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        const EstProposal& p = props[i];
+        if (alive(p) && p.key == best_key[p.v].load(std::memory_order_relaxed)) {
+          atomic_write_min(&best_via[p.v], p.via);
+        }
+      });
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        const EstProposal& p = props[i];
+        if (p.key == best_key[p.v].load(std::memory_order_relaxed) &&
+            p.via == best_via[p.v].load(std::memory_order_relaxed)) {
+          settle(p);
+        }
+      });
+      // Reset the scratch minima for next rounds (touched vertices only).
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        best_key[props[i].v].store(kInfWeight, std::memory_order_relaxed);
+        best_via[props[i].v].store(kNoVertex, std::memory_order_relaxed);
+      });
+    }
     ++rounds;
     wd::add_round();
     wd::add_work(live);
-    parallel_for(0, props.size(), [&](std::size_t i) {
-      const Proposal& p = props[i];
-      if (alive(p) && p.key == best_key[p.v].load(std::memory_order_relaxed)) {
-        atomic_write_min(&best_via[p.v], p.via);
-      }
-    });
-    parallel_for(0, props.size(), [&](std::size_t i) {
-      const Proposal& p = props[i];
-      if (p.key != best_key[p.v].load(std::memory_order_relaxed) ||
-          p.via != best_via[p.v].load(std::memory_order_relaxed)) {
-        return;
-      }
-      // p is the round's unique minimum for v up to exact duplicates
-      // (parallel edges of equal weight); the CAS admits one of those.
-      const vid ctr =
-          p.via == kNoVertex ? p.v : center[p.via].load(std::memory_order_relaxed);
-      vid open = kNoVertex;
-      if (center[p.v].compare_exchange_strong(open, ctr, std::memory_order_relaxed)) {
-        key[p.v] = p.key;
-        parent[p.v] = p.via;
-        hops[p.v] = p.dw;
-        newly_local[static_cast<std::size_t>(worker_id())].push_back(p.v);
-      }
-    });
-    // Reset the scratch minima for next rounds (touched vertices only).
-    parallel_for(0, props.size(), [&](std::size_t i) {
-      best_key[props[i].v].store(kInfWeight, std::memory_order_relaxed);
-      best_via[props[i].v].store(kNoVertex, std::memory_order_relaxed);
-    });
     // Concatenate the per-worker winner lists with an exclusive scan.
-    std::vector<std::size_t> offset(workers);
+    std::vector<std::size_t>& offset = ws.offset_;
     for (std::size_t t = 0; t < workers; ++t) offset[t] = newly_local[t].size();
     const std::size_t settled_now = exclusive_scan_inplace(offset);
     newly.resize(settled_now);
@@ -238,19 +343,22 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed) {
         assert(w >= 1 && w == std::floor(w) &&
                "est_cluster requires positive integer weights");
         const double k = key[u] + w;
-        engine.push_from_worker(static_cast<std::uint64_t>(k),
+        engine.push_from_worker(static_cast<std::uint64_t>(k) + cal_off,
                                 {v, u, k, hops[u] + w});
       }
     });
     wd::add_work(tally.drain());
   }
 
-  std::vector<vid> center_of(n);
+  std::vector<vid>& center_of = ws.center_of_;
+  center_of.resize(n);  // finalize_labels reads the size as the vertex count
   parallel_for(0, n, [&](std::size_t v) {
     center_of[v] = center[v].load(std::memory_order_relaxed);
   });
-  c.parent = std::move(parent);
-  c.dist_to_center = std::move(hops);
+  // Copy (not move) the settled arrays out so the workspace keeps its
+  // capacity for the next call.
+  c.parent.assign(parent.begin(), parent.begin() + n);
+  c.dist_to_center.assign(hops.begin(), hops.begin() + n);
   c.rounds = rounds;
   finalize_labels(c, center_of);
   return c;

@@ -28,10 +28,12 @@
 // trivially qualify.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "parallel/bucket_engine.hpp"
 
 namespace parsh {
 
@@ -56,9 +58,94 @@ struct Clustering {
   [[nodiscard]] std::vector<vid> sizes() const;
 };
 
+/// A claim on vertex `v` through neighbour `via` (kNoVertex = v starts its
+/// own cluster) with key = s_center + dist(center, v) and tree distance dw.
+/// The payload of the bucketed frontier engine inside est_cluster.
+struct EstProposal {
+  vid v;
+  vid via;
+  double key;
+  weight_t dw;
+};
+
+class EstClusterWorkspace;
+
 /// Parallel EST clustering. `seed` fixes the delta draws; results are
 /// deterministic in (graph, beta, seed).
 Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed);
+
+/// Same algorithm, same output, but every allocation that can outlive one
+/// call lives in `ws`: the bucket engine (calendar slots, staging buffers,
+/// overflow store) and the per-vertex priority arrays. Iterated drivers —
+/// cluster_connectivity's quotient loop, AKPW's weight classes, the
+/// spanner levels, the hopset recursion — pass one workspace across calls
+/// so warm calls on graphs no larger than already seen do zero engine heap
+/// allocations (for runs whose key spread fits the calendar span, as all
+/// the drivers' do; overflow-store map nodes are per-run). This overload
+/// also enables the packed-word fast path: when
+/// a round's key range quantizes into 40 bits (see atomics.hpp), the
+/// three-phase (key, via) min-reduce collapses into a single
+/// atomic_write_min on a packed 64-bit word, bit-identical to the
+/// three-phase result at every thread count.
+Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
+                       EstClusterWorkspace& ws);
+
+/// Reusable scratch for est_cluster: one BucketEngine plus the per-vertex
+/// priority arrays, grown monotonically and never shrunk. Not thread-safe
+/// across concurrent est_cluster calls (one workspace per call chain).
+class EstClusterWorkspace {
+ public:
+  EstClusterWorkspace();
+
+  /// Heap-allocation events inside the bucket engine so far (cumulative).
+  /// A warm call that reuses every buffer leaves this unchanged — the
+  /// reuse guarantee the iterated drivers' tests pin down.
+  [[nodiscard]] std::uint64_t engine_alloc_events() const {
+    return engine_.alloc_events();
+  }
+  /// Times the per-vertex arrays had to grow (once per high-water n).
+  [[nodiscard]] std::uint64_t array_grow_events() const { return grow_events_; }
+  /// Rounds resolved by the packed-word fast path / the three-phase
+  /// fallback (cumulative across calls; diagnostics and tests).
+  [[nodiscard]] std::uint64_t packed_rounds() const { return packed_rounds_; }
+  [[nodiscard]] std::uint64_t fallback_rounds() const { return fallback_rounds_; }
+
+  /// Test hook: force the three-phase reduce even when a round's keys
+  /// would fit the packed word (for packed-vs-fallback equivalence tests).
+  void force_three_phase(bool on) { force_three_phase_ = on; }
+
+ private:
+  friend Clustering est_cluster(const Graph&, double, std::uint64_t,
+                                EstClusterWorkspace&);
+
+  /// Grow every per-vertex array to hold n vertices (no-op when already
+  /// large enough; the atomic arrays are reconstructed, the plain ones
+  /// resized in place).
+  void ensure_(vid n);
+
+  BucketEngine<EstProposal> engine_;
+  // Per-vertex state (sized to the high-water n; only [0, n) touched).
+  std::vector<double> start_;     // delta draws, then start times
+  std::vector<double> key_;       // settled key per vertex
+  std::vector<vid> parent_;       // settled tree parent
+  std::vector<weight_t> hops_;    // settled tree distance
+  std::vector<vid> center_of_;    // final center per vertex (densify input)
+  std::vector<std::atomic<vid>> center_;      // claimed center (kNoVertex = open)
+  std::vector<std::atomic<double>> best_key_;             // three-phase scratch
+  std::vector<std::atomic<vid>> best_via_;                // three-phase scratch
+  std::vector<std::atomic<std::uint64_t>> best_packed_;   // packed-word scratch
+  // Per-round scratch independent of n.
+  std::vector<EstProposal> props_;            // the popped bucket
+  std::vector<std::vector<vid>> newly_local_; // per-worker winner lists
+  std::vector<vid> newly_;                    // concatenated winners
+  std::vector<std::size_t> offset_;           // winner-concat scan
+  WorkerCounter tally_;
+  std::size_t vertex_capacity_ = 0;
+  std::uint64_t grow_events_ = 0;
+  std::uint64_t packed_rounds_ = 0;
+  std::uint64_t fallback_rounds_ = 0;
+  bool force_three_phase_ = false;
+};
 
 /// Sequential exact oracle (super-source Dijkstra over real-valued keys).
 Clustering est_cluster_reference(const Graph& g, double beta, std::uint64_t seed);
@@ -66,5 +153,10 @@ Clustering est_cluster_reference(const Graph& g, double beta, std::uint64_t seed
 /// The delta_u draws both implementations use (exposed for tests and for
 /// the diagnostics in cluster_stats).
 std::vector<double> est_shifts(vid n, double beta, std::uint64_t seed);
+
+/// est_shifts into a caller-owned buffer (resized to n, capacity reused):
+/// the allocation-free variant for iterated drivers like the distributed
+/// spanner port that redraw shifts per run.
+void est_shifts_into(std::vector<double>& out, vid n, double beta, std::uint64_t seed);
 
 }  // namespace parsh

@@ -37,6 +37,11 @@ struct BuildContext {
   double rho;
   vid n_final;
   HopsetResult* result;
+  /// One clustering workspace for the whole recursion: the level-0 call
+  /// warms the engine at full size; every recursive call clusters a
+  /// strictly smaller induced subgraph inside the same buffers. Safe
+  /// because hopset_recurse descends into sibling clusters sequentially.
+  EstClusterWorkspace* ws;
 };
 
 std::uint64_t splitmix_hash_impl(std::uint64_t x) {
@@ -63,7 +68,7 @@ void hopset_recurse(const Subgraph& sub, double beta, std::uint64_t level,
   if (n <= ctx.n_final) return;  // Line 1: base case
 
   // Line 2: exponential start time clustering.
-  const Clustering c = est_cluster(g, beta, seed);
+  const Clustering c = est_cluster(g, beta, seed, *ctx.ws);
   ++out.clusterings;
   out.rounds += c.rounds;
   const std::vector<vid> sizes = c.sizes();
@@ -159,7 +164,8 @@ HopsetResult build_hopset(const Graph& g, const HopsetParams& p) {
           ? p.n_final_override
           : std::max<vid>(p.n_final_floor,
                           static_cast<vid>(std::pow(static_cast<double>(n), p.gamma1)));
-  BuildContext ctx{p, hopset_growth(n, p), hopset_rho(n, p), n_final, &out};
+  EstClusterWorkspace ws;
+  BuildContext ctx{p, hopset_growth(n, p), hopset_rho(n, p), n_final, &out, &ws};
   out.growth = ctx.growth;
   out.rho = ctx.rho;
   out.n_final = ctx.n_final;

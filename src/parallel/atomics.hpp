@@ -1,9 +1,16 @@
 // CAS-loop atomic combining operations (the CRCW PRAM "priority write").
 // EST clustering and the round-synchronous SSSP routines resolve concurrent
-// writes to the same vertex with these.
+// writes to the same vertex with these, plus the packed 64-bit
+// (quantized key, via) priority word that lets a (key, via) lexicographic
+// min-reduce run as a single atomic_write_min instead of three
+// barrier-separated phases.
 #pragma once
 
 #include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "util/types.hpp"
 
 namespace parsh {
 
@@ -37,6 +44,61 @@ bool atomic_write_max(std::atomic<T>* addr, T value) {
 template <typename T>
 bool atomic_cas(std::atomic<T>* addr, T expected, T desired) {
   return addr->compare_exchange_strong(expected, desired, std::memory_order_relaxed);
+}
+
+// ---- packed (quantized key, via) priority word ------------------------------
+//
+// A round-synchronous CRCW min-reduce over (key, via) pairs — key a
+// non-negative double, via a vertex id, ties toward the smaller via — can be
+// collapsed into ONE atomic_write_min per proposal when both halves fit one
+// 64-bit word: high 40 bits the quantized key, low 24 bits the via. The
+// quantization must be *exactly* order-isomorphic to double comparison or
+// the packed winner could differ from the three-phase winner; we get that
+// for free from IEEE-754: for non-negative finite doubles the raw bit
+// pattern, read as an unsigned integer, is strictly monotone in the value.
+// Within one engine round every key lies in [t, t+1) (t = the bucket key),
+// so the ULP offset  bits(key) - bits(double(t))  is an injective, monotone
+// image of the key. It fits 40 bits iff [t, t+1) holds at most 2^40
+// representable doubles, i.e. once t >= 2^12 (spacing >= 2^-40) — exactly
+// the regime Klein-Subramanian weight rounding pushes keys into. Rounds
+// whose key range does not fit fall back to the three-phase reduce.
+
+/// Bits of the packed word reserved for the via vertex id.
+inline constexpr int kPackedViaBits = 24;
+/// Largest packable real via id is kPackedNoVia - 1; kNoVertex maps to
+/// kPackedNoVia so a self-start proposal still loses via-ties to any
+/// relayed proposal, matching atomic_write_min on raw vids.
+inline constexpr std::uint64_t kPackedNoVia = (std::uint64_t{1} << kPackedViaBits) - 1;
+/// Quantized keys must stay below 2^40 so (qkey << 24 | via) fits 64 bits.
+inline constexpr std::uint64_t kPackedKeyLimit = std::uint64_t{1} << 40;
+/// "No proposal yet" — larger than every real packed word except the one
+/// degenerate (max qkey, kPackedNoVia) self-start word, which is unique per
+/// vertex per round and therefore harmless.
+inline constexpr std::uint64_t kPackedInf = ~std::uint64_t{0};
+
+/// Order-preserving unsigned image of a non-negative finite double.
+inline std::uint64_t double_order_bits(double x) {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+/// True iff every double in round `round_key`'s interval [t, t+1)
+/// quantizes (as a ULP offset from double(t)) into < 2^40 values. The
+/// t < 2^52 guard keeps double(t) exact and the interval well-formed.
+inline bool packed_round_fits(std::uint64_t round_key) {
+  if (round_key >= (std::uint64_t{1} << 52)) return false;
+  const std::uint64_t lo = double_order_bits(static_cast<double>(round_key));
+  const std::uint64_t hi = double_order_bits(static_cast<double>(round_key) + 1.0);
+  return hi - lo <= kPackedKeyLimit;
+}
+
+/// Pack (key, via) for a round whose base word is `base_bits` =
+/// double_order_bits(double(round_key)). Requires packed_round_fits(round)
+/// and via < kPackedNoVia (or via == kNoVertex). Lexicographic order of
+/// (key, via) — kNoVertex ordered last — equals integer order of the word.
+inline std::uint64_t pack_key_via(double key, std::uint64_t base_bits, vid via) {
+  const std::uint64_t qkey = double_order_bits(key) - base_bits;
+  const std::uint64_t packed_via = via == kNoVertex ? kPackedNoVia : via;
+  return (qkey << kPackedViaBits) | packed_via;
 }
 
 }  // namespace parsh

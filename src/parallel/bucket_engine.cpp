@@ -1,5 +1,7 @@
 #include "parallel/bucket_engine.hpp"
 
+#include <algorithm>
+
 namespace parsh {
 namespace detail {
 
@@ -33,8 +35,19 @@ std::size_t CalendarIndex::take(std::uint64_t key) {
 void CalendarIndex::rebase(std::uint64_t key) {
   assert(in_window_items_ == 0 && "rebase requires a drained window");
   assert(key >= base_ && "the window never moves backwards");
-  cursor_ = 0;
+  // Keep cursor ≡ base (mod span): slot_of(k) is then always k % span,
+  // so a key reuses the same physical slot (and its grown buffer) across
+  // overflow refills and across engine reuse — take() preserves this
+  // invariant too, since it sets cursor to the popped key's slot.
+  cursor_ = static_cast<std::size_t>(key % span());
   base_ = key;
+}
+
+void CalendarIndex::reset() {
+  base_ = 0;
+  cursor_ = 0;
+  in_window_items_ = 0;
+  std::fill(counts_.begin(), counts_.end(), 0);
 }
 
 }  // namespace detail

@@ -24,6 +24,7 @@
 // last popped round): all consumers emit at key + w with w >= 0.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <map>
@@ -79,6 +80,10 @@ class CalendarIndex {
   /// the calendar drains and the engine refills it from overflow.
   void rebase(std::uint64_t key);
 
+  /// Return to the initial state (base 0, all slots empty). Used by
+  /// BucketEngine::reset() so one engine serves many runs.
+  void reset();
+
  private:
   std::uint64_t base_ = 0;           // key of the slot under the cursor
   std::size_t cursor_ = 0;           // slot index of base_
@@ -104,7 +109,8 @@ class BucketEngine {
   explicit BucketEngine(Options opt = {})
       : index_(opt.span),
         calendar_(index_.span()),
-        staging_(static_cast<std::size_t>(num_workers())) {}
+        staging_(static_cast<std::size_t>(num_workers())),
+        offset_scratch_(staging_.size()) {}
 
   /// Push from sequential context (seeding, single-threaded consumers).
   void push(std::uint64_t key, Item item) { place_(key, std::move(item)); }
@@ -112,8 +118,47 @@ class BucketEngine {
   /// Push from inside a parallel expansion: lands in the calling worker's
   /// staging buffer; visible after the next flush()/min_key()/pop_round().
   void push_from_worker(std::uint64_t key, Item item) {
-    staging_[static_cast<std::size_t>(worker_id())].emplace_back(key, std::move(item));
+    std::vector<Staged>& buf = staging_[static_cast<std::size_t>(worker_id())];
+    if (buf.size() == buf.capacity()) note_alloc_();
+    buf.emplace_back(key, std::move(item));
   }
+
+  /// Empty the engine without releasing any buffer capacity: slots,
+  /// staging buffers and merge scratch keep their allocations, the window
+  /// returns to base 0. One engine instance can then serve a whole
+  /// sequence of runs (the iterated quotient-graph drivers) with warm runs
+  /// doing no heap allocation at all — tracked by alloc_events().
+  void reset() {
+    for (std::vector<Item>& slot : calendar_) slot.clear();
+    for (std::vector<Staged>& buf : staging_) buf.clear();
+    overflow_.clear();
+    index_.reset();
+    // The worker count may have been raised (omp_set_num_threads) since
+    // construction; push_from_worker indexes staging_ by worker_id(), so
+    // grow the per-worker state to match before the next run.
+    const auto workers = static_cast<std::size_t>(num_workers());
+    if (workers > staging_.size()) {
+      staging_.resize(workers);
+      offset_scratch_.resize(workers);
+    }
+  }
+
+  /// Rotate the (empty) window so `key` becomes its first bucket. Call
+  /// right after reset() when the consumer knows its keys start near
+  /// `key`, so the initial frontier does not straddle the window end.
+  void start_at(std::uint64_t key) {
+    assert(index_.window_empty() && overflow_.empty() &&
+           "start_at requires an empty engine");
+    index_.rebase(key);
+  }
+
+  /// Heap-allocation events observed so far: staging/slot/merge-scratch
+  /// capacity growth and overflow-store inserts. Cumulative across
+  /// reset(); warm reuse is exactly "this counter stopped moving".
+  [[nodiscard]] std::uint64_t alloc_events() const {
+    return alloc_events_.load(std::memory_order_relaxed);
+  }
+
 
   /// Compact the per-worker staging buffers into the calendar: an
   /// exclusive scan over buffer sizes + parallel move into one contiguous
@@ -123,7 +168,7 @@ class BucketEngine {
     const std::size_t workers = staging_.size();
     std::size_t nonempty = 0;
     std::size_t last = 0;
-    std::vector<std::size_t> offset(workers);
+    std::vector<std::size_t>& offset = offset_scratch_;
     for (std::size_t t = 0; t < workers; ++t) {
       offset[t] = staging_[t].size();
       if (offset[t] != 0) {
@@ -140,13 +185,15 @@ class BucketEngine {
       return;
     }
     const std::size_t total = exclusive_scan_inplace(offset);
-    std::vector<Staged> merged(total);
+    if (total > merge_scratch_.capacity()) note_alloc_();
+    merge_scratch_.resize(total);
     parallel_for_grain(0, workers, 1, [&](std::size_t t) {
       std::size_t at = offset[t];
-      for (Staged& s : staging_[t]) merged[at++] = std::move(s);
+      for (Staged& s : staging_[t]) merge_scratch_[at++] = std::move(s);
       staging_[t].clear();
     });
-    for (Staged& s : merged) place_(s.first, std::move(s.second));
+    for (Staged& s : merge_scratch_) place_(s.first, std::move(s.second));
+    merge_scratch_.clear();
   }
 
   /// Key of the least pending bucket (staged pushes included), or
@@ -172,7 +219,13 @@ class BucketEngine {
     }
     if (!index_.in_window(key)) refill_from_overflow_(key);
     std::vector<Item>& slot = calendar_[index_.slot_of(key)];
-    out = std::move(slot);
+    // Move the items, keep the buffer: each slot's capacity stays put as
+    // a per-slot high-water mark, so a warm run whose per-bucket demand
+    // never exceeds a previous run's reallocates nothing (buffer-stealing
+    // would shuffle capacities between slots and regrow them every run).
+    if (slot.size() > out.capacity()) note_alloc_();
+    out.resize(slot.size());
+    std::move(slot.begin(), slot.end(), out.begin());
     slot.clear();
     index_.take(key);
     ++rounds_;
@@ -181,6 +234,9 @@ class BucketEngine {
 
   /// Synchronous rounds popped so far.
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+  /// Open calendar slots (the configured span).
+  [[nodiscard]] std::size_t span() const { return index_.span(); }
 
   /// Total items ever pushed (staged + placed); a work proxy for benches.
   [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
@@ -197,11 +253,15 @@ class BucketEngine {
         assert(false && "BucketEngine: key below current base");
         key = index_.base_key();
       } else {
-        overflow_[key].push_back(std::move(item));
+        auto [it, inserted] = overflow_.try_emplace(key);
+        if (inserted || it->second.size() == it->second.capacity()) note_alloc_();
+        it->second.push_back(std::move(item));
         return;
       }
     }
-    calendar_[index_.slot_of(key)].push_back(std::move(item));
+    std::vector<Item>& slot = calendar_[index_.slot_of(key)];
+    if (slot.size() == slot.capacity()) note_alloc_();
+    slot.push_back(std::move(item));
     index_.note_push(key);
   }
 
@@ -214,10 +274,16 @@ class BucketEngine {
     while (it != overflow_.end() && index_.in_window(it->first)) {
       const std::size_t migrated = it->second.size();
       std::vector<Item>& slot = calendar_[index_.slot_of(it->first)];
-      if (slot.empty()) {
+      if (slot.capacity() == 0) {
+        // Never grown before: adopt the overflow node's buffer outright.
         slot = std::move(it->second);
       } else {
-        for (Item& x : it->second) slot.push_back(std::move(x));
+        // Keep the slot's established capacity (it is this slot's demand
+        // high-water mark); append instead of replacing the buffer.
+        for (Item& x : it->second) {
+          if (slot.size() == slot.capacity()) note_alloc_();
+          slot.push_back(std::move(x));
+        }
       }
       index_.note_push(it->first, migrated);
       it = overflow_.erase(it);
@@ -232,12 +298,20 @@ class BucketEngine {
     drain_overflow_into_window_();
   }
 
+  /// Record one heap-allocation event. Staging growth happens inside
+  /// parallel expansions, so the counter is a relaxed atomic; events are
+  /// rare (amortized growth), so contention is immaterial.
+  void note_alloc_() { alloc_events_.fetch_add(1, std::memory_order_relaxed); }
+
   detail::CalendarIndex index_;
   std::vector<std::vector<Item>> calendar_;  // circular, index_.span() slots
   std::map<std::uint64_t, std::vector<Item>> overflow_;
   std::vector<std::vector<Staged>> staging_;  // one buffer per worker
+  std::vector<std::size_t> offset_scratch_;   // flush(): per-worker sizes/offsets
+  std::vector<Staged> merge_scratch_;         // flush(): multi-producer concat
   std::uint64_t rounds_ = 0;
   std::uint64_t pushed_ = 0;
+  std::atomic<std::uint64_t> alloc_events_{0};
 };
 
 }  // namespace parsh

@@ -35,9 +35,11 @@ DistributedSpannerResult distributed_unweighted_spanner(const Graph& g, double k
   if (n == 0) return out;
 
   // Local coin flips: each processor draws its own shift (same stream as
-  // the shared-memory implementation so the outputs coincide).
+  // the shared-memory implementation — and the same draws the workspace
+  // path of est_cluster makes — so the outputs coincide).
   const double beta = std::log(std::max<vid>(n, 2)) / (2.0 * k);
-  const std::vector<double> delta = est_shifts(n, beta, seed);
+  std::vector<double> delta;
+  est_shifts_into(delta, n, beta, seed);
   double delta_max = 0;
   for (double d : delta) delta_max = std::max(delta_max, d);
 

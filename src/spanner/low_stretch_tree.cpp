@@ -54,6 +54,10 @@ TreeResult akpw_low_stretch_tree(const Graph& g, double k, std::uint64_t seed) {
   std::vector<Edge> active;  // edges of buckets processed so far, not yet resolved
   const double beta = std::log(std::max<vid>(n, 2)) / (2.0 * k);
   std::uint64_t iter = 0;
+  // One clustering workspace across every weight-class iteration: AKPW
+  // calls est_cluster once per contraction step, all on quotients of the
+  // same host graph, so the engine and priority arrays warm once.
+  EstClusterWorkspace ws;
   while (next < edges.size() || !active.empty()) {
     // Pull in the next weight bucket ([2^b, 2^{b+1})).
     if (next < edges.size()) {
@@ -99,7 +103,7 @@ TreeResult akpw_low_stretch_tree(const Graph& g, double k, std::uint64_t seed) {
       }
       const Graph quotient =
           Graph::from_edges(static_cast<vid>(locals.size()), std::move(qedges));
-      const Clustering c = est_cluster(quotient, beta, seed + 1000 * iter);
+      const Clustering c = est_cluster(quotient, beta, seed + 1000 * iter, ws);
       ++iter;
       for (vid v = 0; v < quotient.num_vertices(); ++v) {
         const vid p = c.parent[v];

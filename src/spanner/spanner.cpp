@@ -41,9 +41,9 @@ void dedup_edges(std::vector<Edge>& edges) {
 /// ids of `g`.
 template <typename EmitForest, typename EmitBoundary>
 void cluster_and_emit(const Graph& g, double k, std::uint64_t seed,
-                      std::uint64_t* rounds, EmitForest emit_forest,
-                      EmitBoundary emit_boundary) {
-  const Clustering c = est_cluster(g, spanner_beta(g.num_vertices(), k), seed);
+                      EstClusterWorkspace& ws, std::uint64_t* rounds,
+                      EmitForest emit_forest, EmitBoundary emit_boundary) {
+  const Clustering c = est_cluster(g, spanner_beta(g.num_vertices(), k), seed, ws);
   *rounds += c.rounds;
   for (vid v = 0; v < g.num_vertices(); ++v) {
     if (c.parent[v] != kNoVertex) emit_forest(v, c.parent[v]);
@@ -80,8 +80,9 @@ SpannerResult unweighted_spanner(const Graph& g, double k, std::uint64_t seed) {
     }
     return weight_t{1};
   };
+  EstClusterWorkspace ws;
   cluster_and_emit(
-      g, k, seed, &r.rounds,
+      g, k, seed, ws, &r.rounds,
       [&](vid v, vid p) { r.edges.push_back({v, p, edge_weight(v, p)}); },
       [&](vid u, vid v) { r.edges.push_back({u, v, edge_weight(u, v)}); });
   dedup_edges(r.edges);
@@ -124,8 +125,15 @@ class Dsu {
 
 }  // namespace
 
-SpannerResult well_separated_spanner(vid n, const std::vector<std::vector<Edge>>& buckets,
-                                     double k, std::uint64_t seed) {
+namespace {
+
+/// Algorithm 3 with a caller-owned clustering workspace: one engine warms
+/// across every level's quotient clustering (and, via weighted_spanner,
+/// across the O(log k) well-separated sub-runs too).
+SpannerResult well_separated_spanner_ws(vid n,
+                                        const std::vector<std::vector<Edge>>& buckets,
+                                        double k, std::uint64_t seed,
+                                        EstClusterWorkspace& ws) {
   SpannerResult r;
   Dsu dsu(n);
   for (std::size_t level = 0; level < buckets.size(); ++level) {
@@ -172,7 +180,7 @@ SpannerResult well_separated_spanner(vid n, const std::vector<std::vector<Edge>>
     };
     std::vector<Edge> forest_edges;
     cluster_and_emit(
-        quotient, k, seed + level + 1, &r.rounds,
+        quotient, k, seed + level + 1, ws, &r.rounds,
         [&](vid v, vid p) { forest_edges.push_back(resolve(v, p)); },
         [&](vid u, vid v) { r.edges.push_back(resolve(u, v)); });
     // S := S ∪ F and H_i := H_{i-1} ∪ F (contract the forest for the next
@@ -186,6 +194,14 @@ SpannerResult well_separated_spanner(vid n, const std::vector<std::vector<Edge>>
   return r;
 }
 
+}  // namespace
+
+SpannerResult well_separated_spanner(vid n, const std::vector<std::vector<Edge>>& buckets,
+                                     double k, std::uint64_t seed) {
+  EstClusterWorkspace ws;
+  return well_separated_spanner_ws(n, buckets, k, seed, ws);
+}
+
 SpannerResult weighted_spanner(const Graph& g, double k, std::uint64_t seed) {
   // Break the graph into O(log k) edge-disjoint graphs whose used weight
   // buckets are >= ~4k apart (stride in bucket index), then run
@@ -195,10 +211,12 @@ SpannerResult weighted_spanner(const Graph& g, double k, std::uint64_t seed) {
   const auto stride =
       std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(std::log2(4.0 * k))));
   SpannerResult r;
+  EstClusterWorkspace ws;  // shared by all O(log k) sub-runs
   for (std::size_t j = 0; j < stride && j < buckets.size(); ++j) {
     std::vector<std::vector<Edge>> sub;
     for (std::size_t b = j; b < buckets.size(); b += stride) sub.push_back(buckets[b]);
-    SpannerResult part = well_separated_spanner(g.num_vertices(), sub, k, seed ^ (j * 0x9e37ULL));
+    SpannerResult part =
+        well_separated_spanner_ws(g.num_vertices(), sub, k, seed ^ (j * 0x9e37ULL), ws);
     r.edges.insert(r.edges.end(), part.edges.begin(), part.edges.end());
     r.rounds += part.rounds;
     r.levels += part.levels;

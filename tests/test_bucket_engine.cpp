@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "parallel/atomics.hpp"
 #include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -165,6 +166,115 @@ TEST(BucketEngine, InterleavedPushPopKeepsMonotoneKeys) {
     }
   }
   EXPECT_GT(served, 200);
+}
+
+TEST(BucketEngine, ResetEmptiesButKeepsServing) {
+  BucketEngine<int> eng({.span = 4});
+  eng.push(9, 90);
+  eng.push(300, 1);  // overflow
+  std::vector<int> out;
+  EXPECT_EQ(eng.pop_round(out), 9u);
+  eng.reset();
+  EXPECT_EQ(eng.min_key(), kNoBucket);  // overflow cleared too
+  // The window is back at base 0: small keys are accepted again.
+  eng.push(2, 20);
+  eng.push(0, 0);
+  EXPECT_EQ(eng.pop_round(out), 0u);
+  EXPECT_EQ(out, std::vector<int>{0});
+  EXPECT_EQ(eng.pop_round(out), 2u);
+  EXPECT_EQ(out, std::vector<int>{20});
+}
+
+TEST(BucketEngine, StartAtRotatesEmptyWindow) {
+  BucketEngine<int> eng({.span = 8});
+  eng.start_at(1000);
+  eng.push(1003, 3);
+  eng.push(1000, 0);
+  std::vector<int> out;
+  EXPECT_EQ(eng.pop_round(out), 1000u);
+  EXPECT_EQ(eng.pop_round(out), 1003u);
+  eng.reset();
+  eng.push(1, 1);  // reset returns the base to 0
+  EXPECT_EQ(eng.pop_round(out), 1u);
+}
+
+TEST(BucketEngine, WarmIdenticalRerunDoesNotAllocate) {
+  // Drive the same push/pop schedule twice through one engine; the second
+  // pass must reuse every buffer the first pass grew.
+  BucketEngine<int> eng({.span = 8});
+  std::vector<int> out;  // outlives the runs, like a workspace's props
+  auto run = [&] {
+    eng.reset();
+    for (int i = 0; i < 500; ++i) eng.push(static_cast<std::uint64_t>(i % 6), i);
+    int served = 0;
+    while (eng.pop_round(out) != kNoBucket) served += static_cast<int>(out.size());
+    return served;
+  };
+  EXPECT_EQ(run(), 500);
+  const std::uint64_t warm = eng.alloc_events();
+  EXPECT_GT(warm, 0u);
+  EXPECT_EQ(run(), 500);
+  EXPECT_EQ(eng.alloc_events(), warm);  // zero allocations when warm
+  EXPECT_EQ(run(), 500);
+  EXPECT_EQ(eng.alloc_events(), warm);
+}
+
+TEST(BucketEngine, PopRoundLeavesSlotCapacityInPlace) {
+  // The per-slot high-water property behind the warm-run guarantee: a
+  // smaller warm run whose buckets stay under the first run's per-bucket
+  // demand allocates nothing, even with a different key profile.
+  BucketEngine<int> eng({.span = 8});
+  std::vector<int> out;
+  eng.reset();
+  for (int i = 0; i < 400; ++i) eng.push(static_cast<std::uint64_t>(i % 5), i);
+  while (eng.pop_round(out) != kNoBucket) {
+  }
+  const std::uint64_t warm = eng.alloc_events();
+  eng.reset();
+  for (int i = 0; i < 60; ++i) eng.push(static_cast<std::uint64_t>(i % 3), i);
+  while (eng.pop_round(out) != kNoBucket) {
+  }
+  EXPECT_EQ(eng.alloc_events(), warm);
+}
+
+TEST(PackedWord, OrderMatchesKeyViaLexicographic) {
+  // The packed word's integer order must equal lexicographic order on
+  // (key, via) with kNoVertex largest — the exactness the packed fast
+  // path's bit-identity rests on.
+  for (const std::uint64_t t : {std::uint64_t{4096}, std::uint64_t{1} << 20}) {
+    ASSERT_TRUE(packed_round_fits(t));
+    const std::uint64_t base = double_order_bits(static_cast<double>(t));
+    const double lo = static_cast<double>(t);
+    std::vector<std::pair<double, vid>> items;
+    for (int i = 0; i < 40; ++i) {
+      const double key = lo + 0.9999 * static_cast<double>((i * 29) % 37) / 37.0;
+      items.emplace_back(key, static_cast<vid>((i * 13) % 7));
+      items.emplace_back(key, kNoVertex);
+    }
+    for (const auto& [ka, va] : items) {
+      for (const auto& [kb, vb] : items) {
+        const bool lex =
+            ka < kb ||
+            (ka == kb && (va == vb ? false
+                                   : vb == kNoVertex || (va != kNoVertex && va < vb)));
+        EXPECT_EQ(pack_key_via(ka, base, va) < pack_key_via(kb, base, vb), lex)
+            << ka << "/" << va << " vs " << kb << "/" << vb;
+      }
+    }
+  }
+}
+
+TEST(PackedWord, RoundFitsExactlyAboveTwoToTheTwelve) {
+  // [t, t+1) holds 2^(52-e) representable doubles for t in [2^e, 2^(e+1));
+  // 40 bits of quantized key therefore require t >= 2^12.
+  EXPECT_FALSE(packed_round_fits(0));
+  EXPECT_FALSE(packed_round_fits(1));
+  EXPECT_FALSE(packed_round_fits(4095));
+  EXPECT_TRUE(packed_round_fits(4096));
+  EXPECT_TRUE(packed_round_fits(8191));
+  EXPECT_TRUE(packed_round_fits(8192));
+  EXPECT_TRUE(packed_round_fits((std::uint64_t{1} << 52) - 1));
+  EXPECT_FALSE(packed_round_fits(std::uint64_t{1} << 52));
 }
 
 }  // namespace

@@ -63,6 +63,19 @@ TEST(ClusterConnectivity, BetaControlsRoundCount) {
   EXPECT_LT(small_beta, large_beta);
 }
 
+TEST(ClusterConnectivity, WarmQuotientRoundsDoZeroEngineAllocations) {
+  // The workspace-reuse acceptance bar: on a 1M-edge RMAT graph, every
+  // quotient round after the first must run entirely inside the buffers
+  // the first round grew — the engine's allocation counter freezes.
+  const Graph g = ensure_connected(make_rmat(170000, 1020000, 7));
+  ASSERT_GE(g.num_edges(), 1000000u);
+  const auto r = cluster_connectivity(g, 3);
+  EXPECT_EQ(r.num_components, 1u);
+  ASSERT_GE(r.rounds, 2u);  // a one-round run would make the check vacuous
+  EXPECT_GT(r.engine_allocs_first_round, 0u);
+  EXPECT_EQ(r.engine_allocs_total, r.engine_allocs_first_round);
+}
+
 TEST(ClusterConnectivity, EmptyGraph) {
   const auto r = cluster_connectivity(Graph(), 1);
   EXPECT_EQ(r.num_components, 0u);

@@ -1,0 +1,120 @@
+// Thread-count determinism for every est_cluster driver. PR 1 pinned the
+// guarantee for est_cluster itself: the CRCW priority write resolves by
+// (key, via) minimum, so the clustering is schedule-independent. The
+// drivers — spanners, hopsets, connectivity, low-stretch trees — are
+// deterministic compositions of that primitive, so each must produce
+// bit-identical output at 1 worker and at many. These tests pin that down
+// for the whole surface, on unweighted and integer-weighted random graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/cluster_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "hopset/hopset.hpp"
+#include "parallel/parallel_for.hpp"
+#include "spanner/distributed_spanner.hpp"
+#include "spanner/low_stretch_tree.hpp"
+#include "spanner/spanner.hpp"
+
+namespace parsh {
+namespace {
+
+/// Run `f` with the OpenMP worker count forced to `threads` (no-op in the
+/// sequential build, where both runs are trivially identical).
+template <typename F>
+auto at_threads(int threads, F f) {
+#ifdef PARSH_HAVE_OPENMP
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(threads);
+  auto result = f();
+  omp_set_num_threads(before);
+  return result;
+#else
+  (void)threads;
+  return f();
+#endif
+}
+
+/// The 1-vs-4-thread comparison every test below runs.
+template <typename F>
+auto one_and_many(F f) {
+  auto one = at_threads(1, f);
+  auto many = at_threads(4, f);
+  return std::pair(std::move(one), std::move(many));
+}
+
+class DriverDeterminism : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] Graph unweighted() const {
+    return ensure_connected(make_random_graph(400, 1400, GetParam()));
+  }
+  [[nodiscard]] Graph weighted() const {
+    return with_uniform_weights(unweighted(), 1, 9, GetParam() + 17);
+  }
+};
+
+TEST_P(DriverDeterminism, UnweightedSpanner) {
+  const Graph g = unweighted();
+  const auto [one, many] =
+      one_and_many([&] { return unweighted_spanner(g, 3.0, GetParam()); });
+  EXPECT_EQ(one.edges, many.edges);
+  EXPECT_EQ(one.rounds, many.rounds);
+  EXPECT_EQ(one.levels, many.levels);
+}
+
+TEST_P(DriverDeterminism, WeightedSpanner) {
+  const Graph g = weighted();
+  const auto [one, many] =
+      one_and_many([&] { return weighted_spanner(g, 3.0, GetParam()); });
+  EXPECT_EQ(one.edges, many.edges);
+  EXPECT_EQ(one.rounds, many.rounds);
+}
+
+TEST_P(DriverDeterminism, DistributedSpanner) {
+  const Graph g = unweighted();
+  const auto [one, many] = one_and_many(
+      [&] { return distributed_unweighted_spanner(g, 3.0, GetParam()); });
+  EXPECT_EQ(one.edges, many.edges);
+  EXPECT_EQ(one.rounds, many.rounds);
+  EXPECT_EQ(one.messages, many.messages);
+}
+
+TEST_P(DriverDeterminism, ClusterConnectivity) {
+  // Includes a disconnected instance: determinism must not depend on the
+  // quotient loop contracting everything to one vertex.
+  for (const Graph& g :
+       {unweighted(), make_random_graph(500, 300, GetParam() + 5)}) {
+    const auto [one, many] =
+        one_and_many([&] { return cluster_connectivity(g, GetParam()); });
+    EXPECT_EQ(one.component, many.component);
+    EXPECT_EQ(one.num_components, many.num_components);
+    EXPECT_EQ(one.rounds, many.rounds);
+  }
+}
+
+TEST_P(DriverDeterminism, AkpwLowStretchTree) {
+  const Graph g = weighted();
+  const auto [one, many] =
+      one_and_many([&] { return akpw_low_stretch_tree(g, 2.0, GetParam()); });
+  EXPECT_EQ(one.edges, many.edges);
+  EXPECT_EQ(one.iterations, many.iterations);
+}
+
+TEST_P(DriverDeterminism, Hopset) {
+  const Graph g = weighted();
+  HopsetParams p;
+  p.seed = GetParam();
+  const auto [one, many] = one_and_many([&] { return build_hopset(g, p); });
+  EXPECT_EQ(one.edges, many.edges);
+  EXPECT_EQ(one.star_edges, many.star_edges);
+  EXPECT_EQ(one.clique_edges, many.clique_edges);
+  EXPECT_EQ(one.levels, many.levels);
+  EXPECT_EQ(one.clusterings, many.clusterings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DriverDeterminism,
+                         ::testing::Values<std::uint64_t>(1, 2, 3));
+
+}  // namespace
+}  // namespace parsh

@@ -151,6 +151,144 @@ TEST(EstCluster, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(one.dist_to_center, many.dist_to_center);
 }
 
+TEST(EstClusterWorkspace, ReusedAcrossGraphsMatchesFreshRuns) {
+  // One workspace across a sequence of different graphs must behave as if
+  // each call had fresh state (no leakage through the reused arrays).
+  EstClusterWorkspace ws;
+  std::vector<Graph> graphs;
+  graphs.push_back(ensure_connected(make_random_graph(300, 900, 1)));
+  graphs.push_back(make_grid(9, 9));  // smaller: arrays shrink logically
+  graphs.push_back(with_uniform_weights(make_random_graph(200, 500, 2), 1, 7, 3));
+  graphs.push_back(ensure_connected(make_random_graph(350, 1200, 4)));  // regrow
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const double beta = 0.1 + 0.2 * static_cast<double>(i);
+    const Clustering a = est_cluster(graphs[i], beta, 40 + i, ws);
+    const Clustering b = est_cluster(graphs[i], beta, 40 + i);
+    EXPECT_EQ(a.cluster_of, b.cluster_of) << i;
+    EXPECT_EQ(a.center, b.center) << i;
+    EXPECT_EQ(a.parent, b.parent) << i;
+    EXPECT_EQ(a.dist_to_center, b.dist_to_center) << i;
+  }
+}
+
+TEST(EstClusterWorkspace, WarmIdenticalCallDoesZeroEngineAllocations) {
+  // Re-running the same (graph, beta, seed) through one workspace repeats
+  // the same bucket schedule inside already-grown buffers. Pinned to one
+  // worker: at >1 workers OpenMP's dynamic expansion scheduling jitters
+  // which worker stages which edge, so per-worker staging high-waters can
+  // shift a little between identical runs — the multi-thread reuse
+  // guarantee (with the quotient loop's natural demand slack) is pinned
+  // by ClusterConnectivity.WarmQuotientRoundsDoZeroEngineAllocations.
+#ifdef PARSH_HAVE_OPENMP
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_random_graph(2000, 8000, 5)), 1, 6, 7);
+  EstClusterWorkspace ws;
+  const Clustering first = est_cluster(g, 0.25, 9, ws);
+  const std::uint64_t warm = ws.engine_alloc_events();
+  EXPECT_GT(warm, 0u);
+  EXPECT_EQ(ws.array_grow_events(), 1u);
+  const Clustering second = est_cluster(g, 0.25, 9, ws);
+  EXPECT_EQ(ws.engine_alloc_events(), warm);
+  EXPECT_EQ(ws.array_grow_events(), 1u);
+  EXPECT_EQ(first.cluster_of, second.cluster_of);
+#ifdef PARSH_HAVE_OPENMP
+  omp_set_num_threads(before);
+#endif
+}
+
+TEST(EstClusterWorkspace, SurvivesWorkerCountRaiseAfterConstruction) {
+  // A long-lived workspace sizes its per-worker scratch at construction;
+  // raising the OpenMP thread count afterwards must regrow it instead of
+  // letting worker_id() index out of bounds.
+#ifdef PARSH_HAVE_OPENMP
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(1);
+  EstClusterWorkspace ws;
+  const Graph g = ensure_connected(make_random_graph(3000, 9000, 8));
+  const Clustering narrow = est_cluster(g, 0.3, 5, ws);
+  omp_set_num_threads(std::max(4, before));
+  const Clustering wide = est_cluster(g, 0.3, 5, ws);
+  omp_set_num_threads(before);
+  EXPECT_EQ(narrow.cluster_of, wide.cluster_of);
+  EXPECT_EQ(narrow.parent, wide.parent);
+  EXPECT_EQ(narrow.dist_to_center, wide.dist_to_center);
+#endif
+}
+
+TEST(EstClusterWorkspace, PackedStraddleMatchesThreePhaseAndOracle) {
+  // Regression guard for the packed-word fast path and its mid-run seam
+  // with the three-phase fallback. beta = 0.001 puts delta_max (and with
+  // it the live round keys) around ln(n)/beta ~ 7600, straddling the
+  // 40-bit quantization boundary at key 4096: early rounds use the
+  // three-phase reduce, late rounds the packed word. A sparse graph keeps
+  // many components, so settlements genuinely happen on both sides.
+  const Graph g = with_uniform_weights(make_random_graph(2000, 1400, 4), 30, 90, 9);
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    EstClusterWorkspace packed_ws;
+    const Clustering packed = est_cluster(g, 0.001, seed, packed_ws);
+    EXPECT_GT(packed_ws.packed_rounds(), 0u) << seed;
+    EXPECT_GT(packed_ws.fallback_rounds(), 0u) << seed;
+
+    EstClusterWorkspace three_phase_ws;
+    three_phase_ws.force_three_phase(true);
+    const Clustering three = est_cluster(g, 0.001, seed, three_phase_ws);
+    EXPECT_EQ(three_phase_ws.packed_rounds(), 0u);
+
+    // Bit-identical across the two reduction strategies…
+    EXPECT_EQ(packed.cluster_of, three.cluster_of) << seed;
+    EXPECT_EQ(packed.center, three.center) << seed;
+    EXPECT_EQ(packed.parent, three.parent) << seed;
+    EXPECT_EQ(packed.dist_to_center, three.dist_to_center) << seed;
+    // …and equal to the sequential Dijkstra oracle.
+    const Clustering oracle = est_cluster_reference(g, 0.001, seed);
+    EXPECT_EQ(packed.cluster_of, oracle.cluster_of) << seed;
+    EXPECT_EQ(packed.center, oracle.center) << seed;
+    EXPECT_EQ(packed.dist_to_center, oracle.dist_to_center) << seed;
+  }
+}
+
+TEST(EstClusterWorkspace, PackedPathDeterministicAcrossThreadCounts) {
+  const Graph g = with_uniform_weights(make_random_graph(1500, 1000, 6), 20, 70, 3);
+  Clustering one, many;
+  std::uint64_t packed_one = 0, packed_many = 0;
+#ifdef PARSH_HAVE_OPENMP
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(1);
+  {
+    EstClusterWorkspace ws;
+    one = est_cluster(g, 0.001, 123, ws);
+    packed_one = ws.packed_rounds();
+  }
+  omp_set_num_threads(std::max(4, before));
+  {
+    EstClusterWorkspace ws;
+    many = est_cluster(g, 0.001, 123, ws);
+    packed_many = ws.packed_rounds();
+  }
+  omp_set_num_threads(before);
+#else
+  {
+    EstClusterWorkspace ws;
+    one = est_cluster(g, 0.001, 123, ws);
+    packed_one = ws.packed_rounds();
+  }
+  {
+    EstClusterWorkspace ws;
+    many = est_cluster(g, 0.001, 123, ws);
+    packed_many = ws.packed_rounds();
+  }
+#endif
+  EXPECT_GT(packed_one, 0u);
+  EXPECT_EQ(packed_one, packed_many);
+  EXPECT_EQ(one.cluster_of, many.cluster_of);
+  EXPECT_EQ(one.center, many.center);
+  EXPECT_EQ(one.parent, many.parent);
+  EXPECT_EQ(one.dist_to_center, many.dist_to_center);
+}
+
 TEST(EstCluster, ShiftsFollowSeededExponential) {
   const auto shifts = est_shifts(1000, 0.5, 77);
   Rng rng(77);

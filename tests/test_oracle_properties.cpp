@@ -1,0 +1,128 @@
+// Oracle property tests: randomized constructions spot-checked against
+// exact sequential oracles on seeded random instances.
+//
+//  * Spanner stretch vs Dijkstra: for random vertex pairs, the distance
+//    inside the spanner subgraph must stay within the construction's
+//    stretch guarantee of the true distance — (2k-1) exactly for the
+//    greedy and Baswana-Sen baselines, the certified O(k) constant
+//    (~4k+1, asserted at 6k+1 as in test_spanner.cpp) for the EST
+//    construction.
+//  * cluster_connectivity vs connected_components: the clustering-based
+//    connectivity must label components identically to the deterministic
+//    label-propagation oracle.
+//
+// All instances are seeded and reproducible under ctest.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_connectivity.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "random/rng.hpp"
+#include "spanner/baselines.hpp"
+#include "spanner/spanner.hpp"
+#include "spanner/verify.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace parsh {
+namespace {
+
+/// `pairs` random (s, t) pairs with s != t.
+std::vector<std::pair<vid, vid>> random_pairs(vid n, vid pairs, std::uint64_t seed) {
+  const Rng rng(seed);
+  std::vector<std::pair<vid, vid>> out;
+  for (vid i = 0; out.size() < pairs; ++i) {
+    const auto s = static_cast<vid>(rng.uniform_int(2 * i, n));
+    const auto t = static_cast<vid>(rng.uniform_int(2 * i + 1, n));
+    if (s != t) out.emplace_back(s, t);
+  }
+  return out;
+}
+
+/// Max over the sampled pairs of dist_spanner / dist_g, both by Dijkstra.
+double sampled_pair_stretch_vs_oracle(const Graph& g, const std::vector<Edge>& edges,
+                                      vid pairs, std::uint64_t seed) {
+  const Graph h = spanner_graph(g, edges);
+  double worst = 1.0;
+  for (const auto& [s, t] : random_pairs(g.num_vertices(), pairs, seed)) {
+    const weight_t exact = st_distance(g, s, t);
+    if (exact == kInfWeight || exact == 0) continue;
+    const weight_t in_spanner = st_distance(h, s, t);
+    if (in_spanner == kInfWeight) {
+      ADD_FAILURE() << "spanner disconnects " << s << "-" << t;
+      continue;
+    }
+    worst = std::max(worst, in_spanner / exact);
+  }
+  return worst;
+}
+
+class SpannerStretchOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpannerStretchOracle, BaselinesWithinTwoKMinusOne) {
+  const std::uint64_t seed = GetParam();
+  const Graph unweighted = ensure_connected(make_random_graph(220, 900, seed));
+  const Graph weighted = with_uniform_weights(unweighted, 1, 8, seed + 1);
+  for (const Graph& g : {unweighted, weighted}) {
+    for (const double k : {2.0, 3.0}) {
+      const double bound = 2.0 * k - 1.0;
+      const auto greedy = greedy_spanner(g, k);
+      EXPECT_LE(sampled_pair_stretch_vs_oracle(g, greedy, 25, seed + 2),
+                bound + 1e-9)
+          << "greedy k=" << k;
+      const auto bs = baswana_sen_spanner(g, static_cast<int>(k), seed);
+      EXPECT_LE(sampled_pair_stretch_vs_oracle(g, bs, 25, seed + 3), bound + 1e-9)
+          << "baswana-sen k=" << k;
+    }
+  }
+}
+
+TEST_P(SpannerStretchOracle, EstSpannerWithinCertifiedConstant) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = ensure_connected(make_random_graph(220, 900, seed));
+  for (const double k : {2.0, 3.0, 4.0}) {
+    const SpannerResult r = unweighted_spanner(g, k, seed);
+    // Lemma 3.2 certifies ~4k+1; assert the same 6k+1 slack as
+    // test_spanner.cpp, but against Dijkstra on random pairs.
+    EXPECT_LE(sampled_pair_stretch_vs_oracle(g, r.edges, 25, seed + 4),
+              6.0 * k + 1.0)
+        << "est k=" << k;
+  }
+}
+
+TEST_P(SpannerStretchOracle, EstWeightedSpannerWithinCertifiedConstant) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_random_graph(200, 800, seed + 9)), 1, 64, seed + 2);
+  const double k = 3.0;
+  const SpannerResult r = weighted_spanner(g, k, seed);
+  // Theorem 3.3's constant (contraction doubles the unweighted one);
+  // 12k as in test_spanner.cpp.
+  EXPECT_LE(sampled_pair_stretch_vs_oracle(g, r.edges, 25, seed + 5), 12.0 * k);
+}
+
+class ConnectivityOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConnectivityOracle, ComponentsEqualLabelPropagation) {
+  const std::uint64_t seed = GetParam();
+  // Densities from many-components to (almost surely) connected.
+  for (const eid m : {eid{150}, eid{400}, eid{1500}}) {
+    const Graph g = make_random_graph(500, m, seed + m);
+    const auto expected = connected_components(g);
+    const auto got = cluster_connectivity(g, seed);
+    EXPECT_EQ(got.component, expected) << "m=" << m;
+    vid expect_num = 0;
+    for (const vid c : expected) expect_num = std::max(expect_num, c + 1);
+    EXPECT_EQ(got.num_components, expect_num) << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpannerStretchOracle,
+                         ::testing::Values<std::uint64_t>(1, 2, 3));
+INSTANTIATE_TEST_SUITE_P(Seeds, ConnectivityOracle,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace parsh
