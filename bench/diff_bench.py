@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Cross-PR bench diff: compare two sets of BENCH_*.json reports.
+
+Usage:
+    diff_bench.py BASELINE_DIR CURRENT_DIR [--threshold 0.15]
+
+Every bench binary writes BENCH_<name>.json as a flat array of row
+objects (see bench/bench_common.hpp). Rows are matched across the two
+directories by their configuration fields (all string fields plus the
+workload-shape numbers: n, m, k, threads, eps, ...) and their wall-time
+fields ("seconds" / "_ms" metrics) are compared.
+
+Exit code 0 when no time metric regressed by more than the threshold,
+2 when at least one did (callers are expected to fail-soft: CI surfaces
+the summary without failing the build, since shared-runner wall times are
+noisy). Missing baselines — first run, renamed benches — are reported and
+never fail.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Fields that identify a row (its configuration), as opposed to measuring
+# it. String fields are always part of the identity.
+KEY_FIELDS = {
+    "bench", "workload", "algorithm", "n", "m", "k", "threads", "eps",
+    "beta", "weight_ratio", "queries", "pairs", "seed",
+}
+
+
+def is_time_field(name: str) -> bool:
+    return "seconds" in name or name.endswith("_ms") or "_ms_" in name
+
+
+def row_key(row: dict):
+    parts = []
+    for key in sorted(row):
+        if key in KEY_FIELDS or isinstance(row[key], str):
+            parts.append((key, row[key]))
+    return tuple(parts)
+
+
+def load_reports(directory: str) -> dict:
+    """{file name: {row key: row}} for every BENCH_*.json under directory."""
+    reports = {}
+    for root, _dirs, files in os.walk(directory):
+        for name in sorted(files):
+            if not (name.startswith("BENCH_") and name.endswith(".json")):
+                continue
+            path = os.path.join(root, name)
+            try:
+                with open(path) as f:
+                    rows = json.load(f)
+            except (OSError, json.JSONDecodeError) as err:
+                print(f"warning: skipping unreadable {path}: {err}")
+                continue
+            table = reports.setdefault(name, {})
+            for row in rows:
+                table[row_key(row)] = row
+    return reports
+
+
+def fmt_key(key) -> str:
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative slowdown that counts as a regression")
+    args = parser.parse_args()
+
+    base = load_reports(args.baseline)
+    cur = load_reports(args.current)
+    if not base:
+        print(f"no baseline BENCH_*.json under {args.baseline} — nothing to diff")
+        return 0
+    if not cur:
+        print(f"no current BENCH_*.json under {args.current} — nothing to diff")
+        return 0
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for name, cur_rows in sorted(cur.items()):
+        base_rows = base.get(name)
+        if base_rows is None:
+            print(f"{name}: new report (no baseline)")
+            continue
+        for key, row in cur_rows.items():
+            old = base_rows.get(key)
+            if old is None:
+                continue
+            for field, value in row.items():
+                if not is_time_field(field):
+                    continue
+                old_value = old.get(field)
+                if not isinstance(value, (int, float)):
+                    continue
+                if not isinstance(old_value, (int, float)) or old_value <= 0:
+                    continue
+                compared += 1
+                ratio = value / old_value
+                line = (f"{name} [{fmt_key(key)}] {field}: "
+                        f"{old_value:.6g} -> {value:.6g} "
+                        f"({(ratio - 1) * 100:+.1f}%)")
+                if ratio > 1.0 + args.threshold:
+                    regressions.append(line)
+                elif ratio < 1.0 - args.threshold:
+                    improvements.append(line)
+
+    print(f"compared {compared} time metrics "
+          f"(threshold {args.threshold:.0%})")
+    if improvements:
+        print(f"\n{len(improvements)} improvement(s):")
+        for line in improvements:
+            print(f"  + {line}")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%}:")
+        for line in regressions:
+            print(f"  - {line}")
+        return 2
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/hop_limited.hpp"
+#include "sssp/sssp_workspace.hpp"
 #include "sssp/weighted_bfs.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"

@@ -6,6 +6,7 @@
 #include "graph/validation.hpp"
 #include "parallel/parallel_for.hpp"
 #include "random/rng.hpp"
+#include "sssp/sssp_workspace.hpp"
 #include "sssp/weighted_bfs.hpp"
 
 namespace parsh {
@@ -52,15 +53,20 @@ CohenLiteResult cohen_lite_hopset(const Graph& g, const CohenLiteParams& p) {
                                   return s / static_cast<double>(g.num_edges());
                                 }()
                               : 1.0;
+  // Per-worker traversal workspaces, shared by every level's landmark
+  // fan-out: the radius-limited searches reach few vertices, so warm
+  // searches run entirely inside the first level's buffers.
+  SsspWorkspacePool sssp_ws;
   double radius = p.base_radius * mean_w;
   for (int l = 0; l < p.levels; ++l, radius *= p.radius_growth) {
     const std::vector<vid>& uppers = level[l + 1];
     if (uppers.empty()) break;
     std::vector<WeightedBfsResult> search(uppers.size());
+    sssp_ws.prepare();
     parallel_for_grain(0, uppers.size(), 1, [&](std::size_t i) {
-      search[i] = weighted_bfs(g, uppers[i], radius);
-      ++out.searches;
+      search[i] = weighted_bfs(g, uppers[i], radius, sssp_ws.local());
     });
+    out.searches += uppers.size();
     for (std::size_t i = 0; i < uppers.size(); ++i) {
       for (vid v = 0; v < n; ++v) {
         if (top_level[v] < l) continue;          // below this level

@@ -7,6 +7,7 @@
 #include "graph/validation.hpp"
 #include "graph/subgraph.hpp"
 #include "parallel/parallel_for.hpp"
+#include "sssp/sssp_workspace.hpp"
 #include "sssp/weighted_bfs.hpp"
 
 namespace parsh {
@@ -42,6 +43,10 @@ struct BuildContext {
   /// strictly smaller induced subgraph inside the same buffers. Safe
   /// because hopset_recurse descends into sibling clusters sequentially.
   EstClusterWorkspace* ws;
+  /// Per-worker traversal workspaces for the per-center weighted-BFS
+  /// fan-out (each center's search is sequential; the parallelism is
+  /// across centers). Shared across the recursion for the same reason.
+  SsspWorkspacePool* sssp;
 };
 
 std::uint64_t splitmix_hash_impl(std::uint64_t x) {
@@ -111,8 +116,9 @@ void hopset_recurse(const Subgraph& sub, double beta, std::uint64_t level,
         centers[i] = c.center[large_clusters[i]];
       }
       std::vector<WeightedBfsResult> from_center(centers.size());
+      ctx.sssp->prepare();
       parallel_for_grain(0, centers.size(), 1, [&](std::size_t i) {
-        from_center[i] = weighted_bfs(g, centers[i]);
+        from_center[i] = weighted_bfs(g, centers[i], kInfWeight, ctx.sssp->local());
       });
       for (std::size_t i = 0; i < centers.size(); ++i) {
         out.rounds += from_center[i].rounds;
@@ -149,6 +155,14 @@ void hopset_recurse(const Subgraph& sub, double beta, std::uint64_t level,
 }  // namespace
 
 HopsetResult build_hopset(const Graph& g, const HopsetParams& p) {
+  EstClusterWorkspace cluster_ws;
+  SsspWorkspacePool sssp_ws;
+  return build_hopset(g, p, cluster_ws, sssp_ws);
+}
+
+HopsetResult build_hopset(const Graph& g, const HopsetParams& p,
+                          EstClusterWorkspace& cluster_ws,
+                          SsspWorkspacePool& sssp_ws) {
   require_integer_weights(g, "build_hopset");
   if (!(p.delta > 1.0)) {
     throw std::invalid_argument("build_hopset: delta must exceed 1 (Section 4)");
@@ -164,8 +178,9 @@ HopsetResult build_hopset(const Graph& g, const HopsetParams& p) {
           ? p.n_final_override
           : std::max<vid>(p.n_final_floor,
                           static_cast<vid>(std::pow(static_cast<double>(n), p.gamma1)));
-  EstClusterWorkspace ws;
-  BuildContext ctx{p, hopset_growth(n, p), hopset_rho(n, p), n_final, &out, &ws};
+  BuildContext ctx{p,     hopset_growth(n, p), hopset_rho(n, p),
+                   n_final, &out,              &cluster_ws,
+                   &sssp_ws};
   out.growth = ctx.growth;
   out.rho = ctx.rho;
   out.n_final = ctx.n_final;

@@ -68,9 +68,20 @@ struct HopsetResult {
   vid n_final = 0;
 };
 
+class EstClusterWorkspace;
+class SsspWorkspacePool;
+
 /// Build a hopset for g (positive integer weights). Deterministic in
 /// (g, params).
 HopsetResult build_hopset(const Graph& g, const HopsetParams& params);
+
+/// Workspace form for iterated callers (the weighted-hopset build runs
+/// one of these per distance scale): the recursion's est_cluster calls
+/// share `cluster_ws` and the per-center weighted-BFS fan-out draws
+/// per-worker traversal workspaces from `sssp_ws`. Same output.
+HopsetResult build_hopset(const Graph& g, const HopsetParams& params,
+                          EstClusterWorkspace& cluster_ws,
+                          SsspWorkspacePool& sssp_ws);
 
 /// The per-level beta growth factor (k_conf * eps^{-1} * log n, floored at
 /// 2) and rho = growth^delta, exposed for tests.

@@ -2,8 +2,10 @@
 
 #include <cmath>
 
+#include "cluster/est_cluster.hpp"
 #include "graph/validation.hpp"
 #include "hopset/rounding.hpp"
+#include "sssp/sssp_workspace.hpp"
 
 namespace parsh {
 
@@ -22,6 +24,12 @@ WeightedHopset build_weighted_hopset(const Graph& g, const WeightedHopsetParams&
   const weight_t lo = g.min_weight();
   const weight_t hi = static_cast<weight_t>(n) * g.max_weight();
 
+  // One clustering workspace + one traversal-workspace pool for every
+  // scale's hopset build: the first scale warms the buffers, the rest run
+  // inside them (the preprocessing half of the reuse story; queries get
+  // the same treatment through ApproxShortestPaths::query_batch).
+  EstClusterWorkspace cluster_ws;
+  SsspWorkspacePool sssp_ws;
   std::uint64_t scale_idx = 0;
   for (weight_t d = lo; d / scale_ratio <= hi; d *= scale_ratio, ++scale_idx) {
     HopsetScale scale;
@@ -51,7 +59,7 @@ WeightedHopset build_weighted_hopset(const Graph& g, const WeightedHopsetParams&
       hp.beta0_override =
           std::pow(static_cast<double>(n), -hp.gamma2) / std::max(1.0, mean_w);
     }
-    HopsetResult hr = build_hopset(rg.graph, hp);
+    HopsetResult hr = build_hopset(rg.graph, hp, cluster_ws, sssp_ws);
     out.rounds += hr.rounds;
     scale.hopset_edges = hr.edges.size();
     out.total_hopset_edges += hr.edges.size();

@@ -81,14 +81,30 @@ inline std::uint64_t double_order_bits(double x) {
   return std::bit_cast<std::uint64_t>(x);
 }
 
-/// True iff every double in round `round_key`'s interval [t, t+1)
-/// quantizes (as a ULP offset from double(t)) into < 2^40 values. The
-/// t < 2^52 guard keeps double(t) exact and the interval well-formed.
+/// True iff every double in [lo, hi) quantizes (as a ULP offset from lo)
+/// into < 2^40 values, i.e. the packed word can carry any key in the
+/// interval. `lo` and `hi` must be the exact (integer-valued, < 2^53)
+/// interval bounds — the callers derive them from integer bucket
+/// arithmetic, so no rounding slips a key below `lo`. This is the general
+/// form shared by every (key, via) / (dist, parent) round: est_cluster's
+/// unit-width rounds [t, t+1) and delta-stepping's width-delta buckets
+/// [b*delta, (b+1)*delta) both fit once lo/width >= 2^12 (spacing of
+/// doubles at lo is lo * 2^-52, so the interval holds ~2^52 * width / lo
+/// representable values).
+inline bool packed_interval_fits(double lo, double hi) {
+  if (!(lo >= 0) || !(hi > lo) || hi >= 9007199254740992.0 /* 2^53 */) {
+    return false;
+  }
+  return double_order_bits(hi) - double_order_bits(lo) <= kPackedKeyLimit;
+}
+
+/// The unit-width special case: every double in round `round_key`'s
+/// interval [t, t+1) fits, i.e. t >= 2^12. The t < 2^52 guard keeps
+/// double(t) exact and the interval well-formed.
 inline bool packed_round_fits(std::uint64_t round_key) {
   if (round_key >= (std::uint64_t{1} << 52)) return false;
-  const std::uint64_t lo = double_order_bits(static_cast<double>(round_key));
-  const std::uint64_t hi = double_order_bits(static_cast<double>(round_key) + 1.0);
-  return hi - lo <= kPackedKeyLimit;
+  return packed_interval_fits(static_cast<double>(round_key),
+                              static_cast<double>(round_key) + 1.0);
 }
 
 /// Pack (key, via) for a round whose base word is `base_bits` =

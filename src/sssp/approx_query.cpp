@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hopset/hopset.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sssp/hop_limited.hpp"
 
 namespace parsh {
@@ -27,7 +28,8 @@ ApproxShortestPaths::ApproxShortestPaths(const Graph& g, Params params)
   }
 }
 
-ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t) const {
+ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t,
+                                                            SsspWorkspace& ws) const {
   QueryResult out;
   if (s == t) {
     out.estimate = 0;
@@ -41,12 +43,13 @@ ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t) const 
     // pruning there makes out-of-scale searches die after a few rounds.
     const weight_t dist_limit =
         sc.d * ratio * (1.0 + params_.epsilon) / sc.w_hat + 1.0;
-    const HopLimitedResult r = hop_limited_sssp(sc.rounded, s, hop_budget_[i],
-                                                /*stop_early=*/true, dist_limit);
+    const HopLimitedStats r = hop_limited_sssp(sc.rounded, s, hop_budget_[i],
+                                               /*stop_early=*/true, dist_limit, ws);
     out.rounds += r.rounds;
     out.relaxations += r.relaxations;
-    if (r.dist[t] == kInfWeight) continue;
-    const weight_t est = r.dist[t] * sc.w_hat;
+    const weight_t dt = ws.dist_of(t);
+    if (dt == kInfWeight) continue;
+    const weight_t est = dt * sc.w_hat;
     if (est < out.estimate) {
       out.estimate = est;
       out.scale_used = i;
@@ -58,7 +61,41 @@ ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t) const 
   return out;
 }
 
-ApproxShortestPaths::AllResult ApproxShortestPaths::query_all(vid s) const {
+ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t) const {
+  SsspWorkspace ws;
+  return query(s, t, ws);
+}
+
+std::vector<ApproxShortestPaths::QueryResult> ApproxShortestPaths::query_batch(
+    const std::vector<QueryPair>& pairs, SsspWorkspace& ws) const {
+  std::vector<QueryResult> out(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    out[i] = query(pairs[i].first, pairs[i].second, ws);
+  }
+  return out;
+}
+
+std::vector<ApproxShortestPaths::QueryResult> ApproxShortestPaths::query_batch(
+    const std::vector<QueryPair>& pairs, SsspWorkspacePool& pool) const {
+  pool.prepare();
+  std::vector<QueryResult> out(pairs.size());
+  // One request per iteration: each worker serves its share of the batch
+  // through its own workspace, so requests never contend and every answer
+  // is the same as the sequential path's.
+  parallel_for_grain(0, pairs.size(), 1, [&](std::size_t i) {
+    out[i] = query(pairs[i].first, pairs[i].second, pool.local());
+  });
+  return out;
+}
+
+std::vector<ApproxShortestPaths::QueryResult> ApproxShortestPaths::query_batch(
+    const std::vector<QueryPair>& pairs) const {
+  SsspWorkspacePool pool;
+  return query_batch(pairs, pool);
+}
+
+ApproxShortestPaths::AllResult ApproxShortestPaths::query_all(vid s,
+                                                              SsspWorkspace& ws) const {
   AllResult out;
   out.estimate.assign(n_, kInfWeight);
   if (n_ == 0) return out;
@@ -69,16 +106,25 @@ ApproxShortestPaths::AllResult ApproxShortestPaths::query_all(vid s) const {
     const HopsetScale& sc = hopset_.scales[i];
     const weight_t dist_limit =
         sc.d * ratio * (1.0 + params_.epsilon) / sc.w_hat + 1.0;
-    const HopLimitedResult r = hop_limited_sssp(sc.rounded, s, hop_budget_[i],
-                                                /*stop_early=*/true, dist_limit);
+    const HopLimitedStats r = hop_limited_sssp(sc.rounded, s, hop_budget_[i],
+                                               /*stop_early=*/true, dist_limit, ws);
     out.rounds += r.rounds;
     out.relaxations += r.relaxations;
-    for (vid v = 0; v < n_; ++v) {
-      if (r.dist[v] == kInfWeight) continue;
-      out.estimate[v] = std::min(out.estimate[v], r.dist[v] * sc.w_hat);
+    // Fold this scale in sparsely: only the vertices the sweep reached
+    // can improve (the workspace's touched list), so a distance-capped
+    // scale costs O(reached), not O(n).
+    for (vid v : ws.touched()) {
+      const weight_t est = ws.dist_of(v) * sc.w_hat;
+      if (est < out.estimate[v]) out.estimate[v] = est;
     }
   }
+  out.estimate[s] = 0;
   return out;
+}
+
+ApproxShortestPaths::AllResult ApproxShortestPaths::query_all(vid s) const {
+  SsspWorkspace ws;
+  return query_all(s, ws);
 }
 
 }  // namespace parsh

@@ -10,11 +10,20 @@
 //
 // Works for unweighted graphs too (they are the single-scale special
 // case).
+//
+// Serving: every per-scale sweep runs on an SsspWorkspace, so a
+// long-lived server thread reuses one workspace across requests and warm
+// queries perform zero traversal-engine heap allocations. query_batch is
+// the request-batch form: sequential over one workspace, or parallel
+// across a workspace pool (one workspace per OpenMP worker).
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "hopset/weighted_hopset.hpp"
+#include "sssp/sssp_workspace.hpp"
 
 namespace parsh {
 
@@ -42,6 +51,21 @@ class ApproxShortestPaths {
 
   /// Approximate dist(s, t).
   [[nodiscard]] QueryResult query(vid s, vid t) const;
+  /// Workspace form: all traversal state lives in `ws`; warm calls
+  /// allocate nothing. Results are identical to the plain form.
+  [[nodiscard]] QueryResult query(vid s, vid t, SsspWorkspace& ws) const;
+
+  /// An s-t request batch, answered in order. The workspace overload runs
+  /// the batch sequentially through one workspace (the deterministic-reuse
+  /// path a single server thread uses); the pool overload fans the batch
+  /// out across workers, one workspace each.
+  using QueryPair = std::pair<vid, vid>;
+  [[nodiscard]] std::vector<QueryResult> query_batch(
+      const std::vector<QueryPair>& pairs) const;
+  [[nodiscard]] std::vector<QueryResult> query_batch(
+      const std::vector<QueryPair>& pairs, SsspWorkspace& ws) const;
+  [[nodiscard]] std::vector<QueryResult> query_batch(
+      const std::vector<QueryPair>& pairs, SsspWorkspacePool& pool) const;
 
   /// Batch form: approximate distances from s to every vertex (one
   /// hop-budgeted sweep per scale; unreachable stays kInfWeight). This is
@@ -53,6 +77,7 @@ class ApproxShortestPaths {
     std::uint64_t relaxations = 0;
   };
   [[nodiscard]] AllResult query_all(vid s) const;
+  [[nodiscard]] AllResult query_all(vid s, SsspWorkspace& ws) const;
 
   [[nodiscard]] const WeightedHopset& hopset() const { return hopset_; }
   [[nodiscard]] std::uint64_t preprocessing_rounds() const { return hopset_.rounds; }

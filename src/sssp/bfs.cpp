@@ -13,16 +13,15 @@ namespace parsh {
 
 namespace {
 
-/// Level-synchronous BFS on the shared bucketed frontier engine: levels
-/// are consecutive bucket keys, and claimed children are emitted through
-/// the engine's per-worker staging buffers (scan-compacted per round)
-/// instead of a serial per-level concatenation. `claim(v, via, level)`
-/// returns true if this thread settles v (first writer wins).
+/// Level-synchronous BFS on the workspace's frontier engine: levels are
+/// consecutive bucket keys, and claimed children are emitted through the
+/// engine's per-worker staging buffers (scan-compacted per round) instead
+/// of a serial per-level concatenation. The engine must already hold the
+/// seed frontier at key 0. `claim(v, via, level)` returns true if this
+/// thread settles v (first writer wins).
 template <typename Claim>
-vid run_bfs(const Graph& g, std::vector<vid> frontier, vid max_levels, Claim claim) {
-  BucketEngine<vid> engine({.span = 2});  // only levels k and k+1 are live
-  for (vid v : frontier) engine.push(0, v);
-  frontier.clear();
+vid run_bfs(const Graph& g, BucketEngine<vid>& engine, std::vector<vid>& frontier,
+            vid max_levels, Claim claim) {
   vid level = 0;
   std::uint64_t key;
   while ((key = engine.pop_round(frontier)) != kNoBucket) {
@@ -40,62 +39,89 @@ vid run_bfs(const Graph& g, std::vector<vid> frontier, vid max_levels, Claim cla
       }
     });
   }
+  frontier.clear();
   return level;
 }
 
 }  // namespace
 
-BfsResult bfs(const Graph& g, vid source, vid max_levels) {
+BfsResult bfs(const Graph& g, vid source, vid max_levels, SsspWorkspace& ws) {
   require_vertex(g, source, "bfs");
   const vid n = g.num_vertices();
   BfsResult r;
   r.dist.assign(n, kUnreachedHops);
   r.parent.assign(n, kNoVertex);
-  std::vector<std::atomic<vid>> claimed(n);
-  parallel_for(0, n, [&](std::size_t v) { claimed[v].store(kNoVertex); });
+  ws.begin_run_(n);
+  // One fresh stamp claims the whole run: a vertex is settled iff its
+  // stamp reached run_claim (stamps are monotone, so anything below is a
+  // leftover from an earlier run and the array never needs wiping).
+  const std::uint64_t run_claim = ws.next_stamp_();
+  std::vector<std::atomic<std::uint64_t>>& stamp = ws.stamp_;
+  BucketEngine<vid>& engine = ws.frontier_engine_;
+  engine.reset();
   r.dist[source] = 0;
-  claimed[source].store(source);
-  r.rounds = run_bfs(g, {source}, max_levels, [&](vid v, vid via, vid level) {
-    vid expected = kNoVertex;
-    if (claimed[v].compare_exchange_strong(expected, via)) {
-      r.dist[v] = level;
-      r.parent[v] = via;
-      return true;
-    }
-    return false;
-  });
+  stamp[source].store(run_claim, std::memory_order_relaxed);
+  engine.push(0, source);
+  r.rounds = run_bfs(g, engine, ws.frontier_, max_levels,
+                     [&](vid v, vid via, vid level) {
+                       std::uint64_t seen = stamp[v].load(std::memory_order_relaxed);
+                       if (seen >= run_claim) return false;
+                       if (!stamp[v].compare_exchange_strong(
+                               seen, run_claim, std::memory_order_relaxed)) {
+                         return false;
+                       }
+                       r.dist[v] = level;
+                       r.parent[v] = via;
+                       return true;
+                     });
   return r;
 }
 
-MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources, vid max_levels) {
+BfsResult bfs(const Graph& g, vid source, vid max_levels) {
+  SsspWorkspace ws;
+  return bfs(g, source, max_levels, ws);
+}
+
+MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources,
+                         vid max_levels, SsspWorkspace& ws) {
   const vid n = g.num_vertices();
   MultiBfsResult r;
   r.dist.assign(n, kUnreachedHops);
   r.owner.assign(n, kNoVertex);
-  std::vector<std::atomic<vid>> owner(n);
-  parallel_for(0, n, [&](std::size_t v) { owner[v].store(kNoVertex); });
-  std::vector<vid> frontier;
-  frontier.reserve(sources.size());
+  ws.begin_run_(n);
+  const std::uint64_t run_claim = ws.next_stamp_();
+  std::vector<std::atomic<std::uint64_t>>& stamp = ws.stamp_;
+  BucketEngine<vid>& engine = ws.frontier_engine_;
+  engine.reset();
   // Ties at level 0 (duplicate sources) resolve to the smaller index.
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const vid s = sources[i];
-    if (owner[s].load() == kNoVertex) {
-      owner[s].store(static_cast<vid>(i));
-      r.dist[s] = 0;
-      frontier.push_back(s);
-    }
+    if (stamp[s].load(std::memory_order_relaxed) >= run_claim) continue;
+    stamp[s].store(run_claim, std::memory_order_relaxed);
+    r.owner[s] = static_cast<vid>(i);
+    r.dist[s] = 0;
+    engine.push(0, s);
   }
-  r.rounds = run_bfs(g, std::move(frontier), max_levels, [&](vid v, vid via, vid level) {
-    vid expected = kNoVertex;
-    const vid via_owner = owner[via].load(std::memory_order_relaxed);
-    if (owner[v].compare_exchange_strong(expected, via_owner)) {
-      r.dist[v] = level;
-      return true;
-    }
-    return false;
-  });
-  parallel_for(0, n, [&](std::size_t v) { r.owner[v] = owner[v].load(); });
+  r.rounds = run_bfs(g, engine, ws.frontier_, max_levels,
+                     [&](vid v, vid via, vid level) {
+                       std::uint64_t seen = stamp[v].load(std::memory_order_relaxed);
+                       if (seen >= run_claim) return false;
+                       if (!stamp[v].compare_exchange_strong(
+                               seen, run_claim, std::memory_order_relaxed)) {
+                         return false;
+                       }
+                       // via settled in an earlier level, so its owner is
+                       // stable (the round barrier orders the write).
+                       r.owner[v] = r.owner[via];
+                       r.dist[v] = level;
+                       return true;
+                     });
   return r;
+}
+
+MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources, vid max_levels) {
+  SsspWorkspace ws;
+  return multi_bfs(g, sources, max_levels, ws);
 }
 
 }  // namespace parsh

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sssp/sssp_workspace.hpp"
 
 namespace parsh {
 
@@ -26,6 +27,10 @@ struct BfsResult {
 /// caller knows a diameter bound, as in the hopset recursion).
 BfsResult bfs(const Graph& g, vid source, vid max_levels = kNoVertex);
 
+/// Workspace form: the frontier engine and claim stamps live in `ws`, so
+/// iterated callers pay no per-call engine construction. Same output.
+BfsResult bfs(const Graph& g, vid source, vid max_levels, SsspWorkspace& ws);
+
 /// Multi-source BFS: dist is the hop distance to the nearest source, and
 /// `owner` identifies which source claimed each vertex (min source index
 /// wins ties deterministically).
@@ -36,5 +41,7 @@ struct MultiBfsResult {
 };
 MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources,
                          vid max_levels = kNoVertex);
+MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources,
+                         vid max_levels, SsspWorkspace& ws);
 
 }  // namespace parsh

@@ -4,42 +4,188 @@
 #include <atomic>
 #include <cmath>
 
+#include "graph/validation.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
-#include "parallel/sort.hpp"
 #include "parallel/work_depth.hpp"
 
 namespace parsh {
 
 DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta) {
+  SsspWorkspace ws;
+  return delta_stepping(g, source, delta, ws);
+}
+
+DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
+                                   SsspWorkspace& ws) {
   const vid n = g.num_vertices();
   DeltaSteppingResult r;
   r.dist.assign(n, kInfWeight);
+  r.parent.assign(n, kNoVertex);
   if (n == 0) return r;
+  require_vertex(g, source, "delta_stepping");
   if (delta <= 0) {
     const double avg_deg =
         g.num_vertices() ? static_cast<double>(g.num_arcs()) / g.num_vertices() : 1.0;
     delta = std::max<weight_t>(1.0, g.max_weight() / std::max(1.0, avg_deg));
   }
-  auto bucket_of = [&](weight_t d) { return static_cast<std::uint64_t>(d / delta); };
+  // Integer bucket width. Bucketing by truncation puts every key of a
+  // popped bucket b in the EXACT real interval [b*udelta, (b+1)*udelta)
+  // — floor(nd) in [b*ud, (b+1)*ud) implies nd in the same half-open
+  // interval for any real nd — which is what lets the packed rounds
+  // derive exact interval bounds from integer arithmetic (a real-valued
+  // delta would round b*delta and could put a key below the packed base).
+  const auto udelta = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(delta));
+  auto bucket_of = [&](weight_t d) { return static_cast<std::uint64_t>(d) / udelta; };
 
-  std::vector<std::atomic<weight_t>> dist(n);
-  parallel_for(0, n, [&](std::size_t v) {
-    dist[v].store(kInfWeight, std::memory_order_relaxed);
-  });
-  // Edges-relaxed tally, per-worker so the per-edge hot path never
-  // touches a contended atomic.
-  WorkerCounter relaxed;
+  ws.begin_run_(n);
+  ws.ensure_reduce_(n);
+  BucketEngine<SsspProposal>& engine = ws.proposal_engine_;
+  engine.reset();
 
-  // Relax u's edges selected by `take`; winners of the atomic min-write
-  // re-enter the calendar at their new bucket.
-  BucketEngine<vid> engine({.span = 64});
+  std::vector<std::atomic<weight_t>>& dist = ws.dist_;
+  std::vector<vid>& parent = ws.parent_;
+  std::vector<std::atomic<std::uint64_t>>& stamp = ws.stamp_;
+  std::vector<std::atomic<weight_t>>& best_key = ws.best_key_;
+  std::vector<std::atomic<vid>>& best_via = ws.best_via_;
+  std::vector<std::atomic<std::uint64_t>>& best_packed = ws.best_packed_;
+  std::vector<std::vector<vid>>& newly_local = ws.newly_local_;
+  std::vector<std::vector<vid>>& touched_local = ws.touched_local_;
+  std::vector<vid>& newly = ws.newly_;
+  std::vector<SsspProposal>& props = ws.props_;
+  std::vector<vid>& settled = ws.improved_;   // per-bucket settled list
+  std::vector<vid>& final_in_b = ws.frontier_;  // heavy-relax source list
+  WorkerCounter& tally = ws.tally_;
+  const std::size_t workers = newly_local.size();
+
+  auto dist_of = [&](vid v) { return dist[v].load(std::memory_order_relaxed); };
+
+  // The packed fast path needs every parent id representable in 24 bits
+  // (kPackedNoVia is reserved for kNoVertex).
+  const bool via_packs = !ws.force_three_phase_ &&
+                         static_cast<std::uint64_t>(n) <= kPackedNoVia;
+
+  // Settle the round's per-vertex winner (p won the (dist, parent)
+  // priority write for p.v). The stamp CAS admits one of possibly several
+  // exact duplicates (parallel edges of equal weight carry identical
+  // (v, via, dist)), so the settled state is schedule-independent either
+  // way. Stale winners (v already at a smaller distance) fall through.
+  auto settle = [&](const SsspProposal& p, std::uint64_t round_id) {
+    std::uint64_t seen = stamp[p.v].load(std::memory_order_relaxed);
+    if (seen == round_id) return;
+    if (!stamp[p.v].compare_exchange_strong(seen, round_id,
+                                            std::memory_order_relaxed)) {
+      return;
+    }
+    const weight_t old = dist_of(p.v);
+    if (p.dist >= old) return;
+    dist[p.v].store(p.dist, std::memory_order_relaxed);
+    parent[p.v] = p.via;
+    const auto w = static_cast<std::size_t>(worker_id());
+    detail::push_counted(newly_local[w], p.v, ws.scratch_allocs_);
+    if (old == kInfWeight) {
+      detail::push_counted(touched_local[w], p.v, ws.scratch_allocs_);
+    }
+  };
+
+  // Resolve the popped bucket's proposals (one synchronous round of the
+  // CRCW priority write), settle the winners, and concatenate the
+  // newly-improved vertices into `newly`. Two equivalent reduction
+  // strategies, chosen per bucket:
+  //  * packed fast path — the bucket's keys quantize order-exactly into
+  //    40 bits, so (dist, parent) fuses into one 64-bit word and the
+  //    reduce is a single atomic_write_min pass;
+  //  * three-phase fallback — min dist, then min parent at that dist,
+  //    then settle, barrier-separated.
+  // Both compute the same argmin, so the output is bit-identical.
+  auto reduce_round = [&](bool packed, std::uint64_t base_bits) {
+    std::uint64_t live;
+    if (packed) {
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        const SsspProposal& p = props[i];
+        if (p.dist >= dist_of(p.v)) return;  // stale proposal
+        tally.add(1);
+        atomic_write_min(&best_packed[p.v], pack_key_via(p.dist, base_bits, p.via));
+      });
+      live = tally.drain();
+      if (live != 0) {
+        ++ws.packed_rounds_;
+        const std::uint64_t round_id = ws.next_stamp_();
+        parallel_for(0, props.size(), [&](std::size_t i) {
+          const SsspProposal& p = props[i];
+          if (best_packed[p.v].load(std::memory_order_relaxed) ==
+              pack_key_via(p.dist, base_bits, p.via)) {
+            settle(p, round_id);
+          }
+        });
+      }
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        best_packed[props[i].v].store(kPackedInf, std::memory_order_relaxed);
+      });
+    } else {
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        const SsspProposal& p = props[i];
+        if (p.dist >= dist_of(p.v)) return;  // stale proposal
+        tally.add(1);
+        atomic_write_min(&best_key[p.v], p.dist);
+      });
+      live = tally.drain();
+      if (live != 0) {
+        ++ws.fallback_rounds_;
+        parallel_for(0, props.size(), [&](std::size_t i) {
+          const SsspProposal& p = props[i];
+          if (p.dist == best_key[p.v].load(std::memory_order_relaxed)) {
+            atomic_write_min(&best_via[p.v], p.via);
+          }
+        });
+        const std::uint64_t round_id = ws.next_stamp_();
+        parallel_for(0, props.size(), [&](std::size_t i) {
+          const SsspProposal& p = props[i];
+          if (p.dist == best_key[p.v].load(std::memory_order_relaxed) &&
+              p.via == best_via[p.v].load(std::memory_order_relaxed)) {
+            settle(p, round_id);
+          }
+        });
+      }
+      // Reset the scratch minima (touched vertices only).
+      parallel_for(0, props.size(), [&](std::size_t i) {
+        best_key[props[i].v].store(kInfWeight, std::memory_order_relaxed);
+        best_via[props[i].v].store(kNoVertex, std::memory_order_relaxed);
+      });
+    }
+    wd::add_work(live);
+    // Concatenate the per-worker winner lists with an exclusive scan, and
+    // fold the first-touch lists into the workspace's touched set.
+    std::vector<std::size_t>& offset = ws.offset_;
+    for (std::size_t t = 0; t < workers; ++t) offset[t] = newly_local[t].size();
+    const std::size_t settled_now = exclusive_scan_inplace(offset);
+    if (settled_now > newly.capacity()) {
+      ws.scratch_allocs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    newly.resize(settled_now);
+    parallel_for_grain(0, workers, 1, [&](std::size_t t) {
+      std::copy(newly_local[t].begin(), newly_local[t].end(),
+                newly.begin() + offset[t]);
+      newly_local[t].clear();
+    });
+    for (std::size_t t = 0; t < workers; ++t) {
+      for (vid v : touched_local[t]) {
+        detail::push_counted(ws.touched_, v, ws.scratch_allocs_);
+      }
+      touched_local[t].clear();
+    }
+  };
+
+  // Relax the out-edges of `frontier` selected by `take`; improving
+  // proposals enter the calendar at their new bucket. The push filter
+  // reads distances that only change at settle barriers, so the proposal
+  // multiset of every round is schedule-independent.
   auto relax_edges = [&](const std::vector<vid>& frontier, auto take) {
     parallel_for_grain(0, frontier.size(), 64, [&](std::size_t i) {
       const vid u = frontier[i];
-      const weight_t du = dist[u].load(std::memory_order_relaxed);
+      const weight_t du = dist_of(u);
       std::uint64_t count = 0;
       for (eid e = g.begin(u); e < g.end(u); ++e) {
         const weight_t w = g.weight(e);
@@ -47,55 +193,59 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta) {
         const vid v = g.target(e);
         const weight_t nd = du + w;
         ++count;
-        if (atomic_write_min(&dist[v], nd)) {
-          engine.push_from_worker(bucket_of(nd), v);
+        if (nd < dist_of(v)) {
+          engine.push_from_worker(bucket_of(nd), {v, u, nd});
         }
       }
-      relaxed.add(count);
+      tally.add(count);
     });
+    const std::uint64_t relaxed = tally.drain();
+    r.relaxations += relaxed;
+    wd::add_work(relaxed);
   };
 
-  dist[source].store(0, std::memory_order_relaxed);
-  engine.push(0, source);
-  std::vector<vid> frontier;
+  engine.push(0, {source, kNoVertex, 0});
   std::uint64_t b;
   while ((b = engine.min_key()) != kNoBucket) {
-    std::vector<vid> settled;  // all vertices finalized in this bucket
+    settled.clear();
+    // Packed eligibility for this bucket: exact interval bounds from the
+    // integer bucket arithmetic (see bucket_of above).
+    const double lo = static_cast<double>(b * udelta);
+    const double hi = static_cast<double>((b + 1) * udelta);
+    const bool packed = via_packs && packed_interval_fits(lo, hi);
+    const std::uint64_t base_bits = packed ? double_order_bits(lo) : 0;
     // Light relaxations (w <= delta) may re-enter this bucket; iterate
     // until it is drained.
     while (engine.min_key() == b) {
-      engine.pop_round(frontier);
+      engine.pop_round(props);
       ++r.phases;
       wd::add_round();
-      // A vertex is queued once per distance improvement; only entries
-      // whose current distance still lands in this bucket are active.
-      std::vector<vid> active = pack_values<vid>(
-          frontier.size(),
-          [&](std::size_t i) {
-            return bucket_of(dist[frontier[i]].load(std::memory_order_relaxed)) == b;
-          },
-          [&](std::size_t i) { return frontier[i]; });
-      settled.insert(settled.end(), active.begin(), active.end());
-      relax_edges(active, [&](weight_t w) { return w <= delta; });
+      reduce_round(packed, base_bits);
+      for (vid v : newly) detail::push_counted(settled, v, ws.scratch_allocs_);
+      relax_edges(newly, [&](weight_t w) { return w <= delta; });
     }
     // Heavy relaxations (w > delta) go to strictly later buckets; done
     // once per settled vertex.
-    parallel_sort(settled);
+    std::sort(settled.begin(), settled.end());
     settled.erase(std::unique(settled.begin(), settled.end()), settled.end());
-    std::vector<vid> final_in_b = pack_values<vid>(
-        settled.size(),
-        [&](std::size_t i) {
-          return bucket_of(dist[settled[i]].load(std::memory_order_relaxed)) == b;
-        },
-        [&](std::size_t i) { return settled[i]; });
+    final_in_b.clear();
+    for (vid v : settled) {
+      if (bucket_of(dist_of(v)) == b) {
+        detail::push_counted(final_in_b, v, ws.scratch_allocs_);
+      }
+    }
     relax_edges(final_in_b, [&](weight_t w) { return w > delta; });
-    // Work charged per bucket is the relaxations *this bucket* performed.
-    const std::uint64_t in_bucket = relaxed.drain();
-    r.relaxations += in_bucket;
-    wd::add_work(in_bucket);
   }
-  parallel_for(0, n, [&](std::size_t v) {
-    r.dist[v] = dist[v].load(std::memory_order_relaxed);
+  settled.clear();
+  final_in_b.clear();
+
+  // Copy the settled state out through the touched list (the workspace
+  // keeps its buffers and the dist-infinity invariant machinery intact).
+  const std::vector<vid>& touched = ws.touched_;
+  parallel_for_grain(0, touched.size(), 512, [&](std::size_t i) {
+    const vid v = touched[i];
+    r.dist[v] = dist_of(v);
+    r.parent[v] = parent[v];
   });
   return r;
 }

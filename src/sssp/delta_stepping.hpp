@@ -3,23 +3,43 @@
 // much machinery a parallel SSSP needs — delta-stepping is the practical
 // non-hopset contender, so the benches report it alongside the
 // hopset-based query engine.
+//
+// The relaxation conflicts are resolved per bucket round by a CRCW-style
+// (dist, parent) priority write — the lexicographic minimum wins — so
+// both the distances AND the shortest-path tree are bit-identical at
+// every thread count. Rounds whose bucket interval quantizes into the
+// packed 64-bit word (bucket index >= 2^12; see atomics.hpp) fuse the
+// three-phase min-reduce into a single atomic_write_min per proposal.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sssp/sssp_workspace.hpp"
 
 namespace parsh {
 
 struct DeltaSteppingResult {
   std::vector<weight_t> dist;
+  /// Shortest-path-tree parent (kNoVertex at the source / unreached):
+  /// among the relaxations achieving dist[v], the winner of the
+  /// (dist, parent) priority write — deterministic in (g, source, delta).
+  std::vector<vid> parent;
   std::uint64_t phases = 0;       ///< bucket phases (depth proxy)
   std::uint64_t relaxations = 0;  ///< edges relaxed (work proxy)
 };
 
 /// SSSP with bucket width `delta`. delta <= 0 picks a heuristic
-/// (max_weight / average degree, clamped to >= 1).
+/// (max_weight / average degree, clamped to >= 1). The effective width is
+/// floor(delta): integer bucket boundaries are what make the packed
+/// (dist, parent) rounds exact.
 DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta = 0);
+
+/// Workspace form: the proposal engine, per-vertex arrays and the
+/// (dist, parent) reduce scratch live in `ws`; warm calls on graphs no
+/// larger than already seen allocate nothing. Same output.
+DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
+                                   SsspWorkspace& ws);
 
 }  // namespace parsh

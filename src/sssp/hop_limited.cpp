@@ -1,77 +1,116 @@
 #include "sssp/hop_limited.hpp"
 
 #include <algorithm>
-#include <atomic>
 
-#include "parallel/parallel_for.hpp"
+#include "graph/validation.hpp"
 #include "parallel/work_depth.hpp"
 
 namespace parsh {
 
 namespace {
 
-/// One frontier-driven Bellman-Ford round: relax out-edges of `frontier`
-/// into `dist`, collecting improved vertices. Returns improved set.
-std::vector<vid> relax_round(const Graph& g, const std::vector<vid>& frontier,
-                             std::vector<weight_t>& dist, std::uint64_t* relaxations,
-                             weight_t dist_limit = kInfWeight) {
-  std::vector<std::vector<vid>> local(frontier.size());
-  std::uint64_t touched = 0;
-  // NOTE: per-iteration vectors keep this deterministic and race-free; a
-  // vertex improved by two frontier members appears twice and is deduped
-  // by the dist check in the next round (harmless).
-  for (std::size_t i = 0; i < frontier.size(); ++i) {
-    const vid u = frontier[i];
-    touched += g.degree(u);
+/// One frontier-driven Bellman-Ford round over the workspace arrays:
+/// relax out-edges of `frontier` into `dist`, leaving the improved
+/// vertices (deduped, sorted) in `improved`. Relaxations stay sequential:
+/// in-round chaining (an improvement feeding a later frontier member's
+/// relaxation) is part of the driver's established semantics, and the
+/// workspace's parallelism budget is spent across queries instead
+/// (SsspWorkspacePool). First touches are recorded so the workspace can
+/// restore its dist-infinity invariant lazily.
+struct BellmanFordRefs {
+  std::vector<std::atomic<weight_t>>& dist;
+  std::vector<vid>& touched;
+  std::vector<vid>& frontier;
+  std::vector<vid>& improved;
+  std::atomic<std::uint64_t>& allocs;
+};
+
+void relax_round(const Graph& g, BellmanFordRefs& r, std::uint64_t* relaxations,
+                 weight_t dist_limit) {
+  auto dist_of = [&](vid v) { return r.dist[v].load(std::memory_order_relaxed); };
+  std::uint64_t touched_work = 0;
+  r.improved.clear();
+  for (vid u : r.frontier) {
+    const weight_t du = dist_of(u);
+    touched_work += g.degree(u);
     for (eid e = g.begin(u); e < g.end(u); ++e) {
       const vid v = g.target(e);
-      const weight_t nd = dist[u] + g.weight(e);
-      if (nd < dist[v] && nd <= dist_limit) {
-        dist[v] = nd;
-        local[i].push_back(v);
+      const weight_t nd = du + g.weight(e);
+      const weight_t dv = dist_of(v);
+      if (nd < dv && nd <= dist_limit) {
+        if (dv == kInfWeight) detail::push_counted(r.touched, v, r.allocs);
+        r.dist[v].store(nd, std::memory_order_relaxed);
+        detail::push_counted(r.improved, v, r.allocs);
       }
     }
   }
-  *relaxations += touched;
-  wd::add_work(touched);
+  *relaxations += touched_work;
+  wd::add_work(touched_work);
   wd::add_round();
-  std::vector<vid> improved;
-  for (auto& l : local) improved.insert(improved.end(), l.begin(), l.end());
   // Dedup (a vertex may be improved via several frontier members).
-  std::sort(improved.begin(), improved.end());
-  improved.erase(std::unique(improved.begin(), improved.end()), improved.end());
-  return improved;
+  std::sort(r.improved.begin(), r.improved.end());
+  r.improved.erase(std::unique(r.improved.begin(), r.improved.end()),
+                   r.improved.end());
+  std::swap(r.frontier, r.improved);
 }
 
 }  // namespace
 
+HopLimitedStats hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
+                                 bool stop_early, weight_t dist_limit,
+                                 SsspWorkspace& ws) {
+  require_vertex(g, source, "hop_limited_sssp");
+  ws.begin_run_(g.num_vertices());
+  BellmanFordRefs r{ws.dist_, ws.touched_, ws.frontier_, ws.improved_,
+                    ws.scratch_allocs_};
+  r.dist[source].store(0, std::memory_order_relaxed);
+  detail::push_counted(r.touched, source, r.allocs);
+  r.frontier.clear();
+  detail::push_counted(r.frontier, source, r.allocs);
+  // stop_early is kept for API symmetry: an empty frontier means nothing
+  // can ever improve again, so the loop exits there either way (a
+  // non-early run differs only in that callers budget h for it).
+  (void)stop_early;
+  HopLimitedStats stats;
+  for (std::uint64_t round = 0; round < h; ++round) {
+    if (r.frontier.empty()) break;  // nothing more can ever improve
+    relax_round(g, r, &stats.relaxations, dist_limit);
+    ++stats.rounds;
+  }
+  r.frontier.clear();
+  return stats;
+}
+
 HopLimitedResult hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
                                   bool stop_early, weight_t dist_limit) {
+  SsspWorkspace ws;
+  const HopLimitedStats stats =
+      hop_limited_sssp(g, source, h, stop_early, dist_limit, ws);
   HopLimitedResult r;
+  r.rounds = stats.rounds;
+  r.relaxations = stats.relaxations;
   r.dist.assign(g.num_vertices(), kInfWeight);
-  r.dist[source] = 0;
-  std::vector<vid> frontier{source};
-  for (std::uint64_t round = 0; round < h; ++round) {
-    if (frontier.empty() && stop_early) break;
-    if (frontier.empty()) break;  // nothing more can ever improve
-    frontier = relax_round(g, frontier, r.dist, &r.relaxations, dist_limit);
-    ++r.rounds;
-  }
+  for (vid v : ws.touched()) r.dist[v] = ws.dist_of(v);
   return r;
 }
 
 std::uint64_t hops_to_approx(const Graph& g, vid s, vid t, weight_t true_dist,
                              double eps, std::uint64_t h_cap) {
-  std::vector<weight_t> dist(g.num_vertices(), kInfWeight);
-  dist[s] = 0;
-  const weight_t goal = (1.0 + eps) * true_dist;
   if (s == t) return 0;
-  std::vector<vid> frontier{s};
+  SsspWorkspace ws;
+  ws.begin_run_(g.num_vertices());
+  BellmanFordRefs r{ws.dist_, ws.touched_, ws.frontier_, ws.improved_,
+                    ws.scratch_allocs_};
+  r.dist[s].store(0, std::memory_order_relaxed);
+  detail::push_counted(r.touched, s, r.allocs);
+  r.frontier.clear();
+  detail::push_counted(r.frontier, s, r.allocs);
+  const weight_t goal = (1.0 + eps) * true_dist;
   std::uint64_t relaxations = 0;
   for (std::uint64_t h = 1; h <= h_cap; ++h) {
-    if (frontier.empty()) return h_cap;  // converged without reaching goal
-    frontier = relax_round(g, frontier, dist, &relaxations);
-    if (dist[t] <= goal) return h;
+    if (r.frontier.empty()) return h_cap;  // converged without reaching goal
+    relax_round(g, r, &relaxations, kInfWeight);
+    if (ws.dist_of(t) <= goal) return h;
   }
   return h_cap;
 }

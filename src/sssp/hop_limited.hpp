@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sssp/sssp_workspace.hpp"
 
 namespace parsh {
 
@@ -24,6 +25,13 @@ struct HopLimitedResult {
   std::uint64_t relaxations = 0;
 };
 
+/// Counters of one workspace-resident run (the distances stay in the
+/// workspace: ws.dist_of / ws.touched()).
+struct HopLimitedStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t relaxations = 0;
+};
+
 /// Exact dist^h from `source` with at most `h` hops. If `stop_early` the
 /// loop exits once no distance improves (making the result dist^n when the
 /// graph converges faster — useful as an exact oracle). Vertices farther
@@ -32,6 +40,15 @@ struct HopLimitedResult {
 HopLimitedResult hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
                                   bool stop_early = true,
                                   weight_t dist_limit = kInfWeight);
+
+/// Workspace form — the hot path of ApproxShortestPaths: distances are
+/// left in `ws` (valid until its next run) instead of materializing an
+/// n-vector, and warm calls whose reach fits the workspace's high-water
+/// buffers perform zero heap allocations. Iterate ws.touched() to read
+/// the reached set sparsely.
+HopLimitedStats hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
+                                 bool stop_early, weight_t dist_limit,
+                                 SsspWorkspace& ws);
 
 /// The number of hops needed for the s-t distance to drop to within
 /// (1+eps) of `true_dist`: runs rounds until

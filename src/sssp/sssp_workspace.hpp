@@ -1,0 +1,217 @@
+// Reusable traversal workspace for the SSSP family.
+//
+// Every traversal driver in src/sssp/ — level-synchronous BFS, the Dial
+// search of weighted BFS, delta-stepping, hop-limited Bellman-Ford and the
+// Theorem 1.2 query engine's per-scale sweeps — shares one storage shape:
+// a bucketed frontier engine plus per-vertex (dist, parent) state. Before
+// this layer each call heap-allocated that state from scratch, which the
+// two hot call loops pay for repeatedly: ApproxShortestPaths runs one
+// sweep per distance scale per query, and the hopset build fans out one
+// weighted BFS per large-cluster center. SsspWorkspace owns the state
+// once, mirroring EstClusterWorkspace (PR 2) for the clustering side:
+//
+//  * two bucket engines (a vid engine for BFS levels / Dial buckets, a
+//    proposal engine for delta-stepping's (v, via, dist) relaxations),
+//    reset-but-never-shrunk across calls;
+//  * per-vertex dist / parent / owner arrays with a touched-vertex list:
+//    the invariant "dist == kInfWeight except for vertices touched by the
+//    last run" is restored lazily at the next run's start, so a run that
+//    reaches few vertices (a distance-capped query sweep) costs O(touched)
+//    workspace maintenance, not O(n);
+//  * a generation-stamp array for the claim steps (BFS's first-writer
+//    claim, delta-stepping's per-round settle dedup): stamps are monotone
+//    across runs, so no run ever re-initializes them;
+//  * the (dist, parent) CRCW min-reduce scratch — three-phase atomics and
+//    the packed 64-bit word — shared with the packed/fallback round
+//    counters and the force_three_phase test seam, exactly as PR 2's
+//    clustering workspace.
+//
+// Results of a run stay readable in place (dist_of / parent_of / touched)
+// until the next run on the same workspace begins. Not thread-safe across
+// concurrent driver calls: one workspace per call chain. For parallel
+// fan-outs (the hopset's per-center weighted BFS, batched queries) use
+// SsspWorkspacePool, which keeps one workspace per OpenMP worker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "parallel/bucket_engine.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace parsh {
+
+/// A relaxation in flight: "v can be reached through via at distance
+/// dist". The payload of the workspace's proposal engine; popped buckets
+/// are resolved per vertex by lexicographic (dist, via) minimum, which is
+/// what makes the parent tree schedule-independent.
+struct SsspProposal {
+  vid v;
+  vid via;
+  weight_t dist;
+};
+
+struct BfsResult;
+struct MultiBfsResult;
+struct DeltaSteppingResult;
+struct WeightedBfsResult;
+struct MultiWeightedBfsResult;
+struct HopLimitedStats;
+
+namespace detail {
+
+/// push_back that records capacity growth in the workspace's allocation
+/// counter (relaxed atomic: growth can happen inside parallel regions).
+template <typename T>
+inline void push_counted(std::vector<T>& buf, T value,
+                         std::atomic<std::uint64_t>& allocs) {
+  if (buf.size() == buf.capacity()) {
+    allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  buf.push_back(std::move(value));
+}
+
+}  // namespace detail
+
+class SsspWorkspace {
+ public:
+  SsspWorkspace();
+
+  /// Heap-allocation events inside the workspace so far: both engines'
+  /// counters plus per-vertex array growth plus scratch-buffer capacity
+  /// growth. Cumulative across runs; a warm run that fits every buffer
+  /// leaves this unchanged — the guarantee the query-server tests pin.
+  [[nodiscard]] std::uint64_t alloc_events() const {
+    return frontier_engine_.alloc_events() + proposal_engine_.alloc_events() +
+           grow_events_ + scratch_allocs_.load(std::memory_order_relaxed);
+  }
+  /// Times the per-vertex arrays had to grow (once per high-water n).
+  [[nodiscard]] std::uint64_t array_grow_events() const { return grow_events_; }
+  /// (dist, parent) rounds resolved by the packed-word fast path / the
+  /// three-phase fallback (cumulative; diagnostics and tests).
+  [[nodiscard]] std::uint64_t packed_rounds() const { return packed_rounds_; }
+  [[nodiscard]] std::uint64_t fallback_rounds() const { return fallback_rounds_; }
+
+  /// Test hook: force the three-phase reduce even when a round's keys
+  /// would fit the packed word (packed-vs-fallback equivalence tests).
+  void force_three_phase(bool on) { force_three_phase_ = on; }
+
+  /// Distance settled by the last run (kInfWeight if the run did not
+  /// reach v). Valid until the next run on this workspace begins.
+  [[nodiscard]] weight_t dist_of(vid v) const {
+    return dist_[v].load(std::memory_order_relaxed);
+  }
+  /// Tree parent settled by the last run (kNoVertex for sources and
+  /// unreached vertices). Meaningful after the drivers that settle
+  /// parents — weighted BFS and delta-stepping; a hop-limited sweep
+  /// settles distances only, and plain BFS writes parents straight into
+  /// its result.
+  [[nodiscard]] vid parent_of(vid v) const {
+    return dist_of(v) == kInfWeight ? kNoVertex : parent_[v];
+  }
+  /// Vertices the last run reached, in no particular order. Iterating
+  /// this instead of [0, n) is what keeps distance-capped sweeps (the
+  /// query engine's out-of-scale searches) sublinear per call.
+  [[nodiscard]] const std::vector<vid>& touched() const { return touched_; }
+
+ private:
+  friend BfsResult bfs(const Graph&, vid, vid, SsspWorkspace&);
+  friend MultiBfsResult multi_bfs(const Graph&, const std::vector<vid>&, vid,
+                                  SsspWorkspace&);
+  friend DeltaSteppingResult delta_stepping(const Graph&, vid, weight_t,
+                                            SsspWorkspace&);
+  friend WeightedBfsResult weighted_bfs(const Graph&, vid, weight_t,
+                                        SsspWorkspace&);
+  friend MultiWeightedBfsResult multi_weighted_bfs(const Graph&,
+                                                   const std::vector<vid>&,
+                                                   weight_t, SsspWorkspace&);
+  friend HopLimitedStats hop_limited_sssp(const Graph&, vid, std::uint64_t,
+                                          bool, weight_t, SsspWorkspace&);
+  friend std::uint64_t hops_to_approx(const Graph&, vid, vid, weight_t, double,
+                                      std::uint64_t);
+
+  /// Grow the per-vertex base arrays (dist/parent/owner/stamp) to hold n
+  /// vertices; geometric headroom, never shrunk. Newly (re)built entries
+  /// restore the dist-infinity and stamp-zero invariants.
+  void ensure_vertices_(vid n);
+  /// Grow the (dist, parent) min-reduce scratch (three-phase atomics +
+  /// packed words); only delta-stepping pays for these.
+  void ensure_reduce_(vid n);
+  /// Start a run over n vertices: grow arrays, restore the dist-infinity
+  /// invariant for the previous run's touched vertices, clear the touched
+  /// list. O(touched_prev) when nothing grows.
+  void begin_run_(vid n);
+  /// Fresh stamp, strictly larger than every stamp ever handed out by
+  /// this workspace (run claims and per-round settle claims share the
+  /// counter, so monotonicity is global).
+  std::uint64_t next_stamp_() { return ++stamp_counter_; }
+
+  BucketEngine<vid> frontier_engine_;            // BFS levels, Dial buckets
+  BucketEngine<SsspProposal> proposal_engine_;   // delta-stepping relaxations
+  // Per-vertex state (sized to the high-water n; only [0, n) touched).
+  std::vector<std::atomic<weight_t>> dist_;
+  std::vector<vid> parent_;
+  std::vector<vid> owner_;                       // multi-source claim owner
+  std::vector<std::atomic<std::uint64_t>> stamp_;
+  std::vector<std::atomic<weight_t>> best_key_;             // three-phase scratch
+  std::vector<std::atomic<vid>> best_via_;                  // three-phase scratch
+  std::vector<std::atomic<std::uint64_t>> best_packed_;     // packed-word scratch
+  // Per-run / per-round scratch independent of n.
+  std::vector<vid> touched_;                     // vertices reached by last run
+  std::vector<std::vector<vid>> newly_local_;    // per-worker settle winners
+  std::vector<std::vector<vid>> touched_local_;  // per-worker first touches
+  std::vector<vid> newly_;                       // concatenated winners
+  std::vector<std::size_t> offset_;              // winner-concat scan
+  std::vector<SsspProposal> props_;              // popped proposal bucket
+  std::vector<vid> frontier_;                    // popped vid bucket / BF frontier
+  std::vector<vid> improved_;                    // BF winners, settled lists
+  WorkerCounter tally_;
+  std::size_t vertex_capacity_ = 0;
+  std::size_t reduce_capacity_ = 0;
+  std::uint64_t stamp_counter_ = 0;
+  std::uint64_t grow_events_ = 0;
+  std::atomic<std::uint64_t> scratch_allocs_{0};
+  std::uint64_t packed_rounds_ = 0;
+  std::uint64_t fallback_rounds_ = 0;
+  bool force_three_phase_ = false;
+};
+
+/// One SsspWorkspace per OpenMP worker, for parallel fan-outs whose
+/// iterations each run a sequential traversal: the hopset's per-center
+/// weighted BFS, Cohen-baseline landmark searches, batched queries.
+/// Workspaces live in a deque so growing the pool never moves (immovable)
+/// existing workspaces.
+class SsspWorkspacePool {
+ public:
+  SsspWorkspacePool() { prepare(); }
+
+  /// Ensure one workspace per current worker. Must be called from
+  /// sequential context (the pool grows if omp_set_num_threads raised the
+  /// worker count since construction).
+  void prepare() {
+    const auto workers = static_cast<std::size_t>(num_workers());
+    while (pool_.size() < workers) pool_.emplace_back();
+  }
+
+  /// The calling worker's workspace (race-free inside parallel regions
+  /// provided prepare() ran since the last worker-count change).
+  SsspWorkspace& local() { return pool_[static_cast<std::size_t>(worker_id())]; }
+
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+  [[nodiscard]] SsspWorkspace& at(std::size_t i) { return pool_[i]; }
+
+  /// Sum of alloc_events() across the pool.
+  [[nodiscard]] std::uint64_t alloc_events() const {
+    std::uint64_t total = 0;
+    for (const SsspWorkspace& ws : pool_) total += ws.alloc_events();
+    return total;
+  }
+
+ private:
+  std::deque<SsspWorkspace> pool_;
+};
+
+}  // namespace parsh

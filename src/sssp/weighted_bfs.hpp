@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sssp/sssp_workspace.hpp"
 
 namespace parsh {
 
@@ -25,6 +26,13 @@ struct WeightedBfsResult {
 WeightedBfsResult weighted_bfs(const Graph& g, vid source,
                                weight_t limit = kInfWeight);
 
+/// Workspace form for iterated callers (the hopset's per-center fan-out
+/// runs one of these per large-cluster center, one workspace per worker):
+/// the Dial calendar and the per-vertex arrays live in `ws`, warm calls
+/// allocate nothing. Same output as the plain form.
+WeightedBfsResult weighted_bfs(const Graph& g, vid source, weight_t limit,
+                               SsspWorkspace& ws);
+
 /// Multi-source variant: dist to the nearest source; `owner` gives the
 /// index of the claiming source (smaller index wins exact ties).
 struct MultiWeightedBfsResult {
@@ -35,5 +43,8 @@ struct MultiWeightedBfsResult {
 MultiWeightedBfsResult multi_weighted_bfs(const Graph& g,
                                           const std::vector<vid>& sources,
                                           weight_t limit = kInfWeight);
+MultiWeightedBfsResult multi_weighted_bfs(const Graph& g,
+                                          const std::vector<vid>& sources,
+                                          weight_t limit, SsspWorkspace& ws);
 
 }  // namespace parsh

@@ -16,6 +16,10 @@
 #include "spanner/distributed_spanner.hpp"
 #include "spanner/low_stretch_tree.hpp"
 #include "spanner/spanner.hpp"
+#include "sssp/approx_query.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/hop_limited.hpp"
+#include "sssp/weighted_bfs.hpp"
 
 namespace parsh {
 namespace {
@@ -111,6 +115,81 @@ TEST_P(DriverDeterminism, Hopset) {
   EXPECT_EQ(one.clique_edges, many.clique_edges);
   EXPECT_EQ(one.levels, many.levels);
   EXPECT_EQ(one.clusterings, many.clusterings);
+}
+
+// --- the SSSP family (PR 3: every traversal driver runs on the shared
+// --- SsspWorkspace; distances, parents and counters must be bit-identical
+// --- across thread counts and across the packed/three-phase seam).
+
+TEST_P(DriverDeterminism, DeltaStepping) {
+  // Large weights at delta = 1 push bucket indices past the 2^12 packed
+  // boundary, so this exercises the packed (dist, parent) rounds at both
+  // thread counts; the small-weight run stays on the three-phase path.
+  const Graph small = weighted();
+  const Graph large =
+      with_uniform_weights(unweighted(), 4096, 8192, GetParam() + 23);
+  for (const auto& [g, delta] :
+       {std::pair(&small, 0.0), std::pair(&small, 4.0), std::pair(&large, 1.0)}) {
+    const auto [one, many] =
+        one_and_many([&, g = g, delta = delta] { return delta_stepping(*g, 0, delta); });
+    EXPECT_EQ(one.dist, many.dist);
+    EXPECT_EQ(one.parent, many.parent);
+    EXPECT_EQ(one.phases, many.phases);
+    EXPECT_EQ(one.relaxations, many.relaxations);
+  }
+}
+
+TEST_P(DriverDeterminism, DeltaSteppingPackedVsThreePhaseAcrossThreads) {
+  const Graph g = with_uniform_weights(unweighted(), 4096, 8192, GetParam() + 29);
+  SsspWorkspace forced;
+  forced.force_three_phase(true);
+  const auto baseline = delta_stepping(g, 0, 1.0, forced);
+  EXPECT_GT(forced.fallback_rounds(), 0u);
+  for (int threads : {1, 4}) {
+    SsspWorkspace ws;
+    const auto packed =
+        at_threads(threads, [&] { return delta_stepping(g, 0, 1.0, ws); });
+    EXPECT_GT(ws.packed_rounds(), 0u);
+    EXPECT_EQ(packed.dist, baseline.dist);
+    EXPECT_EQ(packed.parent, baseline.parent);
+    EXPECT_EQ(packed.phases, baseline.phases);
+    EXPECT_EQ(packed.relaxations, baseline.relaxations);
+  }
+}
+
+TEST_P(DriverDeterminism, WeightedBfs) {
+  const Graph g = weighted();
+  const auto [one, many] = one_and_many([&] { return weighted_bfs(g, 0); });
+  EXPECT_EQ(one.dist, many.dist);
+  EXPECT_EQ(one.parent, many.parent);
+  EXPECT_EQ(one.rounds, many.rounds);
+  const auto [m1, m4] =
+      one_and_many([&] { return multi_weighted_bfs(g, {0, 5, 9}); });
+  EXPECT_EQ(m1.dist, m4.dist);
+  EXPECT_EQ(m1.owner, m4.owner);
+  EXPECT_EQ(m1.rounds, m4.rounds);
+}
+
+TEST_P(DriverDeterminism, HopLimited) {
+  const Graph g = weighted();
+  const auto [one, many] =
+      one_and_many([&] { return hop_limited_sssp(g, 0, 24, /*stop_early=*/true); });
+  EXPECT_EQ(one.dist, many.dist);
+  EXPECT_EQ(one.rounds, many.rounds);
+  EXPECT_EQ(one.relaxations, many.relaxations);
+}
+
+TEST_P(DriverDeterminism, ApproxQueryAll) {
+  const Graph g = weighted();
+  ApproxShortestPaths::Params p;
+  p.hopset.hopset.seed = GetParam();
+  const auto [one, many] = one_and_many([&] {
+    const ApproxShortestPaths engine(g, p);
+    return engine.query_all(0);
+  });
+  EXPECT_EQ(one.estimate, many.estimate);
+  EXPECT_EQ(one.rounds, many.rounds);
+  EXPECT_EQ(one.relaxations, many.relaxations);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DriverDeterminism,

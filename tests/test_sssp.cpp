@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sssp/bfs.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
@@ -202,6 +204,117 @@ TEST(DeltaStepping, PhasesBoundedOnUnitPath) {
   const auto ds = delta_stepping(g, 0, 1.0);
   EXPECT_EQ(ds.dist[63], 63);
   EXPECT_LE(ds.phases, 200u);
+}
+
+/// parent[] must be a valid shortest-path tree: every reached non-source
+/// vertex has a parent edge whose relaxation is tight.
+void expect_valid_sssp_tree(const Graph& g, vid source,
+                            const std::vector<weight_t>& dist,
+                            const std::vector<vid>& parent) {
+  ASSERT_EQ(parent[source], kNoVertex);
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    if (v == source || dist[v] == kInfWeight) {
+      EXPECT_EQ(parent[v], kNoVertex) << v;
+      continue;
+    }
+    const vid p = parent[v];
+    ASSERT_NE(p, kNoVertex) << v;
+    bool tight = false;
+    for (eid e = g.begin(v); e < g.end(v); ++e) {
+      if (g.target(e) == p && dist[p] + g.weight(e) == dist[v]) tight = true;
+    }
+    EXPECT_TRUE(tight) << "no tight edge " << p << "->" << v;
+  }
+}
+
+TEST(DeltaStepping, ParentsFormShortestPathTree) {
+  for (std::uint64_t seed : {3u, 4u}) {
+    const Graph g = with_uniform_weights(
+        ensure_connected(make_random_graph(300, 900, seed)), 1, 20, seed + 5);
+    for (weight_t delta : {0.0, 1.0, 8.0}) {
+      const auto ds = delta_stepping(g, 0, delta);
+      expect_valid_sssp_tree(g, 0, ds.dist, ds.parent);
+    }
+  }
+}
+
+TEST(WeightedBfs, ParentsFormShortestPathTree) {
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_random_graph(300, 900, 6)), 1, 9, 11);
+  const auto r = weighted_bfs(g, 0);
+  expect_valid_sssp_tree(g, 0, r.dist, r.parent);
+}
+
+TEST(DeltaStepping, PackedRoundsMatchThreePhaseBitExactly) {
+  // Weights >= 4096 push bucket indices past the 2^12 packed boundary at
+  // delta = 1, so most rounds take the fused (dist, parent) write; the
+  // forced-three-phase run must produce byte-identical results.
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_random_graph(400, 1600, 9)), 4096, 8192, 21);
+  SsspWorkspace packed_ws;
+  SsspWorkspace forced_ws;
+  forced_ws.force_three_phase(true);
+  const auto a = delta_stepping(g, 0, 1.0, packed_ws);
+  const auto b = delta_stepping(g, 0, 1.0, forced_ws);
+  EXPECT_GT(packed_ws.packed_rounds(), 0u);
+  EXPECT_EQ(forced_ws.packed_rounds(), 0u);
+  EXPECT_GT(forced_ws.fallback_rounds(), 0u);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.phases, b.phases);
+  EXPECT_EQ(a.relaxations, b.relaxations);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(a.dist, d.dist);
+}
+
+TEST(SsspWorkspace, WarmRepeatCallsDoZeroWorkspaceAllocations) {
+  // One workspace across the whole SSSP family: the first pass warms the
+  // buffers, identical repeat calls must not allocate (engines, arrays or
+  // scratch — alloc_events() covers all three). Pinned to one worker:
+  // which worker's staging buffer a winner lands in is schedule-dependent
+  // at higher thread counts, so the per-worker high-water marks — and
+  // with them the exact allocation count — are only reproducible here.
+#ifdef PARSH_HAVE_OPENMP
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_random_graph(500, 2000, 12)), 1, 9, 13);
+  SsspWorkspace ws;
+  auto run_family = [&] {
+    const auto b = bfs(g, 3, kNoVertex, ws);
+    const auto m = multi_bfs(g, {1, 7}, kNoVertex, ws);
+    const auto w = weighted_bfs(g, 2, kInfWeight, ws);
+    const auto ds = delta_stepping(g, 0, 4.0, ws);
+    const auto h = hop_limited_sssp(g, 5, 64, true, kInfWeight, ws);
+    return std::tuple(b.dist, m.dist, w.dist, ds.dist, ds.parent, h.rounds);
+  };
+  const auto cold = run_family();
+  const std::uint64_t after_cold = ws.alloc_events();
+  EXPECT_GT(after_cold, 0u);
+  const auto warm = run_family();
+  EXPECT_EQ(ws.alloc_events(), after_cold);
+  EXPECT_EQ(cold, warm);
+#ifdef PARSH_HAVE_OPENMP
+  omp_set_num_threads(before);
+#endif
+}
+
+TEST(SsspWorkspace, ResultsReadableInPlaceUntilNextRun) {
+  const Graph g = with_uniform_weights(make_path(30), 2, 2, 1);
+  SsspWorkspace ws;
+  const auto r = weighted_bfs(g, 0, kInfWeight, ws);
+  EXPECT_EQ(ws.touched().size(), 30u);
+  for (vid v = 0; v < 30; ++v) {
+    EXPECT_EQ(ws.dist_of(v), r.dist[v]);
+    EXPECT_EQ(ws.parent_of(v), r.parent[v]);
+  }
+  // A distance-capped run leaves untouched vertices reading infinity.
+  (void)hop_limited_sssp(g, 0, 100, true, 6.0, ws);
+  EXPECT_EQ(ws.dist_of(3), 6.0);
+  EXPECT_EQ(ws.dist_of(4), kInfWeight);
+  EXPECT_EQ(ws.parent_of(4), kNoVertex);
+  EXPECT_EQ(ws.touched().size(), 4u);
 }
 
 }  // namespace
