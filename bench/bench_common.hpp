@@ -51,6 +51,15 @@ inline Graph workload(const std::string& name, vid n, std::uint64_t seed,
   if (name == "rmat") {
     return ensure_connected(make_rmat(n, static_cast<eid>(n) * 6, seed));
   }
+  if (name == "rmat-heavy") {
+    // Heavy-tailed quadrant mix: degree mass on a few hubs.
+    return ensure_connected(make_rmat_heavy(n, static_cast<eid>(n) * 6, seed));
+  }
+  if (name == "hub") {
+    // Extreme frontier skew: 8 hubs carry nearly every edge — the
+    // workload the work-stealing rounds exist for.
+    return ensure_connected(make_hubs(n, 8, seed));
+  }
   if (name == "path") {
     return make_path(n);  // maximal-diameter workload: where hopsets matter
   }

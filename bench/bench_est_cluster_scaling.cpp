@@ -47,7 +47,10 @@ int main(int argc, char** argv) {
   JsonReport report("est_cluster");
   Table table({"workload", "n", "m", "threads", "time(s)", "speedup", "oracle(s)",
                "work", "rounds", "clusters"});
-  for (const std::string wl : {"rmat", "grid", "road"}) {
+  // "hub" and "rmat-heavy" are the skewed frontiers the degree-aware
+  // work-stealing rounds target: without edge-range splitting their hub
+  // expansions serialize behind one worker.
+  for (const std::string wl : {"rmat", "grid", "road", "rmat-heavy", "hub"}) {
     const Graph g = workload(wl, n, seed);
     print_header("EST-SCALE: est_cluster thread scaling", g, wl.c_str());
     // Sequential reference point: the super-source Dijkstra oracle.

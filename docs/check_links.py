@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Markdown link check for the docs tree (CI's docs job).
+
+Usage:
+    docs/check_links.py [FILE.md ...]        # default: README.md ROADMAP.md docs/*.md
+
+For every inline markdown link [text](target) in the given files:
+  * http(s)/mailto links are skipped (no network in CI);
+  * relative links must resolve to an existing file or directory,
+    relative to the file containing the link;
+  * fragment links (target.md#anchor or #anchor) must match a heading in
+    the target file, using GitHub's slug rules (lowercase, spaces to
+    dashes, punctuation dropped).
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link). Links inside fenced code blocks are ignored.
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, strip punctuation, dashes."""
+    heading = re.sub(r"[`*_]", "", heading.strip())
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # unwrap links
+    slug = []
+    for ch in heading.lower():
+        if ch.isalnum():
+            slug.append(ch)
+        elif ch in " -":
+            slug.append("-")
+    return "".join(slug)
+
+
+def anchors_of(path: str) -> set:
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(slugify(m.group(1)))
+    return anchors
+
+
+def links_of(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(path: str) -> list:
+    errors = []
+    base = os.path.dirname(path)
+    for lineno, target in links_of(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        dest, _, fragment = target.partition("#")
+        dest_path = os.path.normpath(os.path.join(base, dest)) if dest else path
+        if not os.path.exists(dest_path):
+            errors.append(f"{path}:{lineno}: broken link {target!r} "
+                          f"({dest_path} does not exist)")
+            continue
+        if fragment and dest_path.endswith(".md"):
+            if slugify(fragment) not in anchors_of(dest_path):
+                errors.append(f"{path}:{lineno}: broken anchor {target!r} "
+                              f"(no heading slugs to #{fragment} in {dest_path})")
+    return errors
+
+
+def main() -> int:
+    files = sys.argv[1:] or (
+        ["README.md", "ROADMAP.md"] + sorted(glob.glob("docs/*.md")))
+    errors = []
+    checked = 0
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file to check does not exist")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -332,21 +332,29 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
     // Expand: settled vertices propagate along their edges into strictly
     // later buckets (w >= 1), emitting through per-worker staging buffers.
     // Running after every settlement of the round keeps proposals to
-    // same-round-settled neighbours off the calendar.
-    parallel_for_grain(0, newly.size(), 64, [&](std::size_t i) {
-      const vid u = newly[i];
-      tally.add(g.degree(u));
-      for (eid e = g.begin(u); e < g.end(u); ++e) {
-        const vid v = g.target(e);
-        if (center[v].load(std::memory_order_relaxed) != kNoVertex) continue;
-        const weight_t w = g.weight(e);
-        assert(w >= 1 && w == std::floor(w) &&
-               "est_cluster requires positive integer weights");
-        const double k = key[u] + w;
-        engine.push_from_worker(static_cast<std::uint64_t>(k) + cal_off,
-                                {v, u, k, hops[u] + w});
-      }
-    });
+    // same-round-settled neighbours off the calendar. Scheduling is
+    // degree-aware: the relaxer splits the round's edge total into stolen
+    // ranges so a hub vertex is expanded by many workers (the proposal
+    // multiset is range-partition-independent, and the round's min-reduce
+    // above is order-independent, so the output does not change).
+    ws.relaxer_.relax(
+        newly.size(),
+        [&](std::size_t i) { return static_cast<std::size_t>(g.degree(newly[i])); },
+        [&](std::size_t i, std::size_t lo, std::size_t hi) {
+          const vid u = newly[i];
+          tally.add(hi - lo);
+          const eid base = g.begin(u);
+          for (eid e = base + lo; e < base + hi; ++e) {
+            const vid v = g.target(e);
+            if (center[v].load(std::memory_order_relaxed) != kNoVertex) continue;
+            const weight_t w = g.weight(e);
+            assert(w >= 1 && w == std::floor(w) &&
+                   "est_cluster requires positive integer weights");
+            const double k = key[u] + w;
+            engine.push_from_worker(static_cast<std::uint64_t>(k) + cal_off,
+                                    {v, u, k, hops[u] + w});
+          }
+        });
     wd::add_work(tally.drain());
   }
 

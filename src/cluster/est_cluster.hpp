@@ -114,6 +114,25 @@ class EstClusterWorkspace {
   /// would fit the packed word (for packed-vs-fallback equivalence tests).
   void force_three_phase(bool on) { force_three_phase_ = on; }
 
+  /// Test hook mirroring force_three_phase: schedule every expansion as
+  /// whole vertices, disabling the degree-aware stolen edge ranges (for
+  /// edge-grain-vs-vertex-grain equivalence tests; both paths are
+  /// bit-identical by the FrontierRelaxer contract).
+  void force_vertex_grain(bool on) { relaxer_.force_vertex_grain(on); }
+  /// Expansion rounds scheduled as stolen edge ranges / whole vertices
+  /// (cumulative across calls; diagnostics and tests).
+  [[nodiscard]] std::uint64_t edge_grain_rounds() const {
+    return relaxer_.edge_grain_rounds();
+  }
+  [[nodiscard]] std::uint64_t vertex_grain_rounds() const {
+    return relaxer_.vertex_grain_rounds();
+  }
+  /// Heap-allocation events in the relaxer's prefix-sum scratch (warm
+  /// calls on frontiers no larger than already seen add none).
+  [[nodiscard]] std::uint64_t relax_alloc_events() const {
+    return relaxer_.alloc_events();
+  }
+
  private:
   friend Clustering est_cluster(const Graph&, double, std::uint64_t,
                                 EstClusterWorkspace&);
@@ -124,6 +143,7 @@ class EstClusterWorkspace {
   void ensure_(vid n);
 
   BucketEngine<EstProposal> engine_;
+  FrontierRelaxer relaxer_;  // degree-aware expansion scheduling
   // Per-vertex state (sized to the high-water n; only [0, n) touched).
   std::vector<double> start_;     // delta draws, then start times
   std::vector<double> key_;       // settled key per vertex

@@ -118,6 +118,24 @@ Graph make_rmat(vid n, eid m, std::uint64_t seed, double a, double b, double c) 
   return Graph::from_edges(n, std::move(edges));
 }
 
+Graph make_rmat_heavy(vid n, eid m, std::uint64_t seed) {
+  return make_rmat(n, m, seed, 0.72, 0.12, 0.12);
+}
+
+Graph make_hubs(vid n, vid hubs, std::uint64_t seed) {
+  if (n == 0) return Graph();
+  hubs = std::max<vid>(1, std::min(hubs, n));
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (vid h = 0; h + 1 < hubs; ++h) edges.push_back({h, h + 1, 1.0});
+  if (hubs > 2) edges.push_back({hubs - 1, 0, 1.0});
+  for (vid v = hubs; v < n; ++v) {
+    edges.push_back({static_cast<vid>(rng.uniform_int(v, hubs)), v, 1.0});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
 Graph make_geometric(vid n, double radius, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<double> x(n), y(n);

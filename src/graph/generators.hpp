@@ -43,6 +43,20 @@ Graph make_random_graph(vid n, eid m, std::uint64_t seed);
 Graph make_rmat(vid n, eid m, std::uint64_t seed, double a = 0.57, double b = 0.19,
                 double c = 0.19);
 
+/// Heavy-tailed RMAT preset: (a,b,c) = (0.72, 0.12, 0.12), a much more
+/// skewed quadrant mix than the Graph500 defaults, concentrating degree
+/// mass on a few hub vertices. The stress input for the degree-aware
+/// work-stealing rounds (a frontier holding one hub carries most of the
+/// round's edges).
+Graph make_rmat_heavy(vid n, eid m, std::uint64_t seed);
+
+/// Hub-and-spoke skew generator: vertices [0, hubs) form a ring, and every
+/// other vertex attaches to one seed-deterministic hub, giving `hubs`
+/// vertices of expected degree ~(n - hubs) / hubs and everyone else degree
+/// <= 3. The most extreme frontier skew a connected graph can show (a star
+/// is the hubs = 1 special case); deterministic in `seed`.
+Graph make_hubs(vid n, vid hubs, std::uint64_t seed);
+
 /// Random geometric graph: n points in the unit square, edges between
 /// pairs at distance <= radius, weighted by Euclidean distance (scaled so
 /// the minimum weight is >= 1). Mesh-like topology.

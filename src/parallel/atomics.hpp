@@ -16,6 +16,17 @@ namespace parsh {
 
 /// Atomically set *addr = min(*addr, value). Returns true iff this call
 /// strictly lowered the stored value (i.e. the caller "won").
+///
+/// Memory-ordering semantics: all operations are memory_order_relaxed.
+/// The CAS loop still makes the VALUE exact — after any set of concurrent
+/// calls, *addr holds the minimum of its prior value and every written
+/// value, because a CAS only succeeds against the currently stored word
+/// and only replaces it with something smaller. What relaxed ordering
+/// does NOT provide is inter-thread visibility of *other* locations; the
+/// round-synchronous consumers never need it mid-round (each round's
+/// reduce phases are separated by parallel_for joins, whose barriers
+/// publish every write before the next phase reads). Use these only under
+/// that round-barrier discipline.
 template <typename T>
 bool atomic_write_min(std::atomic<T>* addr, T value) {
   T cur = addr->load(std::memory_order_relaxed);
@@ -109,8 +120,27 @@ inline bool packed_round_fits(std::uint64_t round_key) {
 
 /// Pack (key, via) for a round whose base word is `base_bits` =
 /// double_order_bits(double(round_key)). Requires packed_round_fits(round)
-/// and via < kPackedNoVia (or via == kNoVertex). Lexicographic order of
-/// (key, via) — kNoVertex ordered last — equals integer order of the word.
+/// and via < kPackedNoVia (or via == kNoVertex).
+///
+/// Exact ordering semantics of atomic_write_min on the packed word: the
+/// unsigned integer order of pack_key_via(k1, b, v1) vs
+/// pack_key_via(k2, b, v2) (same round base b) equals the lexicographic
+/// order of (k1, v1) vs (k2, v2) with doubles compared as reals and
+/// kNoVertex ordered after every real via id. Three ingredients, each
+/// exact — no rounding is involved anywhere:
+///  * key major: the quantized key occupies the high 40 bits, so any key
+///    difference dominates any via difference;
+///  * key order: for non-negative finite doubles, bit_cast<uint64> is
+///    strictly monotone in the value, so qkey = bits(key) - base_bits
+///    preserves real order exactly (injective: distinct keys in the
+///    round's interval get distinct qkeys, given packed_interval_fits);
+///  * via minor: equal keys produce equal high bits, leaving integer
+///    order of the low 24 bits = via order, with kNoVertex mapped to the
+///    all-ones kPackedNoVia (ordered last, losing ties to any real via —
+///    matching atomic_write_min on raw vids in the three-phase path).
+/// Hence one atomic_write_min per proposal computes exactly the
+/// (key, via) lexicographic argmin the three-phase reduce computes, which
+/// is why the two paths are bit-identical.
 inline std::uint64_t pack_key_via(double key, std::uint64_t base_bits, vid via) {
   const std::uint64_t qkey = double_order_bits(key) - base_bits;
   const std::uint64_t packed_via = via == kNoVertex ? kPackedNoVia : via;

@@ -5,6 +5,19 @@
 namespace parsh {
 namespace detail {
 
+std::size_t chunk_first_vertex(const std::vector<std::size_t>& prefix,
+                               std::size_t frontier, std::size_t e0) {
+  // Greatest i with prefix[i] <= e0: that vertex's range [prefix[i],
+  // prefix[i+1]) is the first that can intersect [e0, ...). prefix[0] == 0
+  // <= e0 guarantees the subtraction is safe; zero-degree vertices collapse
+  // to empty ranges the caller skips.
+  assert(prefix.size() > frontier && e0 < prefix[frontier]);
+  const auto it = std::upper_bound(prefix.begin(),
+                                   prefix.begin() + static_cast<std::ptrdiff_t>(frontier + 1),
+                                   e0);
+  return static_cast<std::size_t>(it - prefix.begin()) - 1;
+}
+
 CalendarIndex::CalendarIndex(std::size_t span) : counts_(span == 0 ? 1 : span, 0) {}
 
 void CalendarIndex::note_push(std::uint64_t key, std::size_t count) {

@@ -18,10 +18,29 @@
 //    buffers are compacted into the calendar with an exclusive-scan concat
 //    at round boundaries (flush), never a serial per-item append race;
 //  * one pop_round == one synchronous round, counted for the work/depth
-//    instrumentation story.
+//    instrumentation story;
+//  * a degree-aware FrontierRelaxer that schedules one round's edge
+//    relaxations as bounded EDGE ranges rather than whole vertices, so a
+//    skewed frontier (one hub vertex carrying most of the round's edges)
+//    still spreads across all workers, with idle workers stealing the
+//    remaining ranges from a shared per-round queue.
 //
 // Keys must never fall behind the engine's current base (the key of the
 // last popped round): all consumers emit at key + w with w >= 0.
+//
+// Reuse / allocation guarantees (the contract the workspace layers build
+// on; see docs/ARCHITECTURE.md):
+//  * reset() empties the engine but releases NO buffer capacity — calendar
+//    slots keep their per-slot high-water capacity, staging buffers and
+//    the merge scratch keep theirs, and the relaxer keeps its prefix-sum
+//    scratch. A warm run whose per-bucket demand nowhere exceeds a
+//    previous run's performs zero heap allocations inside the engine.
+//  * alloc_events() counts every heap allocation the engine ever makes
+//    (staging/slot/merge growth, overflow-store node inserts), cumulative
+//    across reset(). "Warm reuse" is exactly "this counter stopped
+//    moving" — the property the *Warm* tests pin on 1M-edge RMAT graphs.
+//  * The only per-run allocations that survive warm reuse are overflow
+//    map nodes, for runs whose key spread exceeds the calendar span.
 #pragma once
 
 #include <atomic>
@@ -40,6 +59,12 @@ namespace parsh {
 inline constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
 
 namespace detail {
+
+/// Index of the first frontier vertex whose edge range intersects the
+/// chunk starting at global edge offset `e0`, given the exclusive degree
+/// prefix sums `prefix` (size `frontier + 1`). Requires e0 < prefix.back().
+std::size_t chunk_first_vertex(const std::vector<std::size_t>& prefix,
+                               std::size_t frontier, std::size_t e0);
 
 /// Occupancy bookkeeping for the circular calendar window: which slot each
 /// in-window key maps to, how many items each slot holds, and where the
@@ -312,6 +337,162 @@ class BucketEngine {
   std::uint64_t rounds_ = 0;
   std::uint64_t pushed_ = 0;
   std::atomic<std::uint64_t> alloc_events_{0};
+};
+
+/// Degree-aware work distribution for one round's edge relaxations.
+///
+/// The synchronous-round consumers all share one expansion shape: for each
+/// frontier vertex, visit its adjacency and emit proposals. Handing whole
+/// vertices to workers (parallel_for_grain over the frontier) breaks down
+/// on skewed frontiers — on a power-law graph one hub vertex can carry
+/// most of the round's edges, serializing the round behind a single
+/// worker. relax() instead splits the round's total edge work into bounded
+/// ranges of ~kEdgeGrain edges (an exclusive prefix sum over the frontier
+/// degrees locates each range's vertices), queues the ranges on one shared
+/// per-round queue, and lets idle workers steal the remaining ranges
+/// (OpenMP `schedule(dynamic, 1)` — each worker takes the next unclaimed
+/// range as it goes idle). A hub's adjacency is thereby relaxed by many
+/// workers at once.
+///
+/// Determinism contract: relax() only changes HOW the per-edge body calls
+/// are scheduled, never which calls happen — every frontier edge is
+/// visited exactly once, in chunks of consecutive local edge offsets. All
+/// consumers resolve concurrent writes with the order-independent CRCW
+/// min-reduces in parallel/atomics.hpp, so output is bit-identical across
+/// vertex-grain and edge-grain scheduling and across thread counts (pinned
+/// by the skewed-frontier determinism suite, tests/test_work_stealing.cpp,
+/// via the force_vertex_grain test hook below).
+///
+/// Reuse: the prefix-sum scratch is grown monotonically and never shrunk
+/// (its own blocked scan keeps per-call allocations at zero once warm);
+/// alloc_events() counts scratch growth exactly like BucketEngine's.
+/// Not thread-safe across concurrent relax() calls: one relaxer per call
+/// chain, owned by the workspaces alongside their engines.
+class FrontierRelaxer {
+ public:
+  /// Target edges per stolen range. Small enough that a 10^5-degree hub
+  /// splits across every worker, large enough that the per-range queue
+  /// traffic (one dynamic-schedule dequeue) stays amortized.
+  static constexpr std::size_t kEdgeGrain = 2048;
+  /// Frontier chunk handed to a worker on the whole-vertex path (the
+  /// pre-existing grain of the consumers' expansion loops).
+  static constexpr std::size_t kVertexGrain = 64;
+
+  /// Test hook mirroring the workspaces' force_three_phase: always take
+  /// the whole-vertex path, even when the round's edge total would split.
+  void force_vertex_grain(bool on) { force_vertex_grain_ = on; }
+
+  /// Rounds scheduled as stolen edge ranges / as whole vertices
+  /// (cumulative; diagnostics and tests).
+  [[nodiscard]] std::uint64_t edge_grain_rounds() const { return edge_grain_rounds_; }
+  [[nodiscard]] std::uint64_t vertex_grain_rounds() const { return vertex_grain_rounds_; }
+
+  /// Heap-allocation events in the prefix/scan scratch so far (cumulative;
+  /// a warm round over a frontier no larger than already seen adds none).
+  [[nodiscard]] std::uint64_t alloc_events() const { return alloc_events_; }
+
+  /// Visit every out-edge of a frontier of `frontier` vertices:
+  /// `degree_of(i)` is frontier vertex i's edge count, and
+  /// `body(i, lo, hi)` must process i's local edge offsets [lo, hi) —
+  /// consumers map them onto the CSR as g.begin(u) + lo. Ranges never
+  /// split an edge and cover each edge exactly once; `body` runs inside a
+  /// parallel loop and must only write through atomics / per-worker state.
+  /// Returns the frontier's total edge count (the prefix scan computes it
+  /// anyway, sparing consumers a second degree pass for their work
+  /// counters). Call from sequential context (between rounds).
+  template <typename Deg, typename Body>
+  std::size_t relax(std::size_t frontier, Deg&& degree_of, Body&& body) {
+    if (frontier == 0) return 0;
+    if (force_vertex_grain_) {
+      ++vertex_grain_rounds_;
+      parallel_for_grain(0, frontier, kVertexGrain, [&](std::size_t i) {
+        body(i, std::size_t{0}, static_cast<std::size_t>(degree_of(i)));
+      });
+      // Test-only path: the extra degree pass keeps the return value
+      // identical to the edge-grain path's.
+      return parallel_reduce_sum<std::size_t>(frontier, [&](std::size_t i) {
+        return static_cast<std::size_t>(degree_of(i));
+      });
+    }
+    const std::size_t total = scan_degrees_(frontier, degree_of);
+    if (total <= kEdgeGrain) {
+      // One range's worth of edges: the split cannot help, and the
+      // whole-vertex path skips the chunk queue. The choice depends only
+      // on (frontier, degrees), never on the schedule, so counters stay
+      // deterministic too.
+      ++vertex_grain_rounds_;
+      parallel_for_grain(0, frontier, kVertexGrain, [&](std::size_t i) {
+        body(i, std::size_t{0}, prefix_[i + 1] - prefix_[i]);
+      });
+      return total;
+    }
+    ++edge_grain_rounds_;
+    const std::size_t chunks = (total + kEdgeGrain - 1) / kEdgeGrain;
+    parallel_for_grain(0, chunks, 1, [&](std::size_t c) {
+      const std::size_t e0 = c * kEdgeGrain;
+      const std::size_t e1 = std::min(total, e0 + kEdgeGrain);
+      std::size_t i = detail::chunk_first_vertex(prefix_, frontier, e0);
+      for (; i < frontier && prefix_[i] < e1; ++i) {
+        const std::size_t lo = e0 > prefix_[i] ? e0 - prefix_[i] : 0;
+        const std::size_t hi = std::min(e1, prefix_[i + 1]) - prefix_[i];
+        if (lo < hi) body(i, lo, hi);
+      }
+    });
+    return total;
+  }
+
+ private:
+  /// Fill prefix_ with the exclusive prefix sums of the frontier degrees
+  /// (prefix_[frontier] = total, returned). A blocked two-pass scan over
+  /// reused scratch: unlike exclusive_scan_inplace, a warm call allocates
+  /// nothing.
+  template <typename Deg>
+  std::size_t scan_degrees_(std::size_t frontier, Deg& degree_of) {
+    if (frontier + 1 > prefix_.capacity()) ++alloc_events_;
+    prefix_.resize(frontier + 1);
+    constexpr std::size_t kBlock = 4096;
+    const std::size_t nb = (frontier + kBlock - 1) / kBlock;
+    if (nb > block_sum_.capacity()) ++alloc_events_;
+    block_sum_.resize(nb);
+    // grain 1: each iteration is a whole kBlock-element block, heavy
+    // enough to parallelize even for a handful of blocks (plain
+    // parallel_for would stay sequential below 2048 *blocks*).
+    parallel_for_grain(0, nb, 1, [&](std::size_t b) {
+      const std::size_t lo = b * kBlock;
+      const std::size_t hi = std::min(frontier, lo + kBlock);
+      std::size_t acc = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        prefix_[i] = degree_of(i);
+        acc += prefix_[i];
+      }
+      block_sum_[b] = acc;
+    });
+    std::size_t running = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::size_t next = running + block_sum_[b];
+      block_sum_[b] = running;
+      running = next;
+    }
+    parallel_for_grain(0, nb, 1, [&](std::size_t b) {
+      const std::size_t lo = b * kBlock;
+      const std::size_t hi = std::min(frontier, lo + kBlock);
+      std::size_t acc = block_sum_[b];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t next = acc + prefix_[i];
+        prefix_[i] = acc;
+        acc = next;
+      }
+    });
+    prefix_[frontier] = running;
+    return running;
+  }
+
+  std::vector<std::size_t> prefix_;     // exclusive degree prefix sums
+  std::vector<std::size_t> block_sum_;  // scan scratch
+  std::uint64_t edge_grain_rounds_ = 0;
+  std::uint64_t vertex_grain_rounds_ = 0;
+  std::uint64_t alloc_events_ = 0;
+  bool force_vertex_grain_ = false;
 };
 
 }  // namespace parsh

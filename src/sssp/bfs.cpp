@@ -18,26 +18,34 @@ namespace {
 /// engine's per-worker staging buffers (scan-compacted per round) instead
 /// of a serial per-level concatenation. The engine must already hold the
 /// seed frontier at key 0. `claim(v, via, level)` returns true if this
-/// thread settles v (first writer wins).
+/// thread settles v (first writer wins). Each level's edge work is
+/// scheduled degree-aware through the workspace relaxer, so a hub on the
+/// frontier is scanned by many workers; the claimed SET per level is
+/// unchanged (every edge is still tried exactly once), only which claim
+/// attempt wins can shift — exactly the freedom the first-writer-wins
+/// contract already grants across thread counts.
 template <typename Claim>
-vid run_bfs(const Graph& g, BucketEngine<vid>& engine, std::vector<vid>& frontier,
-            vid max_levels, Claim claim) {
+vid run_bfs(const Graph& g, BucketEngine<vid>& engine, FrontierRelaxer& relaxer,
+            std::vector<vid>& frontier, vid max_levels, Claim claim) {
   vid level = 0;
   std::uint64_t key;
   while ((key = engine.pop_round(frontier)) != kNoBucket) {
     if (level >= max_levels) break;
     ++level;
     wd::add_round();
-    wd::add_work(parallel_reduce_sum<std::uint64_t>(
-        frontier.size(), [&](std::size_t i) { return g.degree(frontier[i]); }));
     const vid next_level = static_cast<vid>(key) + 1;
-    parallel_for_grain(0, frontier.size(), 64, [&](std::size_t i) {
-      const vid u = frontier[i];
-      for (eid e = g.begin(u); e < g.end(u); ++e) {
-        const vid v = g.target(e);
-        if (claim(v, u, next_level)) engine.push_from_worker(key + 1, v);
-      }
-    });
+    const std::size_t level_edges = relaxer.relax(
+        frontier.size(),
+        [&](std::size_t i) { return static_cast<std::size_t>(g.degree(frontier[i])); },
+        [&](std::size_t i, std::size_t lo, std::size_t hi) {
+          const vid u = frontier[i];
+          const eid base = g.begin(u);
+          for (eid e = base + lo; e < base + hi; ++e) {
+            const vid v = g.target(e);
+            if (claim(v, u, next_level)) engine.push_from_worker(key + 1, v);
+          }
+        });
+    wd::add_work(level_edges);  // the relaxer's prefix scan already summed degrees
   }
   frontier.clear();
   return level;
@@ -62,7 +70,7 @@ BfsResult bfs(const Graph& g, vid source, vid max_levels, SsspWorkspace& ws) {
   r.dist[source] = 0;
   stamp[source].store(run_claim, std::memory_order_relaxed);
   engine.push(0, source);
-  r.rounds = run_bfs(g, engine, ws.frontier_, max_levels,
+  r.rounds = run_bfs(g, engine, ws.relaxer_, ws.frontier_, max_levels,
                      [&](vid v, vid via, vid level) {
                        std::uint64_t seen = stamp[v].load(std::memory_order_relaxed);
                        if (seen >= run_claim) return false;
@@ -102,7 +110,7 @@ MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources,
     r.dist[s] = 0;
     engine.push(0, s);
   }
-  r.rounds = run_bfs(g, engine, ws.frontier_, max_levels,
+  r.rounds = run_bfs(g, engine, ws.relaxer_, ws.frontier_, max_levels,
                      [&](vid v, vid via, vid level) {
                        std::uint64_t seen = stamp[v].load(std::memory_order_relaxed);
                        if (seen >= run_claim) return false;

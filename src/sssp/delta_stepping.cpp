@@ -181,24 +181,33 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
   // Relax the out-edges of `frontier` selected by `take`; improving
   // proposals enter the calendar at their new bucket. The push filter
   // reads distances that only change at settle barriers, so the proposal
-  // multiset of every round is schedule-independent.
+  // multiset of every round is schedule-independent — which is also what
+  // makes the degree-aware scheduling below safe: the relaxer only
+  // repartitions the same edge set into stolen ranges (hubs split across
+  // workers), and the per-bucket (dist, parent) min-reduce is
+  // order-independent, so the output and the relaxation counter are
+  // bit-identical across grain modes and thread counts.
   auto relax_edges = [&](const std::vector<vid>& frontier, auto take) {
-    parallel_for_grain(0, frontier.size(), 64, [&](std::size_t i) {
-      const vid u = frontier[i];
-      const weight_t du = dist_of(u);
-      std::uint64_t count = 0;
-      for (eid e = g.begin(u); e < g.end(u); ++e) {
-        const weight_t w = g.weight(e);
-        if (!take(w)) continue;
-        const vid v = g.target(e);
-        const weight_t nd = du + w;
-        ++count;
-        if (nd < dist_of(v)) {
-          engine.push_from_worker(bucket_of(nd), {v, u, nd});
-        }
-      }
-      tally.add(count);
-    });
+    ws.relaxer_.relax(
+        frontier.size(),
+        [&](std::size_t i) { return static_cast<std::size_t>(g.degree(frontier[i])); },
+        [&](std::size_t i, std::size_t lo, std::size_t hi) {
+          const vid u = frontier[i];
+          const weight_t du = dist_of(u);
+          std::uint64_t count = 0;
+          const eid base = g.begin(u);
+          for (eid e = base + lo; e < base + hi; ++e) {
+            const weight_t w = g.weight(e);
+            if (!take(w)) continue;
+            const vid v = g.target(e);
+            const weight_t nd = du + w;
+            ++count;
+            if (nd < dist_of(v)) {
+              engine.push_from_worker(bucket_of(nd), {v, u, nd});
+            }
+          }
+          tally.add(count);
+        });
     const std::uint64_t relaxed = tally.drain();
     r.relaxations += relaxed;
     wd::add_work(relaxed);

@@ -81,12 +81,14 @@ class SsspWorkspace {
   SsspWorkspace();
 
   /// Heap-allocation events inside the workspace so far: both engines'
-  /// counters plus per-vertex array growth plus scratch-buffer capacity
-  /// growth. Cumulative across runs; a warm run that fits every buffer
-  /// leaves this unchanged — the guarantee the query-server tests pin.
+  /// counters plus the relaxer's prefix-scratch growth plus per-vertex
+  /// array growth plus scratch-buffer capacity growth. Cumulative across
+  /// runs; a warm run that fits every buffer leaves this unchanged — the
+  /// guarantee the query-server tests pin.
   [[nodiscard]] std::uint64_t alloc_events() const {
     return frontier_engine_.alloc_events() + proposal_engine_.alloc_events() +
-           grow_events_ + scratch_allocs_.load(std::memory_order_relaxed);
+           relaxer_.alloc_events() + grow_events_ +
+           scratch_allocs_.load(std::memory_order_relaxed);
   }
   /// Times the per-vertex arrays had to grow (once per high-water n).
   [[nodiscard]] std::uint64_t array_grow_events() const { return grow_events_; }
@@ -98,6 +100,20 @@ class SsspWorkspace {
   /// Test hook: force the three-phase reduce even when a round's keys
   /// would fit the packed word (packed-vs-fallback equivalence tests).
   void force_three_phase(bool on) { force_three_phase_ = on; }
+
+  /// Test hook mirroring force_three_phase: schedule every relax round as
+  /// whole vertices, disabling the degree-aware stolen edge ranges (for
+  /// edge-grain-vs-vertex-grain equivalence tests; bit-identical by the
+  /// FrontierRelaxer contract).
+  void force_vertex_grain(bool on) { relaxer_.force_vertex_grain(on); }
+  /// Relax rounds scheduled as stolen edge ranges / whole vertices
+  /// (cumulative; diagnostics and tests).
+  [[nodiscard]] std::uint64_t edge_grain_rounds() const {
+    return relaxer_.edge_grain_rounds();
+  }
+  [[nodiscard]] std::uint64_t vertex_grain_rounds() const {
+    return relaxer_.vertex_grain_rounds();
+  }
 
   /// Distance settled by the last run (kInfWeight if the run did not
   /// reach v). Valid until the next run on this workspace begins.
@@ -151,6 +167,7 @@ class SsspWorkspace {
 
   BucketEngine<vid> frontier_engine_;            // BFS levels, Dial buckets
   BucketEngine<SsspProposal> proposal_engine_;   // delta-stepping relaxations
+  FrontierRelaxer relaxer_;                      // degree-aware relax scheduling
   // Per-vertex state (sized to the high-water n; only [0, n) touched).
   std::vector<std::atomic<weight_t>> dist_;
   std::vector<vid> parent_;

@@ -29,7 +29,11 @@ struct DialRefs {
 /// values and the engine's overflow store absorbs far keys (after
 /// Klein-Subramanian rounding the weight range can be large while the
 /// frontier touches few distinct distances). Relaxations stay sequential —
-/// the equal-distance owner tie-break below depends on processing order.
+/// the equal-distance owner tie-break below depends on processing order,
+/// so this is the one traversal that does NOT adopt the degree-aware
+/// FrontierRelaxer: its parallelism lives a level up, across sources /
+/// centers via SsspWorkspacePool (the hopset fan-out, query batches),
+/// where per-search skew cannot serialize other searches.
 /// Each nonempty bucket is one synchronous round in the PRAM reading of
 /// the weighted parallel BFS of Section 5. Results are left in the
 /// workspace arrays (dist-infinity invariant: every improved vertex is

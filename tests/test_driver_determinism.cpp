@@ -157,6 +157,27 @@ TEST_P(DriverDeterminism, DeltaSteppingPackedVsThreePhaseAcrossThreads) {
   }
 }
 
+TEST_P(DriverDeterminism, SkewedFrontierDrivers) {
+  // Hub-heavy inputs route every expansion through the degree-aware
+  // stolen edge ranges (PR 4): the drivers that compose est_cluster and
+  // delta-stepping must stay bit-identical across thread counts when
+  // their rounds are dominated by a few huge-degree vertices.
+  const Graph hub = make_hubs(6000, 4, GetParam());
+  const auto [sp1, sp4] =
+      one_and_many([&] { return unweighted_spanner(hub, 3.0, GetParam()); });
+  EXPECT_EQ(sp1.edges, sp4.edges);
+  EXPECT_EQ(sp1.rounds, sp4.rounds);
+  const Graph heavy = with_uniform_weights(
+      ensure_connected(make_rmat_heavy(3000, 18000, GetParam() + 41)), 1, 9,
+      GetParam() + 43);
+  const auto [ds1, ds4] =
+      one_and_many([&] { return delta_stepping(heavy, 0, 0.0); });
+  EXPECT_EQ(ds1.dist, ds4.dist);
+  EXPECT_EQ(ds1.parent, ds4.parent);
+  EXPECT_EQ(ds1.phases, ds4.phases);
+  EXPECT_EQ(ds1.relaxations, ds4.relaxations);
+}
+
 TEST_P(DriverDeterminism, WeightedBfs) {
   const Graph g = weighted();
   const auto [one, many] = one_and_many([&] { return weighted_bfs(g, 0); });

@@ -1,0 +1,202 @@
+// Skewed-frontier coverage for the degree-aware work-stealing rounds.
+//
+// The FrontierRelaxer (parallel/bucket_engine.hpp) splits each round's
+// edge work into stolen ranges so hub vertices are relaxed by many
+// workers. Its contract: scheduling never changes WHICH per-edge calls
+// happen, so every driver built on the order-independent CRCW min-reduces
+// is bit-identical across (a) the stolen edge-grain path vs the
+// whole-vertex path (force_vertex_grain test hook), and (b) 1 vs many
+// threads. These tests pin that on the skew inputs the mechanism exists
+// for — star / hub-and-spoke graphs and heavy-tailed RMATs — plus the
+// oracle equivalence and the warm high-water reuse of the relaxer's
+// prefix scratch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_stats.hpp"
+#include "cluster/est_cluster.hpp"
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "sssp/bfs.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/sssp_workspace.hpp"
+
+namespace parsh {
+namespace {
+
+/// Run `f` with the OpenMP worker count forced to `threads` (no-op in the
+/// sequential build, where both runs are trivially identical).
+template <typename F>
+auto at_threads(int threads, F f) {
+#ifdef PARSH_HAVE_OPENMP
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(threads);
+  auto result = f();
+  omp_set_num_threads(before);
+  return result;
+#else
+  (void)threads;
+  return f();
+#endif
+}
+
+void expect_same_clustering(const Clustering& a, const Clustering& b) {
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+  EXPECT_EQ(a.center, b.center);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.dist_to_center, b.dist_to_center);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+/// The skew zoo: every graph has at least one frontier whose edge total
+/// exceeds FrontierRelaxer::kEdgeGrain concentrated on few vertices.
+std::vector<std::pair<const char*, Graph>> skewed_graphs(std::uint64_t seed) {
+  std::vector<std::pair<const char*, Graph>> out;
+  out.emplace_back("star", make_star(5000));
+  out.emplace_back("hubs", make_hubs(9000, 3, seed));
+  out.emplace_back("rmat-heavy",
+                   ensure_connected(make_rmat_heavy(4000, 24000, seed + 1)));
+  return out;
+}
+
+class WorkStealing : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkStealing, EstClusterStolenPathMatchesOracle) {
+  for (const auto& [name, g] : skewed_graphs(GetParam())) {
+    SCOPED_TRACE(name);
+    EstClusterWorkspace ws;
+    const Clustering engine = est_cluster(g, 0.5, GetParam(), ws);
+    // The skew actually exercised the stolen path.
+    EXPECT_GT(ws.edge_grain_rounds(), 0u) << name;
+    const Clustering oracle = est_cluster_reference(g, 0.5, GetParam());
+    // parent is not compared: equal-key ties (two equal-length tree paths
+    // from the same center) are broken differently by the oracle's
+    // priority queue, and both parents are valid — validate_clustering
+    // checks the forest instead (same convention as test_est_cluster).
+    EXPECT_EQ(engine.cluster_of, oracle.cluster_of) << name;
+    EXPECT_EQ(engine.center, oracle.center) << name;
+    EXPECT_EQ(engine.dist_to_center, oracle.dist_to_center) << name;
+    EXPECT_TRUE(validate_clustering(g, engine)) << name;
+  }
+}
+
+TEST_P(WorkStealing, EstClusterEdgeGrainVsVertexGrainAcrossThreads) {
+  for (const auto& [name, g] : skewed_graphs(GetParam())) {
+    SCOPED_TRACE(name);
+    // Baseline: the pre-work-stealing whole-vertex scheduling, 1 thread.
+    EstClusterWorkspace vertex_ws;
+    vertex_ws.force_vertex_grain(true);
+    const Clustering baseline =
+        at_threads(1, [&] { return est_cluster(g, 0.5, GetParam(), vertex_ws); });
+    EXPECT_EQ(vertex_ws.edge_grain_rounds(), 0u);
+    EXPECT_GT(vertex_ws.vertex_grain_rounds(), 0u);
+    for (int threads : {1, 4}) {
+      EstClusterWorkspace ws;
+      const Clustering stolen =
+          at_threads(threads, [&] { return est_cluster(g, 0.5, GetParam(), ws); });
+      EXPECT_GT(ws.edge_grain_rounds(), 0u) << name << " @" << threads;
+      expect_same_clustering(stolen, baseline);
+      // And vertex-grain at many threads agrees too.
+      EstClusterWorkspace ws4;
+      ws4.force_vertex_grain(true);
+      const Clustering vertex4 =
+          at_threads(threads, [&] { return est_cluster(g, 0.5, GetParam(), ws4); });
+      expect_same_clustering(vertex4, baseline);
+    }
+  }
+}
+
+TEST_P(WorkStealing, DeltaSteppingStolenPathAcrossThreads) {
+  for (const auto& [name, base] : skewed_graphs(GetParam())) {
+    SCOPED_TRACE(name);
+    const Graph g = with_uniform_weights(base, 1, 9, GetParam() + 17);
+    for (const weight_t delta : {0.0, 4.0}) {
+      SsspWorkspace vertex_ws;
+      vertex_ws.force_vertex_grain(true);
+      const auto baseline =
+          at_threads(1, [&] { return delta_stepping(g, 0, delta, vertex_ws); });
+      EXPECT_EQ(vertex_ws.edge_grain_rounds(), 0u);
+      for (int threads : {1, 4}) {
+        SsspWorkspace ws;
+        const auto stolen =
+            at_threads(threads, [&] { return delta_stepping(g, 0, delta, ws); });
+        EXPECT_GT(ws.edge_grain_rounds(), 0u) << name << " @" << threads;
+        EXPECT_EQ(stolen.dist, baseline.dist);
+        EXPECT_EQ(stolen.parent, baseline.parent);
+        EXPECT_EQ(stolen.phases, baseline.phases);
+        EXPECT_EQ(stolen.relaxations, baseline.relaxations);
+      }
+    }
+  }
+}
+
+TEST_P(WorkStealing, BfsDistancesStolenPathAcrossThreads) {
+  // Plain BFS guarantees deterministic DISTANCES (parents are any valid
+  // BFS tree — first claim wins; see docs/ARCHITECTURE.md), so distances
+  // are what must survive the stolen path.
+  for (const auto& [name, g] : skewed_graphs(GetParam())) {
+    SCOPED_TRACE(name);
+    SsspWorkspace vertex_ws;
+    vertex_ws.force_vertex_grain(true);
+    const BfsResult baseline =
+        at_threads(1, [&] { return bfs(g, 0, kNoVertex, vertex_ws); });
+    for (int threads : {1, 4}) {
+      SsspWorkspace ws;
+      const BfsResult stolen =
+          at_threads(threads, [&] { return bfs(g, 0, kNoVertex, ws); });
+      EXPECT_GT(ws.edge_grain_rounds(), 0u) << name << " @" << threads;
+      EXPECT_EQ(stolen.dist, baseline.dist);
+      EXPECT_EQ(stolen.rounds, baseline.rounds);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkStealing, ::testing::Values<std::uint64_t>(1, 2, 3));
+
+// --- warm high-water reuse on a hub-heavy RMAT (excluded from the TSan
+// --- job by the *Warm* filter: allocation-count regression, not a race
+// --- check, and too slow under instrumentation).
+
+// Both pinned to one worker, like every identical-rerun Warm test: at >1
+// workers OpenMP's dynamic scheduling jitters which worker stages which
+// edge, so per-worker staging high-waters can shift a little between
+// identical runs. The relaxer's prefix scratch itself is sized by the
+// frontier — schedule-independent — but the engine counters it is
+// asserted alongside are not.
+
+TEST(WorkStealingWarm, HubHeavyRmatReusesRelaxScratch) {
+  const Graph g = ensure_connected(make_rmat_heavy(60000, 360000, 7));
+  at_threads(1, [&] {
+    EstClusterWorkspace ws;
+    est_cluster(g, 0.4, 7, ws);  // cold: grows engine + relaxer scratch
+    EXPECT_GT(ws.edge_grain_rounds(), 0u);
+    const std::uint64_t engine_high = ws.engine_alloc_events();
+    const std::uint64_t relax_high = ws.relax_alloc_events();
+    EXPECT_GT(relax_high, 0u);
+    est_cluster(g, 0.4, 7, ws);  // warm: every buffer fits its high water
+    EXPECT_EQ(ws.engine_alloc_events(), engine_high);
+    EXPECT_EQ(ws.relax_alloc_events(), relax_high);
+    return 0;
+  });
+}
+
+TEST(WorkStealingWarm, DeltaSteppingHubHeavyRmatReusesWorkspace) {
+  const Graph g = with_uniform_weights(
+      ensure_connected(make_rmat_heavy(60000, 360000, 11)), 1, 9, 13);
+  at_threads(1, [&] {
+    SsspWorkspace ws;
+    delta_stepping(g, 0, 4.0, ws);  // cold
+    EXPECT_GT(ws.edge_grain_rounds(), 0u);
+    const std::uint64_t high = ws.alloc_events();
+    delta_stepping(g, 0, 4.0, ws);  // warm: zero workspace allocations
+    EXPECT_EQ(ws.alloc_events(), high);
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace parsh
