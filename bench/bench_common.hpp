@@ -30,6 +30,18 @@ Run timed(F f) {
   return r;
 }
 
+/// Apply a `--scale` factor to a workload's base vertex count. Benches
+/// expose the knob so one flag moves a whole sweep between smoke size
+/// (CI, --scale 0.025) and the recorded size (default 1.0): the scaling
+/// bench's defaults put the recorded sweep at >= 200k vertices / >= 1M
+/// edges so the parallel round path is actually exercised (tiny graphs
+/// drain almost entirely through the adaptive sequential fast path).
+inline vid scaled_n(vid base, double scale) {
+  if (!(scale > 0)) return base;
+  const double n = static_cast<double>(base) * scale;
+  return n < 2 ? 2 : static_cast<vid>(n);
+}
+
 /// Named workloads shared by the benches. `avg_deg` tunes density for
 /// the random families (ignored by the structured ones).
 inline Graph workload(const std::string& name, vid n, std::uint64_t seed,

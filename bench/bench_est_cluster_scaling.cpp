@@ -8,17 +8,39 @@
 // perf trajectory across PRs is trackable. The sequential super-source
 // Dijkstra oracle is timed alongside as the no-engine reference point.
 //
-//   ./bench_est_cluster_scaling --n 170000 --threads 1,2,4,8 --reps 3
+// The default sweep is sized so the persistent-team round path is actually
+// exercised (>= 200k vertices, >= 1M edges on rmat): small graphs drain
+// almost entirely through the adaptive sequential round fast path and
+// measure nothing but its overhead. `--scale` shrinks/grows the whole
+// sweep (CI smoke runs use --scale 0.025); each row also records the
+// per-round frontier-edge histogram (p50/p90/max) and the
+// sequential/team round split, so the adaptive threshold stays tunable
+// from recorded data.
+//
+//   ./bench_est_cluster_scaling --scale 1 --threads 1,2,4,8 --reps 3
 #include "bench_common.hpp"
 
 #include <algorithm>
 #include <sstream>
 
+namespace {
+
+/// Percentile of a sorted vector (nearest-rank); 0 for empty input.
+std::size_t percentile(const std::vector<std::size_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace parsh;
   using namespace parsh::bench;
   Cli cli(argc, argv);
-  const vid n = static_cast<vid>(cli.get_int("n", 170000));  // ~1M edges on rmat
+  const double scale = cli.get_double("scale", 1.0);
+  // ~1.2M edges on rmat at scale 1; --n overrides the scaled default.
+  const vid n = static_cast<vid>(cli.get_int("n", scaled_n(200000, scale)));
   const std::uint64_t seed = cli.get_seed("seed", 1);
   const int reps = static_cast<int>(cli.get_int("reps", 3));
   const double beta = cli.get_double("beta", 0.4);
@@ -46,7 +68,7 @@ int main(int argc, char** argv) {
 
   JsonReport report("est_cluster");
   Table table({"workload", "n", "m", "threads", "time(s)", "speedup", "oracle(s)",
-               "work", "rounds", "clusters"});
+               "work", "rounds", "seq/team", "fe-p50/p90/max", "clusters"});
   // "hub" and "rmat-heavy" are the skewed frontiers the degree-aware
   // work-stealing rounds target: without edge-range splitting their hub
   // expansions serialize behind one worker.
@@ -58,6 +80,25 @@ int main(int argc, char** argv) {
     for (int r = 0; r < reps; ++r) {
       oracle_s = std::min(oracle_s, timed([&] { est_cluster_reference(g, beta, seed); }).seconds);
     }
+    // One untimed instrumented run per workload: the per-round
+    // frontier-edge histogram and the sequential/team round split are
+    // deterministic in the input and thread-count-invariant, so a single
+    // measurement outside the timing sweep covers every row.
+    EstClusterWorkspace ws;
+    std::vector<std::size_t> round_edges;
+    ws.record_round_edges(&round_edges);
+    est_cluster(g, beta, seed, ws);
+    ws.record_round_edges(nullptr);
+    std::sort(round_edges.begin(), round_edges.end());
+    const std::size_t fe_p50 = percentile(round_edges, 0.50);
+    const std::size_t fe_p90 = percentile(round_edges, 0.90);
+    const std::size_t fe_max = round_edges.empty() ? 0 : round_edges.back();
+    char seq_team[48];
+    std::snprintf(seq_team, sizeof(seq_team), "%llu/%llu",
+                  static_cast<unsigned long long>(ws.sequential_rounds()),
+                  static_cast<unsigned long long>(ws.team_rounds()));
+    char fe_hist[64];
+    std::snprintf(fe_hist, sizeof(fe_hist), "%zu/%zu/%zu", fe_p50, fe_p90, fe_max);
     double t1 = 0;  // 1-thread engine time, denominator of the speedup column
     for (int t : threads) {
 #ifdef PARSH_HAVE_OPENMP
@@ -81,6 +122,8 @@ int main(int argc, char** argv) {
           .cell(oracle_s, 4)
           .cell(best.counters.work)
           .cell(best.counters.rounds)
+          .cell(seq_team)
+          .cell(fe_hist)
           .cell(static_cast<std::size_t>(c.num_clusters));
       report.row()
           .field("bench", "est_cluster_scaling")
@@ -89,11 +132,17 @@ int main(int argc, char** argv) {
           .field("m", static_cast<std::uint64_t>(g.num_edges()))
           .field("threads", t)
           .field("beta", beta)
+          .field("scale", scale)
           .field("seconds", best.seconds)
           .field("speedup_vs_1t", t1 / best.seconds)
           .field("oracle_seconds", oracle_s)
           .field("work", best.counters.work)
           .field("rounds", best.counters.rounds)
+          .field("sequential_rounds", ws.sequential_rounds())
+          .field("team_rounds", ws.team_rounds())
+          .field("frontier_edges_p50", static_cast<std::uint64_t>(fe_p50))
+          .field("frontier_edges_p90", static_cast<std::uint64_t>(fe_p90))
+          .field("frontier_edges_max", static_cast<std::uint64_t>(fe_max))
           .field("clusters", static_cast<std::uint64_t>(c.num_clusters));
     }
   }

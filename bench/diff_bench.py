@@ -7,10 +7,21 @@ Usage:
 Every bench binary writes BENCH_<name>.json as a flat array of row
 objects (see bench/bench_common.hpp). Rows are matched across the two
 directories by their configuration fields (all string fields plus the
-workload-shape numbers: n, m, k, threads, eps, ...) and their wall-time
-fields ("seconds" / "_ms" metrics) are compared.
+workload-shape numbers: n, m, k, threads, eps, ...) and two metric kinds
+are compared:
 
-Exit code 0 when no time metric regressed by more than the threshold,
+* time fields ("seconds" / "_ms" metrics): lower is better — a ratio
+  above 1 + threshold is a regression;
+* speedup fields ("speedup" in the name, e.g. speedup_vs_1t): HIGHER is
+  better — a ratio below 1 - threshold is a regression. This is what
+  guards the persistent-team round engine's whole point: multi-threaded
+  runs must not quietly fall back below the 1-thread wall time.
+
+The report ends with a 1-thread-vs-4-thread table built from the current
+reports (every row pair differing only in `threads`), so the step summary
+shows the scaling picture at a glance.
+
+Exit code 0 when no metric regressed by more than the threshold,
 2 when at least one did (callers are expected to fail-soft: CI surfaces
 the summary without failing the build, since shared-runner wall times are
 noisy). Missing baselines — first run, renamed benches — are reported and
@@ -31,7 +42,12 @@ KEY_FIELDS = {
 
 
 def is_time_field(name: str) -> bool:
-    return "seconds" in name or name.endswith("_ms") or "_ms_" in name
+    return ("seconds" in name or name.endswith("_ms") or "_ms_" in name) \
+        and "speedup" not in name
+
+
+def is_speedup_field(name: str) -> bool:
+    return "speedup" in name
 
 
 def row_key(row: dict):
@@ -66,6 +82,37 @@ def fmt_key(key) -> str:
     return " ".join(f"{k}={v}" for k, v in key)
 
 
+def thread_scaling_table(reports: dict, low: int = 1, high: int = 4) -> list:
+    """Lines of a `low`t-vs-`high`t wall-time table from one report set.
+
+    Rows are paired by their identity key minus `threads`; pairs that have
+    both thread counts contribute one line with the measured speedup.
+    """
+    lines = []
+    for name, rows in sorted(reports.items()):
+        by_config = {}
+        for key, row in rows.items():
+            threads = row.get("threads")
+            if not isinstance(threads, int) or "seconds" not in row:
+                continue
+            config = tuple((k, v) for k, v in key if k != "threads")
+            by_config.setdefault(config, {})[threads] = row
+        for config, by_threads in sorted(by_config.items()):
+            if low not in by_threads or high not in by_threads:
+                continue
+            t_low = by_threads[low]["seconds"]
+            t_high = by_threads[high]["seconds"]
+            if not (isinstance(t_low, (int, float)) and t_low > 0 and
+                    isinstance(t_high, (int, float)) and t_high > 0):
+                continue
+            speedup = t_low / t_high
+            marker = "" if speedup >= 1.0 else "  <-- slower than 1 thread"
+            lines.append(f"  {name} [{fmt_key(config)}] "
+                         f"{low}t={t_low:.4g}s {high}t={t_high:.4g}s "
+                         f"speedup={speedup:.2f}{marker}")
+    return lines
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -96,7 +143,9 @@ def main() -> int:
             if old is None:
                 continue
             for field, value in row.items():
-                if not is_time_field(field):
+                time_metric = is_time_field(field)
+                speedup_metric = is_speedup_field(field)
+                if not (time_metric or speedup_metric):
                     continue
                 old_value = old.get(field)
                 if not isinstance(value, (int, float)):
@@ -108,24 +157,37 @@ def main() -> int:
                 line = (f"{name} [{fmt_key(key)}] {field}: "
                         f"{old_value:.6g} -> {value:.6g} "
                         f"({(ratio - 1) * 100:+.1f}%)")
-                if ratio > 1.0 + args.threshold:
+                # Time: lower is better. Speedup: higher is better.
+                worse = ratio > 1.0 + args.threshold if time_metric \
+                    else ratio < 1.0 - args.threshold
+                better = ratio < 1.0 - args.threshold if time_metric \
+                    else ratio > 1.0 + args.threshold
+                if worse:
                     regressions.append(line)
-                elif ratio < 1.0 - args.threshold:
+                elif better:
                     improvements.append(line)
 
-    print(f"compared {compared} time metrics "
+    print(f"compared {compared} time/speedup metrics "
           f"(threshold {args.threshold:.0%})")
     if improvements:
         print(f"\n{len(improvements)} improvement(s):")
         for line in improvements:
             print(f"  + {line}")
+    status = 0
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%}:")
         for line in regressions:
             print(f"  - {line}")
-        return 2
-    print("no regressions beyond threshold")
-    return 0
+        status = 2
+    else:
+        print("no regressions beyond threshold")
+
+    scaling = thread_scaling_table(cur)
+    if scaling:
+        print("\n1-thread vs 4-thread wall time (current run):")
+        for line in scaling:
+            print(line)
+    return status
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@
 #include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
+#include "parallel/team.hpp"
 #include "parallel/work_depth.hpp"
 #include "random/rng.hpp"
 
@@ -228,7 +229,6 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
   vid assigned = 0;
   std::uint64_t rounds = 0;
   std::vector<EstProposal>& props = ws.props_;
-  std::uint64_t round_key;
   auto alive = [&](const EstProposal& p) {
     return center[p.v].load(std::memory_order_relaxed) == kNoVertex;
   };
@@ -247,100 +247,196 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
       newly_local[static_cast<std::size_t>(worker_id())].push_back(p.v);
     }
   };
-  while (assigned < n && (round_key = engine.pop_round(props)) != kNoBucket) {
-    round_key -= cal_off;  // back to the true time floor(key)
-    // Min-reduce proposals per vertex (the CRCW priority write). Keys are
-    // distinct reals with probability 1; ties break toward the smaller
-    // via-vertex, so the winner — and with it the whole clustering — is
-    // independent of thread count and schedule. Proposals for vertices
-    // settled in earlier rounds ride along dead; each phase skips them
-    // with one relaxed load.
-    //
-    // Two equivalent reduction strategies, chosen per round:
-    //  * packed fast path — the round's keys quantize order-exactly into
-    //    40 bits (atomics.hpp), so (key, via) fuses into one 64-bit word
-    //    and the reduce is a single atomic_write_min pass;
-    //  * three-phase fallback — min key, then min via at that key, then
-    //    settle, barrier-separated.
-    // Both compute the same argmin, so the output is bit-identical.
-    std::uint64_t live;
-    if (via_packs && packed_round_fits(round_key)) {
-      const std::uint64_t base_bits =
-          double_order_bits(static_cast<double>(round_key));
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        const EstProposal& p = props[i];
-        if (!alive(p)) return;
-        tally.add(1);
-        atomic_write_min(&best_packed[p.v], pack_key_via(p.key, base_bits, p.via));
-      });
-      live = tally.drain();
-      if (live == 0) continue;  // a fully-stale bucket is not a round
-      ++ws.packed_rounds_;
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        const EstProposal& p = props[i];
-        if (best_packed[p.v].load(std::memory_order_relaxed) ==
-            pack_key_via(p.key, base_bits, p.via)) {
-          settle(p);
-        }
-      });
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        best_packed[props[i].v].store(kPackedInf, std::memory_order_relaxed);
-      });
-    } else {
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        const EstProposal& p = props[i];
-        if (!alive(p)) return;
-        tally.add(1);
-        atomic_write_min(&best_key[p.v], p.key);
-      });
-      live = tally.drain();
-      if (live == 0) continue;  // a fully-stale bucket is not a round
-      ++ws.fallback_rounds_;
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        const EstProposal& p = props[i];
-        if (alive(p) && p.key == best_key[p.v].load(std::memory_order_relaxed)) {
-          atomic_write_min(&best_via[p.v], p.via);
-        }
-      });
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        const EstProposal& p = props[i];
-        if (p.key == best_key[p.v].load(std::memory_order_relaxed) &&
-            p.via == best_via[p.v].load(std::memory_order_relaxed)) {
-          settle(p);
-        }
-      });
-      // Reset the scratch minima for next rounds (touched vertices only).
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        best_key[props[i].v].store(kInfWeight, std::memory_order_relaxed);
-        best_via[props[i].v].store(kNoVertex, std::memory_order_relaxed);
-      });
-    }
-    ++rounds;
-    wd::add_round();
-    wd::add_work(live);
-    // Concatenate the per-worker winner lists with an exclusive scan.
-    std::vector<std::size_t>& offset = ws.offset_;
-    for (std::size_t t = 0; t < workers; ++t) offset[t] = newly_local[t].size();
-    const std::size_t settled_now = exclusive_scan_inplace(offset);
-    newly.resize(settled_now);
-    parallel_for_grain(0, workers, 1, [&](std::size_t t) {
-      std::copy(newly_local[t].begin(), newly_local[t].end(), newly.begin() + offset[t]);
-      newly_local[t].clear();
-    });
-    assigned += static_cast<vid>(settled_now);
+  // The sequential-round form of settle: plain relaxed loads/stores (one
+  // worker owns the whole round), winners straight into `newly` — the
+  // first of exact duplicates wins, like the CAS. Same settled state.
+  auto settle_seq = [&](const EstProposal& p) {
+    if (center[p.v].load(std::memory_order_relaxed) != kNoVertex) return;
+    const vid ctr =
+        p.via == kNoVertex ? p.v : center[p.via].load(std::memory_order_relaxed);
+    center[p.v].store(ctr, std::memory_order_relaxed);
+    key[p.v] = p.key;
+    parent[p.v] = p.via;
+    hops[p.v] = p.dw;
+    newly.push_back(p.v);
+  };
 
-    // Expand: settled vertices propagate along their edges into strictly
-    // later buckets (w >= 1), emitting through per-worker staging buffers.
-    // Running after every settlement of the round keeps proposals to
-    // same-round-settled neighbours off the calendar. Scheduling is
-    // degree-aware: the relaxer splits the round's edge total into stolen
-    // ranges so a hub vertex is expanded by many workers (the proposal
-    // multiset is range-partition-independent, and the round's min-reduce
-    // above is order-independent, so the output does not change).
-    ws.relaxer_.relax(
-        newly.size(),
-        [&](std::size_t i) { return static_cast<std::size_t>(g.degree(newly[i])); },
-        [&](std::size_t i, std::size_t lo, std::size_t hi) {
+  // A round below this many items (proposals for the reduce, frontier
+  // edges for the expansion — the relaxer's prefix scan supplies the
+  // latter) runs entirely on one worker: plain writes, no atomics, direct
+  // calendar pushes, no barriers. The decision depends only on the
+  // (deterministic) round contents, so counters match at every thread
+  // count; output is bit-identical either way because both paths compute
+  // the same (key, via) argmin.
+  const std::size_t seq_threshold =
+      ws.force_parallel_rounds_ ? 0 : FrontierRelaxer::kSequentialRoundEdges;
+  // Per-stage chunk for the proposal-indexed phases below.
+  constexpr std::size_t kStageGrain = 512;
+
+  // One persistent parallel region for the whole drain (one fork/join
+  // total instead of ~5 per round); every phase below is a
+  // barrier-separated Team stage. force_fork_join pins the historical
+  // per-phase fork-join scheduling instead.
+  Team::drive(!ws.force_fork_join_, [&](Team& team) {
+    std::uint64_t round_key;
+    while (assigned < n && (round_key = engine.pop_round(team, props)) != kNoBucket) {
+      round_key -= cal_off;  // back to the true time floor(key)
+      // Min-reduce proposals per vertex (the CRCW priority write). Keys
+      // are distinct reals with probability 1; ties break toward the
+      // smaller via-vertex, so the winner — and with it the whole
+      // clustering — is independent of thread count and schedule.
+      // Proposals for vertices settled in earlier rounds ride along dead;
+      // each phase skips them with one relaxed load.
+      //
+      // Two equivalent reduction strategies, chosen per round:
+      //  * packed fast path — the round's keys quantize order-exactly
+      //    into 40 bits (atomics.hpp), so (key, via) fuses into one
+      //    64-bit word and the reduce is a single atomic_write_min pass;
+      //  * three-phase fallback — min key, then min via at that key,
+      //    then settle, barrier-separated.
+      // Both compute the same argmin, so the output is bit-identical —
+      // and each has a sequential-round form performing the same passes
+      // with plain writes.
+      const bool packed = via_packs && packed_round_fits(round_key);
+      const std::uint64_t base_bits =
+          packed ? double_order_bits(static_cast<double>(round_key)) : 0;
+      const bool seq_round = props.size() <= seq_threshold;
+      std::uint64_t live = 0;
+      std::size_t settled_now = 0;
+      if (seq_round) {
+        newly.clear();
+        if (packed) {
+          for (const EstProposal& p : props) {
+            if (!alive(p)) continue;
+            ++live;
+            const std::uint64_t word = pack_key_via(p.key, base_bits, p.via);
+            if (word < best_packed[p.v].load(std::memory_order_relaxed)) {
+              best_packed[p.v].store(word, std::memory_order_relaxed);
+            }
+          }
+          if (live == 0) continue;  // a fully-stale bucket is not a round
+          ++ws.packed_rounds_;
+          for (const EstProposal& p : props) {
+            if (best_packed[p.v].load(std::memory_order_relaxed) ==
+                pack_key_via(p.key, base_bits, p.via)) {
+              settle_seq(p);
+            }
+          }
+          for (const EstProposal& p : props) {
+            best_packed[p.v].store(kPackedInf, std::memory_order_relaxed);
+          }
+        } else {
+          for (const EstProposal& p : props) {
+            if (!alive(p)) continue;
+            ++live;
+            if (p.key < best_key[p.v].load(std::memory_order_relaxed)) {
+              best_key[p.v].store(p.key, std::memory_order_relaxed);
+            }
+          }
+          if (live == 0) continue;  // a fully-stale bucket is not a round
+          ++ws.fallback_rounds_;
+          for (const EstProposal& p : props) {
+            if (alive(p) &&
+                p.key == best_key[p.v].load(std::memory_order_relaxed) &&
+                p.via < best_via[p.v].load(std::memory_order_relaxed)) {
+              best_via[p.v].store(p.via, std::memory_order_relaxed);
+            }
+          }
+          for (const EstProposal& p : props) {
+            if (p.key == best_key[p.v].load(std::memory_order_relaxed) &&
+                p.via == best_via[p.v].load(std::memory_order_relaxed)) {
+              settle_seq(p);
+            }
+          }
+          for (const EstProposal& p : props) {
+            best_key[p.v].store(kInfWeight, std::memory_order_relaxed);
+            best_via[p.v].store(kNoVertex, std::memory_order_relaxed);
+          }
+        }
+        ++ws.sequential_rounds_;
+      } else if (packed) {
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          const EstProposal& p = props[i];
+          if (!alive(p)) return;
+          tally.add(1);
+          atomic_write_min(&best_packed[p.v], pack_key_via(p.key, base_bits, p.via));
+        });
+        live = tally.drain();
+        if (live == 0) continue;  // a fully-stale bucket is not a round
+        ++ws.packed_rounds_;
+        ++ws.team_rounds_;
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          const EstProposal& p = props[i];
+          if (best_packed[p.v].load(std::memory_order_relaxed) ==
+              pack_key_via(p.key, base_bits, p.via)) {
+            settle(p);
+          }
+        });
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          best_packed[props[i].v].store(kPackedInf, std::memory_order_relaxed);
+        });
+      } else {
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          const EstProposal& p = props[i];
+          if (!alive(p)) return;
+          tally.add(1);
+          atomic_write_min(&best_key[p.v], p.key);
+        });
+        live = tally.drain();
+        if (live == 0) continue;  // a fully-stale bucket is not a round
+        ++ws.fallback_rounds_;
+        ++ws.team_rounds_;
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          const EstProposal& p = props[i];
+          if (alive(p) && p.key == best_key[p.v].load(std::memory_order_relaxed)) {
+            atomic_write_min(&best_via[p.v], p.via);
+          }
+        });
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          const EstProposal& p = props[i];
+          if (p.key == best_key[p.v].load(std::memory_order_relaxed) &&
+              p.via == best_via[p.v].load(std::memory_order_relaxed)) {
+            settle(p);
+          }
+        });
+        // Reset the scratch minima for next rounds (touched only).
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          best_key[props[i].v].store(kInfWeight, std::memory_order_relaxed);
+          best_via[props[i].v].store(kNoVertex, std::memory_order_relaxed);
+        });
+      }
+      ++rounds;
+      wd::add_round();
+      wd::add_work(live);
+      // Concatenate the per-worker winner lists with an exclusive scan.
+      // A sequential round wrote `newly` directly and staged nothing.
+      if (!seq_round) {
+        std::vector<std::size_t>& offset = ws.offset_;
+        for (std::size_t t = 0; t < workers; ++t) offset[t] = newly_local[t].size();
+        settled_now = exclusive_scan_inplace(offset);
+        newly.resize(settled_now);
+        team.loop(0, workers, 1, [&](std::size_t t) {
+          std::copy(newly_local[t].begin(), newly_local[t].end(),
+                    newly.begin() + offset[t]);
+          newly_local[t].clear();
+        });
+      } else {
+        settled_now = newly.size();
+      }
+      assigned += static_cast<vid>(settled_now);
+
+      // Expand: settled vertices propagate along their edges into
+      // strictly later buckets (w >= 1). Scheduling is degree-aware and
+      // adaptive: above the threshold the relaxer splits the round's edge
+      // total into stolen ranges across the team (a hub vertex is
+      // expanded by many workers); at or below it the whole expansion
+      // runs on this thread with direct calendar pushes — no staging, no
+      // flush. The proposal multiset is partition-independent and the
+      // min-reduce above order-independent, so the output is identical.
+      // One body, two emission routes: the sequential round places
+      // straight into the calendar, the parallel round stages per worker.
+      auto expand_with = [&](auto push) {
+        return [&, push](std::size_t i, std::size_t lo, std::size_t hi) {
           const vid u = newly[i];
           tally.add(hi - lo);
           const eid base = g.begin(u);
@@ -351,12 +447,23 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
             assert(w >= 1 && w == std::floor(w) &&
                    "est_cluster requires positive integer weights");
             const double k = key[u] + w;
-            engine.push_from_worker(static_cast<std::uint64_t>(k) + cal_off,
-                                    {v, u, k, hops[u] + w});
+            push(static_cast<std::uint64_t>(k) + cal_off,
+                 EstProposal{v, u, k, hops[u] + w});
           }
-        });
-    wd::add_work(tally.drain());
-  }
+        };
+      };
+      ws.relaxer_.relax(
+          team, newly.size(), seq_threshold,
+          [&](std::size_t i) { return static_cast<std::size_t>(g.degree(newly[i])); },
+          expand_with([&](std::uint64_t b, EstProposal p) {
+            engine.push(b, std::move(p));
+          }),
+          expand_with([&](std::uint64_t b, EstProposal p) {
+            engine.push_from_worker(b, std::move(p));
+          }));
+      wd::add_work(tally.drain());
+    }
+  });
 
   std::vector<vid>& center_of = ws.center_of_;
   center_of.resize(n);  // finalize_labels reads the size as the vertex count

@@ -114,10 +114,35 @@ class EstClusterWorkspace {
   /// would fit the packed word (for packed-vs-fallback equivalence tests).
   void force_three_phase(bool on) { force_three_phase_ = on; }
 
+  /// Test hook mirroring force_three_phase: run the drain loop with the
+  /// historical fork-join-per-phase scheduling instead of one persistent
+  /// parallel region (team-vs-fork-join equivalence tests; bit-identical
+  /// by the Team contract, parallel/team.hpp).
+  void force_fork_join(bool on) { force_fork_join_ = on; }
+
+  /// Test hook mirroring force_fork_join: disable the adaptive sequential
+  /// round fast path, so every round runs through the parallel phases
+  /// even below the threshold (sequential-vs-parallel-round equivalence
+  /// tests; bit-identical by the determinism contract).
+  void force_parallel_rounds(bool on) { force_parallel_rounds_ = on; }
+
+  /// Rounds executed entirely on one worker via the adaptive sequential
+  /// fast path / through the parallel (team or fork-join) phases
+  /// (cumulative across calls; deterministic in the inputs and hooks,
+  /// independent of thread count).
+  [[nodiscard]] std::uint64_t sequential_rounds() const { return sequential_rounds_; }
+  [[nodiscard]] std::uint64_t team_rounds() const { return team_rounds_; }
+
+  /// Bench hook: while `sink` is non-null, every expansion records its
+  /// round's frontier edge total (see FrontierRelaxer::record_round_edges).
+  void record_round_edges(std::vector<std::size_t>* sink) {
+    relaxer_.record_round_edges(sink);
+  }
+
   /// Test hook mirroring force_three_phase: schedule every expansion as
-  /// whole vertices, disabling the degree-aware stolen edge ranges (for
-  /// edge-grain-vs-vertex-grain equivalence tests; both paths are
-  /// bit-identical by the FrontierRelaxer contract).
+  /// whole vertices, disabling the degree-aware stolen edge ranges and
+  /// the sequential fast path (for edge-grain-vs-vertex-grain equivalence
+  /// tests; both paths are bit-identical by the FrontierRelaxer contract).
   void force_vertex_grain(bool on) { relaxer_.force_vertex_grain(on); }
   /// Expansion rounds scheduled as stolen edge ranges / whole vertices
   /// (cumulative across calls; diagnostics and tests).
@@ -164,7 +189,11 @@ class EstClusterWorkspace {
   std::uint64_t grow_events_ = 0;
   std::uint64_t packed_rounds_ = 0;
   std::uint64_t fallback_rounds_ = 0;
+  std::uint64_t sequential_rounds_ = 0;
+  std::uint64_t team_rounds_ = 0;
   bool force_three_phase_ = false;
+  bool force_fork_join_ = false;
+  bool force_parallel_rounds_ = false;
 };
 
 /// Sequential exact oracle (super-source Dijkstra over real-valued keys).

@@ -18,12 +18,16 @@
 //    buffers are compacted into the calendar with an exclusive-scan concat
 //    at round boundaries (flush), never a serial per-item append race;
 //  * one pop_round == one synchronous round, counted for the work/depth
-//    instrumentation story;
+//    instrumentation story; flush/min_key/pop_round take an optional
+//    TeamLike so their internal parallel move runs as a stage of the
+//    caller's persistent team (parallel/team.hpp) instead of a fork-join;
 //  * a degree-aware FrontierRelaxer that schedules one round's edge
-//    relaxations as bounded EDGE ranges rather than whole vertices, so a
-//    skewed frontier (one hub vertex carrying most of the round's edges)
-//    still spreads across all workers, with idle workers stealing the
-//    remaining ranges from a shared per-round queue.
+//    relaxations adaptively: bounded EDGE ranges dynamically claimed by
+//    the team's workers (a skewed frontier — one hub vertex carrying most
+//    of the round's edges — still spreads across all workers), a
+//    whole-vertex stage for mid-size rounds, and a sequential fast path
+//    (one worker, plain writes, direct pushes) below
+//    kSequentialRoundEdges.
 //
 // Keys must never fall behind the engine's current base (the key of the
 // last popped round): all consumers emit at key + w with w >= 0.
@@ -188,8 +192,69 @@ class BucketEngine {
   /// Compact the per-worker staging buffers into the calendar: an
   /// exclusive scan over buffer sizes + parallel move into one contiguous
   /// block, then a single ordered placement pass (no comparisons, no map
-  /// lookups for in-window keys).
+  /// lookups for in-window keys). The fork-join form; inside a persistent
+  /// team pass the team so the move stage runs across it.
   void flush() {
+    flush_moved_([&](std::size_t workers, auto&& move_one) {
+      parallel_for_grain(0, workers, 1, move_one);
+    });
+  }
+
+  /// flush() with the multi-producer move running as one stage of
+  /// `team` (a parsh::Team or anything with its loop() signature).
+  template <typename TeamLike>
+  void flush(TeamLike& team) {
+    flush_moved_([&](std::size_t workers, auto&& move_one) {
+      team.loop(0, workers, 1, move_one);
+    });
+  }
+
+  /// Key of the least pending bucket (staged pushes included), or
+  /// kNoBucket when the engine is fully drained.
+  std::uint64_t min_key() {
+    flush();
+    return min_key_flushed_();
+  }
+
+  /// min_key() with the staging flush staged on `team`.
+  template <typename TeamLike>
+  std::uint64_t min_key(TeamLike& team) {
+    flush(team);
+    return min_key_flushed_();
+  }
+
+  /// Pop the least pending bucket into `out` (replacing its contents);
+  /// returns the bucket's key, or kNoBucket when drained. One pop is one
+  /// synchronous round.
+  std::uint64_t pop_round(std::vector<Item>& out) {
+    flush();
+    return pop_flushed_(out);
+  }
+
+  /// pop_round() with the staging flush staged on `team`.
+  template <typename TeamLike>
+  std::uint64_t pop_round(TeamLike& team, std::vector<Item>& out) {
+    flush(team);
+    return pop_flushed_(out);
+  }
+
+  /// Synchronous rounds popped so far.
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+  /// Open calendar slots (the configured span).
+  [[nodiscard]] std::size_t span() const { return index_.span(); }
+
+  /// Total items ever pushed (staged + placed); a work proxy for benches.
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+
+ private:
+  using Staged = std::pair<std::uint64_t, Item>;
+
+  /// The flush body, parameterized over how the multi-producer move loop
+  /// is scheduled (fork-join parallel_for_grain vs a persistent-team
+  /// stage — same iterations either way).
+  template <typename MoveLoop>
+  void flush_moved_(MoveLoop&& move_loop) {
     const std::size_t workers = staging_.size();
     std::size_t nonempty = 0;
     std::size_t last = 0;
@@ -212,7 +277,7 @@ class BucketEngine {
     const std::size_t total = exclusive_scan_inplace(offset);
     if (total > merge_scratch_.capacity()) note_alloc_();
     merge_scratch_.resize(total);
-    parallel_for_grain(0, workers, 1, [&](std::size_t t) {
+    move_loop(workers, [&](std::size_t t) {
       std::size_t at = offset[t];
       for (Staged& s : staging_[t]) merge_scratch_[at++] = std::move(s);
       staging_[t].clear();
@@ -221,10 +286,8 @@ class BucketEngine {
     merge_scratch_.clear();
   }
 
-  /// Key of the least pending bucket (staged pushes included), or
-  /// kNoBucket when the engine is fully drained.
-  std::uint64_t min_key() {
-    flush();
+  /// min_key after the staging buffers were flushed.
+  std::uint64_t min_key_flushed_() {
     drain_overflow_into_window_();
     // After the drain every overflow key is >= base + span, i.e. beyond
     // any in-window key, so the two stores are consulted in order.
@@ -233,11 +296,9 @@ class BucketEngine {
     return kNoBucket;
   }
 
-  /// Pop the least pending bucket into `out` (replacing its contents);
-  /// returns the bucket's key, or kNoBucket when drained. One pop is one
-  /// synchronous round.
-  std::uint64_t pop_round(std::vector<Item>& out) {
-    const std::uint64_t key = min_key();
+  /// pop_round after the staging buffers were flushed.
+  std::uint64_t pop_flushed_(std::vector<Item>& out) {
+    const std::uint64_t key = min_key_flushed_();
     if (key == kNoBucket) {
       out.clear();
       return kNoBucket;
@@ -256,18 +317,6 @@ class BucketEngine {
     ++rounds_;
     return key;
   }
-
-  /// Synchronous rounds popped so far.
-  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
-
-  /// Open calendar slots (the configured span).
-  [[nodiscard]] std::size_t span() const { return index_.span(); }
-
-  /// Total items ever pushed (staged + placed); a work proxy for benches.
-  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
-
- private:
-  using Staged = std::pair<std::uint64_t, Item>;
 
   void place_(std::uint64_t key, Item item) {
     ++pushed_;
@@ -339,29 +388,35 @@ class BucketEngine {
   std::atomic<std::uint64_t> alloc_events_{0};
 };
 
-/// Degree-aware work distribution for one round's edge relaxations.
+/// Adaptive degree-aware work distribution for one round's edge
+/// relaxations.
 ///
 /// The synchronous-round consumers all share one expansion shape: for each
 /// frontier vertex, visit its adjacency and emit proposals. Handing whole
-/// vertices to workers (parallel_for_grain over the frontier) breaks down
-/// on skewed frontiers — on a power-law graph one hub vertex can carry
-/// most of the round's edges, serializing the round behind a single
-/// worker. relax() instead splits the round's total edge work into bounded
-/// ranges of ~kEdgeGrain edges (an exclusive prefix sum over the frontier
-/// degrees locates each range's vertices), queues the ranges on one shared
-/// per-round queue, and lets idle workers steal the remaining ranges
-/// (OpenMP `schedule(dynamic, 1)` — each worker takes the next unclaimed
-/// range as it goes idle). A hub's adjacency is thereby relaxed by many
-/// workers at once.
+/// vertices to workers breaks down on skewed frontiers — on a power-law
+/// graph one hub vertex can carry most of the round's edges, serializing
+/// the round behind a single worker. relax() instead splits the round's
+/// total edge work into bounded ranges of ~kEdgeGrain edges (an exclusive
+/// prefix sum over the frontier degrees locates each range's vertices) and
+/// runs them as one dynamically-claimed stage of the caller's Team — each
+/// worker takes the next unclaimed range as it goes idle, so a hub's
+/// adjacency is relaxed by many workers at once. Rounds whose edge total
+/// is at most the caller's seq_threshold instead run entirely on the
+/// driver thread through a dedicated sequential body (plain writes,
+/// direct calendar pushes — the adaptive sequential round fast path; see
+/// docs/ARCHITECTURE.md "Round scheduling").
 ///
 /// Determinism contract: relax() only changes HOW the per-edge body calls
 /// are scheduled, never which calls happen — every frontier edge is
-/// visited exactly once, in chunks of consecutive local edge offsets. All
-/// consumers resolve concurrent writes with the order-independent CRCW
-/// min-reduces in parallel/atomics.hpp, so output is bit-identical across
-/// vertex-grain and edge-grain scheduling and across thread counts (pinned
-/// by the skewed-frontier determinism suite, tests/test_work_stealing.cpp,
-/// via the force_vertex_grain test hook below).
+/// visited exactly once, in chunks of consecutive local edge offsets, and
+/// the path choice depends only on (frontier, degrees, threshold), never
+/// on the schedule. All consumers resolve concurrent writes with the
+/// order-independent CRCW min-reduces in parallel/atomics.hpp (their
+/// sequential bodies computing the same argmin with plain writes), so
+/// output is bit-identical across sequential / vertex-grain / edge-grain
+/// scheduling and across thread counts (pinned by the skewed-frontier
+/// suite tests/test_work_stealing.cpp and the TeamRounds suite, via the
+/// force_vertex_grain and force_parallel_rounds hooks).
 ///
 /// Reuse: the prefix-sum scratch is grown monotonically and never shrunk
 /// (its own blocked scan keeps per-call allocations at zero once warm);
@@ -377,87 +432,141 @@ class FrontierRelaxer {
   /// Frontier chunk handed to a worker on the whole-vertex path (the
   /// pre-existing grain of the consumers' expansion loops).
   static constexpr std::size_t kVertexGrain = 64;
+  /// Default adaptive threshold: a round whose frontier edge total is at
+  /// most this runs entirely on one worker (the sequential fast path —
+  /// plain writes, direct calendar pushes). Equal to kEdgeGrain: below
+  /// one stolen range the parallel path could not split the work anyway,
+  /// so the fast path only removes overhead, never parallelism.
+  static constexpr std::size_t kSequentialRoundEdges = kEdgeGrain;
+
+  /// What relax() decided for one round: the frontier's total edge count
+  /// (from the degree prefix scan) and whether the round ran on the
+  /// sequential fast path.
+  struct RoundPlan {
+    std::size_t edges = 0;
+    bool sequential = false;
+  };
 
   /// Test hook mirroring the workspaces' force_three_phase: always take
-  /// the whole-vertex path, even when the round's edge total would split.
+  /// the (parallel) whole-vertex path — no stolen edge ranges and no
+  /// sequential fast path.
   void force_vertex_grain(bool on) { force_vertex_grain_ = on; }
 
-  /// Rounds scheduled as stolen edge ranges / as whole vertices
-  /// (cumulative; diagnostics and tests).
+  /// Rounds scheduled as stolen edge ranges / as whole vertices /
+  /// entirely on one worker via the sequential fast path (cumulative;
+  /// diagnostics and tests). Every relax() call lands in exactly one.
   [[nodiscard]] std::uint64_t edge_grain_rounds() const { return edge_grain_rounds_; }
   [[nodiscard]] std::uint64_t vertex_grain_rounds() const { return vertex_grain_rounds_; }
+  [[nodiscard]] std::uint64_t sequential_rounds() const { return sequential_rounds_; }
 
   /// Heap-allocation events in the prefix/scan scratch so far (cumulative;
   /// a warm round over a frontier no larger than already seen adds none).
   [[nodiscard]] std::uint64_t alloc_events() const { return alloc_events_; }
 
+  /// Bench hook: while `sink` is non-null, every relax() appends its
+  /// round's frontier edge total (the per-round histogram the scaling
+  /// bench records so the adaptive threshold stays tunable from data).
+  void record_round_edges(std::vector<std::size_t>* sink) { round_edges_sink_ = sink; }
+
   /// Visit every out-edge of a frontier of `frontier` vertices:
-  /// `degree_of(i)` is frontier vertex i's edge count, and
-  /// `body(i, lo, hi)` must process i's local edge offsets [lo, hi) —
-  /// consumers map them onto the CSR as g.begin(u) + lo. Ranges never
-  /// split an edge and cover each edge exactly once; `body` runs inside a
-  /// parallel loop and must only write through atomics / per-worker state.
-  /// Returns the frontier's total edge count (the prefix scan computes it
-  /// anyway, sparing consumers a second degree pass for their work
-  /// counters). Call from sequential context (between rounds).
-  template <typename Deg, typename Body>
-  std::size_t relax(std::size_t frontier, Deg&& degree_of, Body&& body) {
-    if (frontier == 0) return 0;
+  /// `degree_of(i)` is frontier vertex i's edge count, and each body must
+  /// process frontier vertex i's local edge offsets [lo, hi) — consumers
+  /// map them onto the CSR as g.begin(u) + lo. Ranges never split an edge
+  /// and cover each edge exactly once.
+  ///
+  /// The round is scheduled adaptively, all choices depending only on
+  /// (frontier, degrees, seq_threshold) — never on the schedule — so the
+  /// plan and the counters are deterministic:
+  ///  * edge total <= seq_threshold: `seq_body` runs for every frontier
+  ///    vertex on the calling thread. It may use plain (non-atomic)
+  ///    writes and direct engine pushes — no other thread touches shared
+  ///    state during the round. Pass seq_threshold = 0 to disable (the
+  ///    workspaces' force_parallel_rounds hook).
+  ///  * otherwise `par_body` runs inside `team` stages (one stolen-range
+  ///    stage above kEdgeGrain, a whole-vertex stage below) and must only
+  ///    write through atomics / per-worker state.
+  /// Both bodies must perform the same per-edge effect; every consumer
+  /// funnels concurrent effects through order-independent CRCW reduces,
+  /// so which body ran is unobservable in the output (the determinism
+  /// contract, docs/ARCHITECTURE.md).
+  ///
+  /// Call from the driver thread, between rounds.
+  template <typename TeamLike, typename Deg, typename SeqBody, typename ParBody>
+  RoundPlan relax(TeamLike& team, std::size_t frontier, std::size_t seq_threshold,
+                  Deg&& degree_of, SeqBody&& seq_body, ParBody&& par_body) {
+    if (frontier == 0) return {0, false};
     if (force_vertex_grain_) {
+      // Test-only path: plain degree pass for the total (the scan does
+      // not run here), then the parallel whole-vertex schedule.
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < frontier; ++i) {
+        total += static_cast<std::size_t>(degree_of(i));
+      }
+      record_(total);
       ++vertex_grain_rounds_;
-      parallel_for_grain(0, frontier, kVertexGrain, [&](std::size_t i) {
-        body(i, std::size_t{0}, static_cast<std::size_t>(degree_of(i)));
+      team.loop(0, frontier, kVertexGrain, [&](std::size_t i) {
+        par_body(i, std::size_t{0}, static_cast<std::size_t>(degree_of(i)));
       });
-      // Test-only path: the extra degree pass keeps the return value
-      // identical to the edge-grain path's.
-      return parallel_reduce_sum<std::size_t>(frontier, [&](std::size_t i) {
-        return static_cast<std::size_t>(degree_of(i));
-      });
+      return {total, false};
     }
-    const std::size_t total = scan_degrees_(frontier, degree_of);
+    const std::size_t total = scan_degrees_(team, frontier, degree_of);
+    record_(total);
+    // seq_threshold == 0 disables the fast path outright (the
+    // force_parallel_rounds hook) — even for empty rounds.
+    if (seq_threshold != 0 && total <= seq_threshold) {
+      // The adaptive sequential fast path: one worker, no staging, no
+      // atomics needed by the body.
+      ++sequential_rounds_;
+      for (std::size_t i = 0; i < frontier; ++i) {
+        const std::size_t deg = prefix_[i + 1] - prefix_[i];
+        if (deg != 0) seq_body(i, std::size_t{0}, deg);
+      }
+      return {total, true};
+    }
     if (total <= kEdgeGrain) {
       // One range's worth of edges: the split cannot help, and the
-      // whole-vertex path skips the chunk queue. The choice depends only
-      // on (frontier, degrees), never on the schedule, so counters stay
-      // deterministic too.
+      // whole-vertex path skips the chunk queue.
       ++vertex_grain_rounds_;
-      parallel_for_grain(0, frontier, kVertexGrain, [&](std::size_t i) {
-        body(i, std::size_t{0}, prefix_[i + 1] - prefix_[i]);
+      team.loop(0, frontier, kVertexGrain, [&](std::size_t i) {
+        par_body(i, std::size_t{0}, prefix_[i + 1] - prefix_[i]);
       });
-      return total;
+      return {total, false};
     }
     ++edge_grain_rounds_;
     const std::size_t chunks = (total + kEdgeGrain - 1) / kEdgeGrain;
-    parallel_for_grain(0, chunks, 1, [&](std::size_t c) {
+    team.loop(0, chunks, 1, [&](std::size_t c) {
       const std::size_t e0 = c * kEdgeGrain;
       const std::size_t e1 = std::min(total, e0 + kEdgeGrain);
       std::size_t i = detail::chunk_first_vertex(prefix_, frontier, e0);
       for (; i < frontier && prefix_[i] < e1; ++i) {
         const std::size_t lo = e0 > prefix_[i] ? e0 - prefix_[i] : 0;
         const std::size_t hi = std::min(e1, prefix_[i + 1]) - prefix_[i];
-        if (lo < hi) body(i, lo, hi);
+        if (lo < hi) par_body(i, lo, hi);
       }
     });
-    return total;
+    return {total, false};
   }
 
  private:
+  void record_(std::size_t total) {
+    if (round_edges_sink_ != nullptr) round_edges_sink_->push_back(total);
+  }
+
   /// Fill prefix_ with the exclusive prefix sums of the frontier degrees
   /// (prefix_[frontier] = total, returned). A blocked two-pass scan over
   /// reused scratch: unlike exclusive_scan_inplace, a warm call allocates
-  /// nothing.
-  template <typename Deg>
-  std::size_t scan_degrees_(std::size_t frontier, Deg& degree_of) {
+  /// nothing. Block loops are team stages (grain 1: each iteration is a
+  /// whole kBlock-element block, heavy enough to stage even for a handful
+  /// of blocks).
+  template <typename TeamLike, typename Deg>
+  std::size_t scan_degrees_(TeamLike& team, std::size_t frontier, Deg& degree_of) {
     if (frontier + 1 > prefix_.capacity()) ++alloc_events_;
     prefix_.resize(frontier + 1);
     constexpr std::size_t kBlock = 4096;
     const std::size_t nb = (frontier + kBlock - 1) / kBlock;
     if (nb > block_sum_.capacity()) ++alloc_events_;
     block_sum_.resize(nb);
-    // grain 1: each iteration is a whole kBlock-element block, heavy
-    // enough to parallelize even for a handful of blocks (plain
-    // parallel_for would stay sequential below 2048 *blocks*).
-    parallel_for_grain(0, nb, 1, [&](std::size_t b) {
+    team.loop(0, nb, 1, [&](std::size_t b) {
       const std::size_t lo = b * kBlock;
       const std::size_t hi = std::min(frontier, lo + kBlock);
       std::size_t acc = 0;
@@ -473,7 +582,7 @@ class FrontierRelaxer {
       block_sum_[b] = running;
       running = next;
     }
-    parallel_for_grain(0, nb, 1, [&](std::size_t b) {
+    team.loop(0, nb, 1, [&](std::size_t b) {
       const std::size_t lo = b * kBlock;
       const std::size_t hi = std::min(frontier, lo + kBlock);
       std::size_t acc = block_sum_[b];
@@ -489,8 +598,10 @@ class FrontierRelaxer {
 
   std::vector<std::size_t> prefix_;     // exclusive degree prefix sums
   std::vector<std::size_t> block_sum_;  // scan scratch
+  std::vector<std::size_t>* round_edges_sink_ = nullptr;  // bench histogram
   std::uint64_t edge_grain_rounds_ = 0;
   std::uint64_t vertex_grain_rounds_ = 0;
+  std::uint64_t sequential_rounds_ = 0;
   std::uint64_t alloc_events_ = 0;
   bool force_vertex_grain_ = false;
 };

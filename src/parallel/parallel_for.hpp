@@ -5,8 +5,11 @@
 // iterations must be independent).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #ifdef PARSH_HAVE_OPENMP
@@ -14,6 +17,48 @@
 #endif
 
 namespace parsh {
+
+// ---- nested-parallelism diagnostics -----------------------------------------
+//
+// parallel_for / parallel_for_grain / parallel_invoke guard on
+// omp_in_parallel(): reached from inside an existing parallel region (a
+// persistent team, a pool fan-out) they run sequentially, because nested
+// OpenMP regions are disabled. That is the correct *semantics*, but it is
+// also how a forgotten conversion to the team path silently serializes a
+// hot loop. These hooks make it observable: every such silent
+// serialization bumps nested_sequential_calls(), and tests exercising a
+// code path that must never fall through (the persistent-team drain loops
+// route every phase through Team::loop) can turn the event into a hard
+// abort with assert_on_nested_sequential(true).
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_nested_sequential{0};
+inline std::atomic<bool> g_nested_sequential_abort{false};
+
+inline void note_nested_sequential() {
+  g_nested_sequential.fetch_add(1, std::memory_order_relaxed);
+  if (g_nested_sequential_abort.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "parsh: parallel_for reached from inside a parallel region "
+                 "(silent sequential fallback) while "
+                 "assert_on_nested_sequential is armed\n");
+    std::abort();
+  }
+}
+}  // namespace detail
+
+/// Times a parallel loop large enough to go parallel ran sequentially
+/// only because it was reached from inside an existing parallel region.
+/// Cumulative and process-global (relaxed; a debug/diagnostic counter).
+inline std::uint64_t nested_sequential_calls() {
+  return detail::g_nested_sequential.load(std::memory_order_relaxed);
+}
+
+/// Abort (with a message) on the next nested-sequential fallback. Test
+/// hook: arm it around a region that must have no unconverted loops.
+inline void assert_on_nested_sequential(bool on) {
+  detail::g_nested_sequential_abort.store(on, std::memory_order_relaxed);
+}
 
 /// Number of worker threads the runtime will use for parallel loops.
 inline int num_workers() {
@@ -23,6 +68,21 @@ inline int num_workers() {
   return 1;
 #endif
 }
+
+#ifdef PARSH_HAVE_OPENMP
+namespace detail {
+/// Threads a compute-bound fork actually profits from:
+/// min(omp_get_max_threads(), omp_get_num_procs()). Oversubscribing the
+/// affinity mask (OMP_NUM_THREADS above the processor count) turns the
+/// join barrier of every data-parallel loop into context-switch churn;
+/// the cap changes scheduling only, never which iterations run.
+inline int fork_width() {
+  const int procs = omp_get_num_procs();
+  const int want = omp_get_max_threads();
+  return want < procs ? want : procs;
+}
+}  // namespace detail
+#endif
 
 /// Index of the calling worker in [0, num_workers()). 0 outside parallel
 /// regions; inside a parallel_for body it identifies the executing thread,
@@ -73,13 +133,16 @@ template <typename F>
 void parallel_for(std::size_t begin, std::size_t end, F f) {
   if (end <= begin) return;
 #ifdef PARSH_HAVE_OPENMP
-  if (end - begin >= kParallelGrain && omp_get_max_threads() > 1 &&
-      !omp_in_parallel()) {
-    const auto b = static_cast<std::int64_t>(begin);
-    const auto e = static_cast<std::int64_t>(end);
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = b; i < e; ++i) f(static_cast<std::size_t>(i));
-    return;
+  if (end - begin >= kParallelGrain && omp_get_max_threads() > 1) {
+    if (omp_in_parallel()) {
+      detail::note_nested_sequential();
+    } else if (const int nt = detail::fork_width(); nt > 1) {
+      const auto b = static_cast<std::int64_t>(begin);
+      const auto e = static_cast<std::int64_t>(end);
+#pragma omp parallel for schedule(static) num_threads(nt)
+      for (std::int64_t i = b; i < e; ++i) f(static_cast<std::size_t>(i));
+      return;
+    }
   }
 #endif
   for (std::size_t i = begin; i < end; ++i) f(i);
@@ -93,13 +156,17 @@ template <typename F>
 void parallel_for_grain(std::size_t begin, std::size_t end, std::size_t grain, F f) {
   if (end <= begin) return;
 #ifdef PARSH_HAVE_OPENMP
-  if (end - begin >= grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
-    const auto b = static_cast<std::int64_t>(begin);
-    const auto e = static_cast<std::int64_t>(end);
-    const auto chunk = static_cast<std::int64_t>(grain == 0 ? 1 : grain);
-#pragma omp parallel for schedule(dynamic, chunk)
-    for (std::int64_t i = b; i < e; ++i) f(static_cast<std::size_t>(i));
-    return;
+  if (end - begin >= grain && omp_get_max_threads() > 1) {
+    if (omp_in_parallel()) {
+      detail::note_nested_sequential();
+    } else if (const int nt = detail::fork_width(); nt > 1) {
+      const auto b = static_cast<std::int64_t>(begin);
+      const auto e = static_cast<std::int64_t>(end);
+      const auto chunk = static_cast<std::int64_t>(grain == 0 ? 1 : grain);
+#pragma omp parallel for schedule(dynamic, chunk) num_threads(nt)
+      for (std::int64_t i = b; i < e; ++i) f(static_cast<std::size_t>(i));
+      return;
+    }
   }
 #endif
   for (std::size_t i = begin; i < end; ++i) f(i);
@@ -110,7 +177,10 @@ void parallel_for_grain(std::size_t begin, std::size_t end, std::size_t grain, F
 template <typename F1, typename F2>
 void parallel_invoke(F1 f1, F2 f2) {
 #ifdef PARSH_HAVE_OPENMP
-  if (omp_get_max_threads() > 1 && !omp_in_parallel()) {
+  if (omp_get_max_threads() > 1 && omp_in_parallel()) {
+    detail::note_nested_sequential();
+  }
+  if (detail::fork_width() > 1 && !omp_in_parallel()) {
 #pragma omp parallel sections num_threads(2)
     {
 #pragma omp section

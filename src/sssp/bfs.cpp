@@ -7,6 +7,7 @@
 #include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
+#include "parallel/team.hpp"
 #include "parallel/work_depth.hpp"
 
 namespace parsh {
@@ -17,36 +18,52 @@ namespace {
 /// consecutive bucket keys, and claimed children are emitted through the
 /// engine's per-worker staging buffers (scan-compacted per round) instead
 /// of a serial per-level concatenation. The engine must already hold the
-/// seed frontier at key 0. `claim(v, via, level)` returns true if this
-/// thread settles v (first writer wins). Each level's edge work is
-/// scheduled degree-aware through the workspace relaxer, so a hub on the
-/// frontier is scanned by many workers; the claimed SET per level is
-/// unchanged (every edge is still tried exactly once), only which claim
+/// seed frontier at key 0. The whole level loop runs inside ONE
+/// persistent parallel region (parallel/team.hpp); each level's edge work
+/// is one adaptive relaxer round — degree-aware stolen ranges across the
+/// team so a hub on the frontier is scanned by many workers, or, below
+/// the threshold, one worker with plain claims and direct calendar
+/// pushes. `claim(v, via, level)` returns true if this thread settles v
+/// (first writer wins); `claim_seq` is its single-writer form (plain
+/// loads/stores, no CAS). The claimed SET per level is identical on
+/// every path (every edge is still tried exactly once), only which claim
 /// attempt wins can shift — exactly the freedom the first-writer-wins
 /// contract already grants across thread counts.
-template <typename Claim>
-vid run_bfs(const Graph& g, BucketEngine<vid>& engine, FrontierRelaxer& relaxer,
-            std::vector<vid>& frontier, vid max_levels, Claim claim) {
+template <typename Claim, typename ClaimSeq>
+vid run_bfs(const Graph& g, SsspWorkspace::RoundHooks hooks,
+            BucketEngine<vid>& engine, FrontierRelaxer& relaxer,
+            std::vector<vid>& frontier, vid max_levels, Claim claim,
+            ClaimSeq claim_seq) {
   vid level = 0;
-  std::uint64_t key;
-  while ((key = engine.pop_round(frontier)) != kNoBucket) {
-    if (level >= max_levels) break;
-    ++level;
-    wd::add_round();
-    const vid next_level = static_cast<vid>(key) + 1;
-    const std::size_t level_edges = relaxer.relax(
-        frontier.size(),
-        [&](std::size_t i) { return static_cast<std::size_t>(g.degree(frontier[i])); },
-        [&](std::size_t i, std::size_t lo, std::size_t hi) {
+  Team::drive(!hooks.force_fork_join, [&](Team& team) {
+    std::uint64_t key;
+    while ((key = engine.pop_round(team, frontier)) != kNoBucket) {
+      if (level >= max_levels) break;
+      ++level;
+      wd::add_round();
+      const vid next_level = static_cast<vid>(key) + 1;
+      // One body, two (claim, emit) routes: plain single-writer claim +
+      // direct calendar push sequentially, CAS claim + per-worker
+      // staging in parallel stages.
+      auto scan_with = [&](auto try_claim, auto push) {
+        return [&, try_claim, push](std::size_t i, std::size_t lo, std::size_t hi) {
           const vid u = frontier[i];
           const eid base = g.begin(u);
           for (eid e = base + lo; e < base + hi; ++e) {
             const vid v = g.target(e);
-            if (claim(v, u, next_level)) engine.push_from_worker(key + 1, v);
+            if (try_claim(v, u, next_level)) push(v);
           }
-        });
-    wd::add_work(level_edges);  // the relaxer's prefix scan already summed degrees
-  }
+        };
+      };
+      const auto plan = relaxer.relax(
+          team, frontier.size(), hooks.seq_threshold,
+          [&](std::size_t i) { return static_cast<std::size_t>(g.degree(frontier[i])); },
+          scan_with(claim_seq, [&](vid v) { engine.push(key + 1, v); }),
+          scan_with(claim, [&](vid v) { engine.push_from_worker(key + 1, v); }));
+      ++(plan.sequential ? *hooks.sequential_rounds : *hooks.team_rounds);
+      wd::add_work(plan.edges);  // the relaxer's prefix scan summed degrees
+    }
+  });
   frontier.clear();
   return level;
 }
@@ -70,7 +87,8 @@ BfsResult bfs(const Graph& g, vid source, vid max_levels, SsspWorkspace& ws) {
   r.dist[source] = 0;
   stamp[source].store(run_claim, std::memory_order_relaxed);
   engine.push(0, source);
-  r.rounds = run_bfs(g, engine, ws.relaxer_, ws.frontier_, max_levels,
+  r.rounds = run_bfs(g, ws.round_hooks_(), engine, ws.relaxer_, ws.frontier_,
+                     max_levels,
                      [&](vid v, vid via, vid level) {
                        std::uint64_t seen = stamp[v].load(std::memory_order_relaxed);
                        if (seen >= run_claim) return false;
@@ -78,6 +96,15 @@ BfsResult bfs(const Graph& g, vid source, vid max_levels, SsspWorkspace& ws) {
                                seen, run_claim, std::memory_order_relaxed)) {
                          return false;
                        }
+                       r.dist[v] = level;
+                       r.parent[v] = via;
+                       return true;
+                     },
+                     [&](vid v, vid via, vid level) {
+                       if (stamp[v].load(std::memory_order_relaxed) >= run_claim) {
+                         return false;
+                       }
+                       stamp[v].store(run_claim, std::memory_order_relaxed);
                        r.dist[v] = level;
                        r.parent[v] = via;
                        return true;
@@ -110,7 +137,8 @@ MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources,
     r.dist[s] = 0;
     engine.push(0, s);
   }
-  r.rounds = run_bfs(g, engine, ws.relaxer_, ws.frontier_, max_levels,
+  r.rounds = run_bfs(g, ws.round_hooks_(), engine, ws.relaxer_, ws.frontier_,
+                     max_levels,
                      [&](vid v, vid via, vid level) {
                        std::uint64_t seen = stamp[v].load(std::memory_order_relaxed);
                        if (seen >= run_claim) return false;
@@ -120,6 +148,15 @@ MultiBfsResult multi_bfs(const Graph& g, const std::vector<vid>& sources,
                        }
                        // via settled in an earlier level, so its owner is
                        // stable (the round barrier orders the write).
+                       r.owner[v] = r.owner[via];
+                       r.dist[v] = level;
+                       return true;
+                     },
+                     [&](vid v, vid via, vid level) {
+                       if (stamp[v].load(std::memory_order_relaxed) >= run_claim) {
+                         return false;
+                       }
+                       stamp[v].store(run_claim, std::memory_order_relaxed);
                        r.owner[v] = r.owner[via];
                        r.dist[v] = level;
                        return true;

@@ -9,6 +9,7 @@
 #include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
+#include "parallel/team.hpp"
 #include "parallel/work_depth.hpp"
 
 namespace parsh {
@@ -67,6 +68,17 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
   const bool via_packs = !ws.force_three_phase_ &&
                          static_cast<std::uint64_t>(n) <= kPackedNoVia;
 
+  // A round below this many items (proposals for the reduce, frontier
+  // edges for the relax) runs entirely on one worker: plain writes, no
+  // atomics, direct calendar pushes, no barriers. The decision depends
+  // only on the (deterministic) round contents, so the counters match at
+  // every thread count; both paths compute the same (dist, parent)
+  // argmin, so the output is bit-identical.
+  const std::size_t seq_threshold =
+      ws.force_parallel_rounds_ ? 0 : FrontierRelaxer::kSequentialRoundEdges;
+  // Per-stage chunk for the proposal-indexed phases below.
+  constexpr std::size_t kStageGrain = 512;
+
   // Settle the round's per-vertex winner (p won the (dist, parent)
   // priority write for p.v). The stamp CAS admits one of possibly several
   // exact duplicates (parallel edges of equal weight carry identical
@@ -89,109 +101,195 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
       detail::push_counted(touched_local[w], p.v, ws.scratch_allocs_);
     }
   };
-
-  // Resolve the popped bucket's proposals (one synchronous round of the
-  // CRCW priority write), settle the winners, and concatenate the
-  // newly-improved vertices into `newly`. Two equivalent reduction
-  // strategies, chosen per bucket:
-  //  * packed fast path — the bucket's keys quantize order-exactly into
-  //    40 bits, so (dist, parent) fuses into one 64-bit word and the
-  //    reduce is a single atomic_write_min pass;
-  //  * three-phase fallback — min dist, then min parent at that dist,
-  //    then settle, barrier-separated.
-  // Both compute the same argmin, so the output is bit-identical.
-  auto reduce_round = [&](bool packed, std::uint64_t base_bits) {
-    std::uint64_t live;
-    if (packed) {
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        const SsspProposal& p = props[i];
-        if (p.dist >= dist_of(p.v)) return;  // stale proposal
-        tally.add(1);
-        atomic_write_min(&best_packed[p.v], pack_key_via(p.dist, base_bits, p.via));
-      });
-      live = tally.drain();
-      if (live != 0) {
-        ++ws.packed_rounds_;
-        const std::uint64_t round_id = ws.next_stamp_();
-        parallel_for(0, props.size(), [&](std::size_t i) {
-          const SsspProposal& p = props[i];
-          if (best_packed[p.v].load(std::memory_order_relaxed) ==
-              pack_key_via(p.dist, base_bits, p.via)) {
-            settle(p, round_id);
-          }
-        });
-      }
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        best_packed[props[i].v].store(kPackedInf, std::memory_order_relaxed);
-      });
-    } else {
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        const SsspProposal& p = props[i];
-        if (p.dist >= dist_of(p.v)) return;  // stale proposal
-        tally.add(1);
-        atomic_write_min(&best_key[p.v], p.dist);
-      });
-      live = tally.drain();
-      if (live != 0) {
-        ++ws.fallback_rounds_;
-        parallel_for(0, props.size(), [&](std::size_t i) {
-          const SsspProposal& p = props[i];
-          if (p.dist == best_key[p.v].load(std::memory_order_relaxed)) {
-            atomic_write_min(&best_via[p.v], p.via);
-          }
-        });
-        const std::uint64_t round_id = ws.next_stamp_();
-        parallel_for(0, props.size(), [&](std::size_t i) {
-          const SsspProposal& p = props[i];
-          if (p.dist == best_key[p.v].load(std::memory_order_relaxed) &&
-              p.via == best_via[p.v].load(std::memory_order_relaxed)) {
-            settle(p, round_id);
-          }
-        });
-      }
-      // Reset the scratch minima (touched vertices only).
-      parallel_for(0, props.size(), [&](std::size_t i) {
-        best_key[props[i].v].store(kInfWeight, std::memory_order_relaxed);
-        best_via[props[i].v].store(kNoVertex, std::memory_order_relaxed);
-      });
-    }
-    wd::add_work(live);
-    // Concatenate the per-worker winner lists with an exclusive scan, and
-    // fold the first-touch lists into the workspace's touched set.
-    std::vector<std::size_t>& offset = ws.offset_;
-    for (std::size_t t = 0; t < workers; ++t) offset[t] = newly_local[t].size();
-    const std::size_t settled_now = exclusive_scan_inplace(offset);
-    if (settled_now > newly.capacity()) {
-      ws.scratch_allocs_.fetch_add(1, std::memory_order_relaxed);
-    }
-    newly.resize(settled_now);
-    parallel_for_grain(0, workers, 1, [&](std::size_t t) {
-      std::copy(newly_local[t].begin(), newly_local[t].end(),
-                newly.begin() + offset[t]);
-      newly_local[t].clear();
-    });
-    for (std::size_t t = 0; t < workers; ++t) {
-      for (vid v : touched_local[t]) {
-        detail::push_counted(ws.touched_, v, ws.scratch_allocs_);
-      }
-      touched_local[t].clear();
+  // The sequential-round form: plain relaxed loads/stores (one worker
+  // owns the whole round), winners straight into `newly`, first touches
+  // straight into the touched list. Same settled state as the CAS form.
+  auto settle_seq = [&](const SsspProposal& p, std::uint64_t round_id) {
+    if (stamp[p.v].load(std::memory_order_relaxed) == round_id) return;
+    stamp[p.v].store(round_id, std::memory_order_relaxed);
+    const weight_t old = dist_of(p.v);
+    if (p.dist >= old) return;
+    dist[p.v].store(p.dist, std::memory_order_relaxed);
+    parent[p.v] = p.via;
+    detail::push_counted(newly, p.v, ws.scratch_allocs_);
+    if (old == kInfWeight) {
+      detail::push_counted(ws.touched_, p.v, ws.scratch_allocs_);
     }
   };
 
-  // Relax the out-edges of `frontier` selected by `take`; improving
-  // proposals enter the calendar at their new bucket. The push filter
-  // reads distances that only change at settle barriers, so the proposal
-  // multiset of every round is schedule-independent — which is also what
-  // makes the degree-aware scheduling below safe: the relaxer only
-  // repartitions the same edge set into stolen ranges (hubs split across
-  // workers), and the per-bucket (dist, parent) min-reduce is
-  // order-independent, so the output and the relaxation counter are
-  // bit-identical across grain modes and thread counts.
-  auto relax_edges = [&](const std::vector<vid>& frontier, auto take) {
-    ws.relaxer_.relax(
-        frontier.size(),
-        [&](std::size_t i) { return static_cast<std::size_t>(g.degree(frontier[i])); },
-        [&](std::size_t i, std::size_t lo, std::size_t hi) {
+  engine.push(0, {source, kNoVertex, 0});
+
+  // One persistent parallel region for the whole bucket loop; every
+  // phase below is a barrier-separated Team stage (force_fork_join pins
+  // the historical per-phase fork-join scheduling instead).
+  Team::drive(!ws.force_fork_join_, [&](Team& team) {
+    // Resolve the popped bucket's proposals (one synchronous round of the
+    // CRCW priority write), settle the winners, and concatenate the
+    // newly-improved vertices into `newly`. Two equivalent reduction
+    // strategies, chosen per bucket:
+    //  * packed fast path — the bucket's keys quantize order-exactly into
+    //    40 bits, so (dist, parent) fuses into one 64-bit word and the
+    //    reduce is a single atomic_write_min pass;
+    //  * three-phase fallback — min dist, then min parent at that dist,
+    //    then settle, barrier-separated.
+    // Both compute the same argmin, so the output is bit-identical — and
+    // each has a sequential-round form performing the same passes with
+    // plain writes when the bucket is below the threshold.
+    auto reduce_round = [&](bool packed, std::uint64_t base_bits) {
+      std::uint64_t live = 0;
+      const bool seq_round = props.size() <= seq_threshold;
+      if (seq_round) {
+        newly.clear();
+        if (packed) {
+          for (const SsspProposal& p : props) {
+            if (p.dist >= dist_of(p.v)) continue;  // stale proposal
+            ++live;
+            const std::uint64_t word = pack_key_via(p.dist, base_bits, p.via);
+            if (word < best_packed[p.v].load(std::memory_order_relaxed)) {
+              best_packed[p.v].store(word, std::memory_order_relaxed);
+            }
+          }
+          if (live != 0) {
+            ++ws.packed_rounds_;
+            ++ws.sequential_rounds_;
+            const std::uint64_t round_id = ws.next_stamp_();
+            for (const SsspProposal& p : props) {
+              if (best_packed[p.v].load(std::memory_order_relaxed) ==
+                  pack_key_via(p.dist, base_bits, p.via)) {
+                settle_seq(p, round_id);
+              }
+            }
+          }
+          for (const SsspProposal& p : props) {
+            best_packed[p.v].store(kPackedInf, std::memory_order_relaxed);
+          }
+        } else {
+          for (const SsspProposal& p : props) {
+            if (p.dist >= dist_of(p.v)) continue;  // stale proposal
+            ++live;
+            if (p.dist < best_key[p.v].load(std::memory_order_relaxed)) {
+              best_key[p.v].store(p.dist, std::memory_order_relaxed);
+            }
+          }
+          if (live != 0) {
+            ++ws.fallback_rounds_;
+            ++ws.sequential_rounds_;
+            for (const SsspProposal& p : props) {
+              if (p.dist == best_key[p.v].load(std::memory_order_relaxed) &&
+                  p.via < best_via[p.v].load(std::memory_order_relaxed)) {
+                best_via[p.v].store(p.via, std::memory_order_relaxed);
+              }
+            }
+            const std::uint64_t round_id = ws.next_stamp_();
+            for (const SsspProposal& p : props) {
+              if (p.dist == best_key[p.v].load(std::memory_order_relaxed) &&
+                  p.via == best_via[p.v].load(std::memory_order_relaxed)) {
+                settle_seq(p, round_id);
+              }
+            }
+          }
+          for (const SsspProposal& p : props) {
+            best_key[p.v].store(kInfWeight, std::memory_order_relaxed);
+            best_via[p.v].store(kNoVertex, std::memory_order_relaxed);
+          }
+        }
+        wd::add_work(live);
+        return;
+      }
+      if (packed) {
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          const SsspProposal& p = props[i];
+          if (p.dist >= dist_of(p.v)) return;  // stale proposal
+          tally.add(1);
+          atomic_write_min(&best_packed[p.v], pack_key_via(p.dist, base_bits, p.via));
+        });
+        live = tally.drain();
+        if (live != 0) {
+          ++ws.packed_rounds_;
+          ++ws.team_rounds_;
+          const std::uint64_t round_id = ws.next_stamp_();
+          team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+            const SsspProposal& p = props[i];
+            if (best_packed[p.v].load(std::memory_order_relaxed) ==
+                pack_key_via(p.dist, base_bits, p.via)) {
+              settle(p, round_id);
+            }
+          });
+        }
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          best_packed[props[i].v].store(kPackedInf, std::memory_order_relaxed);
+        });
+      } else {
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          const SsspProposal& p = props[i];
+          if (p.dist >= dist_of(p.v)) return;  // stale proposal
+          tally.add(1);
+          atomic_write_min(&best_key[p.v], p.dist);
+        });
+        live = tally.drain();
+        if (live != 0) {
+          ++ws.fallback_rounds_;
+          ++ws.team_rounds_;
+          team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+            const SsspProposal& p = props[i];
+            if (p.dist == best_key[p.v].load(std::memory_order_relaxed)) {
+              atomic_write_min(&best_via[p.v], p.via);
+            }
+          });
+          const std::uint64_t round_id = ws.next_stamp_();
+          team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+            const SsspProposal& p = props[i];
+            if (p.dist == best_key[p.v].load(std::memory_order_relaxed) &&
+                p.via == best_via[p.v].load(std::memory_order_relaxed)) {
+              settle(p, round_id);
+            }
+          });
+        }
+        // Reset the scratch minima (touched vertices only).
+        team.loop(0, props.size(), kStageGrain, [&](std::size_t i) {
+          best_key[props[i].v].store(kInfWeight, std::memory_order_relaxed);
+          best_via[props[i].v].store(kNoVertex, std::memory_order_relaxed);
+        });
+      }
+      wd::add_work(live);
+      // Concatenate the per-worker winner lists with an exclusive scan,
+      // and fold the first-touch lists into the workspace's touched set.
+      std::vector<std::size_t>& offset = ws.offset_;
+      for (std::size_t t = 0; t < workers; ++t) offset[t] = newly_local[t].size();
+      const std::size_t settled_now = exclusive_scan_inplace(offset);
+      if (settled_now > newly.capacity()) {
+        ws.scratch_allocs_.fetch_add(1, std::memory_order_relaxed);
+      }
+      newly.resize(settled_now);
+      team.loop(0, workers, 1, [&](std::size_t t) {
+        std::copy(newly_local[t].begin(), newly_local[t].end(),
+                  newly.begin() + offset[t]);
+        newly_local[t].clear();
+      });
+      for (std::size_t t = 0; t < workers; ++t) {
+        for (vid v : touched_local[t]) {
+          detail::push_counted(ws.touched_, v, ws.scratch_allocs_);
+        }
+        touched_local[t].clear();
+      }
+    };
+
+    // Relax the out-edges of `frontier` selected by `take`; improving
+    // proposals enter the calendar at their new bucket. The push filter
+    // reads distances that only change at settle barriers, so the
+    // proposal multiset of every round is schedule-independent — which is
+    // also what makes the adaptive degree-aware scheduling safe: the
+    // relaxer either repartitions the same edge set into stolen ranges
+    // across the team (hubs split across workers) or, below the
+    // threshold, runs it on this thread with direct calendar pushes; the
+    // per-bucket (dist, parent) min-reduce is order-independent, so the
+    // output and the relaxation counter are bit-identical across all of
+    // it and across thread counts.
+    auto relax_edges = [&](const std::vector<vid>& frontier, auto take) {
+      // One body, two emission routes: the sequential round places
+      // straight into the calendar, the parallel round stages per worker.
+      auto scan_with = [&](auto push) {
+        return [&, push](std::size_t i, std::size_t lo, std::size_t hi) {
           const vid u = frontier[i];
           const weight_t du = dist_of(u);
           std::uint64_t count = 0;
@@ -203,48 +301,56 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
             const weight_t nd = du + w;
             ++count;
             if (nd < dist_of(v)) {
-              engine.push_from_worker(bucket_of(nd), {v, u, nd});
+              push(bucket_of(nd), SsspProposal{v, u, nd});
             }
           }
           tally.add(count);
-        });
-    const std::uint64_t relaxed = tally.drain();
-    r.relaxations += relaxed;
-    wd::add_work(relaxed);
-  };
+        };
+      };
+      ws.relaxer_.relax(
+          team, frontier.size(), seq_threshold,
+          [&](std::size_t i) { return static_cast<std::size_t>(g.degree(frontier[i])); },
+          scan_with([&](std::uint64_t b, SsspProposal p) { engine.push(b, p); }),
+          scan_with([&](std::uint64_t b, SsspProposal p) {
+            engine.push_from_worker(b, p);
+          }));
+      const std::uint64_t relaxed = tally.drain();
+      r.relaxations += relaxed;
+      wd::add_work(relaxed);
+    };
 
-  engine.push(0, {source, kNoVertex, 0});
-  std::uint64_t b;
-  while ((b = engine.min_key()) != kNoBucket) {
-    settled.clear();
-    // Packed eligibility for this bucket: exact interval bounds from the
-    // integer bucket arithmetic (see bucket_of above).
-    const double lo = static_cast<double>(b * udelta);
-    const double hi = static_cast<double>((b + 1) * udelta);
-    const bool packed = via_packs && packed_interval_fits(lo, hi);
-    const std::uint64_t base_bits = packed ? double_order_bits(lo) : 0;
-    // Light relaxations (w <= delta) may re-enter this bucket; iterate
-    // until it is drained.
-    while (engine.min_key() == b) {
-      engine.pop_round(props);
-      ++r.phases;
-      wd::add_round();
-      reduce_round(packed, base_bits);
-      for (vid v : newly) detail::push_counted(settled, v, ws.scratch_allocs_);
-      relax_edges(newly, [&](weight_t w) { return w <= delta; });
-    }
-    // Heavy relaxations (w > delta) go to strictly later buckets; done
-    // once per settled vertex.
-    std::sort(settled.begin(), settled.end());
-    settled.erase(std::unique(settled.begin(), settled.end()), settled.end());
-    final_in_b.clear();
-    for (vid v : settled) {
-      if (bucket_of(dist_of(v)) == b) {
-        detail::push_counted(final_in_b, v, ws.scratch_allocs_);
+    std::uint64_t b;
+    while ((b = engine.min_key(team)) != kNoBucket) {
+      settled.clear();
+      // Packed eligibility for this bucket: exact interval bounds from
+      // the integer bucket arithmetic (see bucket_of above).
+      const double lo = static_cast<double>(b * udelta);
+      const double hi = static_cast<double>((b + 1) * udelta);
+      const bool packed = via_packs && packed_interval_fits(lo, hi);
+      const std::uint64_t base_bits = packed ? double_order_bits(lo) : 0;
+      // Light relaxations (w <= delta) may re-enter this bucket; iterate
+      // until it is drained.
+      while (engine.min_key(team) == b) {
+        engine.pop_round(team, props);
+        ++r.phases;
+        wd::add_round();
+        reduce_round(packed, base_bits);
+        for (vid v : newly) detail::push_counted(settled, v, ws.scratch_allocs_);
+        relax_edges(newly, [&](weight_t w) { return w <= delta; });
       }
+      // Heavy relaxations (w > delta) go to strictly later buckets; done
+      // once per settled vertex.
+      std::sort(settled.begin(), settled.end());
+      settled.erase(std::unique(settled.begin(), settled.end()), settled.end());
+      final_in_b.clear();
+      for (vid v : settled) {
+        if (bucket_of(dist_of(v)) == b) {
+          detail::push_counted(final_in_b, v, ws.scratch_allocs_);
+        }
+      }
+      relax_edges(final_in_b, [&](weight_t w) { return w > delta; });
     }
-    relax_edges(final_in_b, [&](weight_t w) { return w > delta; });
-  }
+  });
   settled.clear();
   final_in_b.clear();
 

@@ -1,53 +1,137 @@
 #include "sssp/hop_limited.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "graph/validation.hpp"
+#include "parallel/bucket_engine.hpp"
+#include "parallel/team.hpp"
 #include "parallel/work_depth.hpp"
 
 namespace parsh {
 
 namespace {
 
-/// One frontier-driven Bellman-Ford round over the workspace arrays:
-/// relax out-edges of `frontier` into `dist`, leaving the improved
-/// vertices (deduped, sorted) in `improved`. Relaxations stay sequential:
-/// in-round chaining (an improvement feeding a later frontier member's
-/// relaxation) is part of the driver's established semantics, and the
-/// workspace's parallelism budget is spent across queries instead
-/// (SsspWorkspacePool). First touches are recorded so the workspace can
-/// restore its dist-infinity invariant lazily.
+/// The workspace pieces one Bellman-Ford round needs (built inside the
+/// friend entry points; this helper itself is not a friend).
 struct BellmanFordRefs {
   std::vector<std::atomic<weight_t>>& dist;
   std::vector<vid>& touched;
   std::vector<vid>& frontier;
   std::vector<vid>& improved;
+  std::vector<weight_t>& frontier_dist;          // round-start snapshot
+  std::vector<std::vector<vid>>& newly_local;    // per-worker improvers
+  std::vector<std::vector<vid>>& touched_local;  // per-worker first touches
+  std::vector<std::size_t>& offset;              // concat scan scratch
+  FrontierRelaxer& relaxer;
   std::atomic<std::uint64_t>& allocs;
 };
 
-void relax_round(const Graph& g, BellmanFordRefs& r, std::uint64_t* relaxations,
-                 weight_t dist_limit) {
+/// One frontier-driven Bellman-Ford round: relax the out-edges of
+/// `frontier` into `dist`, leaving the improved vertices (deduped,
+/// sorted) as the next frontier. Rounds are barrier-separated: every
+/// relaxation reads the frontier distances as they stood at the START of
+/// the round (snapshot below), so after round h every vertex holds the
+/// exact minimum-weight <=h-hop distance — independent of schedule and
+/// thread count. (The pre-team code chained in-round improvements on one
+/// thread; that order-dependent shortcut is exactly what cannot
+/// parallelize deterministically, so the chained semantics became this
+/// barrier-separated stage.) Edge work is one adaptive relaxer round:
+/// stolen ranges across the persistent team, or — below the threshold —
+/// one worker with plain writes. First touches are recorded so the
+/// workspace can restore its dist-infinity invariant lazily.
+template <typename TeamLike>
+void relax_round(const Graph& g, BellmanFordRefs& r, TeamLike& team,
+                 const SsspWorkspace::RoundHooks& hooks,
+                 std::uint64_t* relaxations, weight_t dist_limit) {
   auto dist_of = [&](vid v) { return r.dist[v].load(std::memory_order_relaxed); };
-  std::uint64_t touched_work = 0;
+  // Snapshot the frontier's round-start distances: relaxations below may
+  // lower dist[u] for a frontier member u mid-round (a short cross edge),
+  // and the barrier-separated contract requires every proposal this round
+  // to be based on the round-start value.
+  if (r.frontier.size() > r.frontier_dist.capacity()) {
+    r.allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  r.frontier_dist.resize(r.frontier.size());
+  team.loop(0, r.frontier.size(), 512, [&](std::size_t i) {
+    r.frontier_dist[i] = dist_of(r.frontier[i]);
+  });
   r.improved.clear();
-  for (vid u : r.frontier) {
-    const weight_t du = dist_of(u);
-    touched_work += g.degree(u);
-    for (eid e = g.begin(u); e < g.end(u); ++e) {
-      const vid v = g.target(e);
-      const weight_t nd = du + g.weight(e);
-      const weight_t dv = dist_of(v);
-      if (nd < dv && nd <= dist_limit) {
-        if (dv == kInfWeight) detail::push_counted(r.touched, v, r.allocs);
-        r.dist[v].store(nd, std::memory_order_relaxed);
-        detail::push_counted(r.improved, v, r.allocs);
-      }
+  const auto plan = r.relaxer.relax(
+      team, r.frontier.size(), hooks.seq_threshold,
+      [&](std::size_t i) { return static_cast<std::size_t>(g.degree(r.frontier[i])); },
+      // Sequential round: one worker, plain relaxed loads/stores, direct
+      // appends. A vertex may be improved several times (several frontier
+      // members reach it); each strict improvement appends once and the
+      // dedup below collapses them, matching the parallel path's set.
+      [&](std::size_t i, std::size_t lo, std::size_t hi) {
+        const vid u = r.frontier[i];
+        const weight_t du = r.frontier_dist[i];
+        const eid base = g.begin(u);
+        for (eid e = base + lo; e < base + hi; ++e) {
+          const vid v = g.target(e);
+          const weight_t nd = du + g.weight(e);
+          if (nd > dist_limit) continue;
+          const weight_t dv = dist_of(v);
+          if (nd >= dv) continue;
+          r.dist[v].store(nd, std::memory_order_relaxed);
+          if (dv == kInfWeight) detail::push_counted(r.touched, v, r.allocs);
+          detail::push_counted(r.improved, v, r.allocs);
+        }
+      },
+      // Parallel round: CRCW min via a CAS loop. The vertices appended
+      // are exactly those whose round-start distance some proposal beat
+      // (any successful CAS implies a strict improvement over the
+      // round-start value), so the deduped set is schedule-independent;
+      // the one CAS that observed infinity records the first touch.
+      [&](std::size_t i, std::size_t lo, std::size_t hi) {
+        const vid u = r.frontier[i];
+        const weight_t du = r.frontier_dist[i];
+        const eid base = g.begin(u);
+        for (eid e = base + lo; e < base + hi; ++e) {
+          const vid v = g.target(e);
+          const weight_t nd = du + g.weight(e);
+          if (nd > dist_limit) continue;
+          weight_t cur = r.dist[v].load(std::memory_order_relaxed);
+          while (nd < cur) {
+            if (r.dist[v].compare_exchange_weak(cur, nd,
+                                                std::memory_order_relaxed)) {
+              const auto w = static_cast<std::size_t>(worker_id());
+              if (cur == kInfWeight) {
+                detail::push_counted(r.touched_local[w], v, r.allocs);
+              }
+              detail::push_counted(r.newly_local[w], v, r.allocs);
+              break;
+            }
+          }
+        }
+      });
+  ++(plan.sequential ? *hooks.sequential_rounds : *hooks.team_rounds);
+  *relaxations += plan.edges;
+  wd::add_work(plan.edges);
+  wd::add_round();
+  if (!plan.sequential) {
+    // Concatenate the per-worker improver lists with an exclusive scan,
+    // and fold the first-touch lists into the workspace's touched set.
+    const std::size_t workers = r.newly_local.size();
+    for (std::size_t t = 0; t < workers; ++t) r.offset[t] = r.newly_local[t].size();
+    const std::size_t improved_now = exclusive_scan_inplace(r.offset);
+    if (improved_now > r.improved.capacity()) {
+      r.allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+    r.improved.resize(improved_now);
+    team.loop(0, workers, 1, [&](std::size_t t) {
+      std::copy(r.newly_local[t].begin(), r.newly_local[t].end(),
+                r.improved.begin() + r.offset[t]);
+      r.newly_local[t].clear();
+    });
+    for (std::size_t t = 0; t < workers; ++t) {
+      for (vid v : r.touched_local[t]) detail::push_counted(r.touched, v, r.allocs);
+      r.touched_local[t].clear();
     }
   }
-  *relaxations += touched_work;
-  wd::add_work(touched_work);
-  wd::add_round();
-  // Dedup (a vertex may be improved via several frontier members).
+  // Dedup (a vertex may be improved via several frontier members; the
+  // sort also makes the next frontier's order deterministic).
   std::sort(r.improved.begin(), r.improved.end());
   r.improved.erase(std::unique(r.improved.begin(), r.improved.end()),
                    r.improved.end());
@@ -61,7 +145,9 @@ HopLimitedStats hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
                                  SsspWorkspace& ws) {
   require_vertex(g, source, "hop_limited_sssp");
   ws.begin_run_(g.num_vertices());
-  BellmanFordRefs r{ws.dist_, ws.touched_, ws.frontier_, ws.improved_,
+  BellmanFordRefs r{ws.dist_,          ws.touched_,       ws.frontier_,
+                    ws.improved_,      ws.frontier_dist_, ws.newly_local_,
+                    ws.touched_local_, ws.offset_,        ws.relaxer_,
                     ws.scratch_allocs_};
   r.dist[source].store(0, std::memory_order_relaxed);
   detail::push_counted(r.touched, source, r.allocs);
@@ -72,12 +158,21 @@ HopLimitedStats hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
   // non-early run differs only in that callers budget h for it).
   (void)stop_early;
   HopLimitedStats stats;
-  for (std::uint64_t round = 0; round < h; ++round) {
-    if (r.frontier.empty()) break;  // nothing more can ever improve
-    relax_round(g, r, &stats.relaxations, dist_limit);
-    ++stats.rounds;
-  }
+  const SsspWorkspace::RoundHooks hooks = ws.round_hooks_();
+  Team::drive(!hooks.force_fork_join, [&](Team& team) {
+    for (std::uint64_t round = 0; round < h; ++round) {
+      if (r.frontier.empty()) break;  // nothing more can ever improve
+      relax_round(g, r, team, hooks, &stats.relaxations, dist_limit);
+      ++stats.rounds;
+    }
+  });
   r.frontier.clear();
+  // Each round swaps the frontier/improved buffers; restore the original
+  // pairing after odd round counts so identical warm reruns (and the
+  // other drivers sharing these scratch vectors) see the same per-buffer
+  // capacities every time — the warm-reuse guarantee is byte-identical
+  // behavior, not just amortized growth.
+  if (stats.rounds % 2 != 0) std::swap(r.frontier, r.improved);
   return stats;
 }
 
@@ -99,7 +194,9 @@ std::uint64_t hops_to_approx(const Graph& g, vid s, vid t, weight_t true_dist,
   if (s == t) return 0;
   SsspWorkspace ws;
   ws.begin_run_(g.num_vertices());
-  BellmanFordRefs r{ws.dist_, ws.touched_, ws.frontier_, ws.improved_,
+  BellmanFordRefs r{ws.dist_,          ws.touched_,       ws.frontier_,
+                    ws.improved_,      ws.frontier_dist_, ws.newly_local_,
+                    ws.touched_local_, ws.offset_,        ws.relaxer_,
                     ws.scratch_allocs_};
   r.dist[s].store(0, std::memory_order_relaxed);
   detail::push_counted(r.touched, s, r.allocs);
@@ -107,12 +204,22 @@ std::uint64_t hops_to_approx(const Graph& g, vid s, vid t, weight_t true_dist,
   detail::push_counted(r.frontier, s, r.allocs);
   const weight_t goal = (1.0 + eps) * true_dist;
   std::uint64_t relaxations = 0;
-  for (std::uint64_t h = 1; h <= h_cap; ++h) {
-    if (r.frontier.empty()) return h_cap;  // converged without reaching goal
-    relax_round(g, r, &relaxations, kInfWeight);
-    if (ws.dist_of(t) <= goal) return h;
-  }
-  return h_cap;
+  std::uint64_t rounds = 0;
+  std::uint64_t reached_at = h_cap;
+  const SsspWorkspace::RoundHooks hooks = ws.round_hooks_();
+  Team::drive(!hooks.force_fork_join, [&](Team& team) {
+    for (std::uint64_t h = 1; h <= h_cap; ++h) {
+      if (r.frontier.empty()) return;  // converged without reaching goal
+      relax_round(g, r, team, hooks, &relaxations, kInfWeight);
+      ++rounds;
+      if (ws.dist_of(t) <= goal) {
+        reached_at = h;
+        return;
+      }
+    }
+  });
+  if (rounds % 2 != 0) std::swap(r.frontier, r.improved);  // see above
+  return reached_at;
 }
 
 }  // namespace parsh

@@ -80,6 +80,17 @@ class SsspWorkspace {
  public:
   SsspWorkspace();
 
+  /// The per-round scheduling knobs a driver's drain loop needs, snapshot
+  /// from the workspace hooks (round_hooks_() below): whether to open a
+  /// persistent team, the adaptive sequential-round threshold (0 when
+  /// force_parallel_rounds is set), and where to count the decisions.
+  struct RoundHooks {
+    bool force_fork_join = false;
+    std::size_t seq_threshold = 0;
+    std::uint64_t* sequential_rounds = nullptr;
+    std::uint64_t* team_rounds = nullptr;
+  };
+
   /// Heap-allocation events inside the workspace so far: both engines'
   /// counters plus the relaxer's prefix-scratch growth plus per-vertex
   /// array growth plus scratch-buffer capacity growth. Cumulative across
@@ -101,10 +112,30 @@ class SsspWorkspace {
   /// would fit the packed word (packed-vs-fallback equivalence tests).
   void force_three_phase(bool on) { force_three_phase_ = on; }
 
+  /// Test hook mirroring force_three_phase: run the drain loops with the
+  /// historical fork-join-per-phase scheduling instead of one persistent
+  /// parallel region (team-vs-fork-join equivalence tests; bit-identical
+  /// by the Team contract, parallel/team.hpp).
+  void force_fork_join(bool on) { force_fork_join_ = on; }
+
+  /// Test hook mirroring force_fork_join: disable the adaptive sequential
+  /// round fast path, so every round runs through the parallel phases
+  /// even below the threshold (sequential-vs-parallel-round equivalence
+  /// tests; bit-identical by the determinism contract).
+  void force_parallel_rounds(bool on) { force_parallel_rounds_ = on; }
+
+  /// Rounds executed entirely on one worker via the adaptive sequential
+  /// fast path / through the parallel (team or fork-join) phases
+  /// (cumulative; deterministic in the inputs and hooks, independent of
+  /// thread count). The Dial search is deliberately sequential per search
+  /// and counts toward neither.
+  [[nodiscard]] std::uint64_t sequential_rounds() const { return sequential_rounds_; }
+  [[nodiscard]] std::uint64_t team_rounds() const { return team_rounds_; }
+
   /// Test hook mirroring force_three_phase: schedule every relax round as
-  /// whole vertices, disabling the degree-aware stolen edge ranges (for
-  /// edge-grain-vs-vertex-grain equivalence tests; bit-identical by the
-  /// FrontierRelaxer contract).
+  /// whole vertices, disabling the degree-aware stolen edge ranges and
+  /// the sequential fast path (for edge-grain-vs-vertex-grain equivalence
+  /// tests; bit-identical by the FrontierRelaxer contract).
   void force_vertex_grain(bool on) { relaxer_.force_vertex_grain(on); }
   /// Relax rounds scheduled as stolen edge ranges / whole vertices
   /// (cumulative; diagnostics and tests).
@@ -165,6 +196,13 @@ class SsspWorkspace {
   /// counter, so monotonicity is global).
   std::uint64_t next_stamp_() { return ++stamp_counter_; }
 
+  /// Snapshot the round-scheduling hooks for a driver's drain loop.
+  RoundHooks round_hooks_() {
+    return {force_fork_join_,
+            force_parallel_rounds_ ? 0 : FrontierRelaxer::kSequentialRoundEdges,
+            &sequential_rounds_, &team_rounds_};
+  }
+
   BucketEngine<vid> frontier_engine_;            // BFS levels, Dial buckets
   BucketEngine<SsspProposal> proposal_engine_;   // delta-stepping relaxations
   FrontierRelaxer relaxer_;                      // degree-aware relax scheduling
@@ -185,6 +223,7 @@ class SsspWorkspace {
   std::vector<SsspProposal> props_;              // popped proposal bucket
   std::vector<vid> frontier_;                    // popped vid bucket / BF frontier
   std::vector<vid> improved_;                    // BF winners, settled lists
+  std::vector<weight_t> frontier_dist_;          // per-round frontier snapshot (BF)
   WorkerCounter tally_;
   std::size_t vertex_capacity_ = 0;
   std::size_t reduce_capacity_ = 0;
@@ -193,7 +232,11 @@ class SsspWorkspace {
   std::atomic<std::uint64_t> scratch_allocs_{0};
   std::uint64_t packed_rounds_ = 0;
   std::uint64_t fallback_rounds_ = 0;
+  std::uint64_t sequential_rounds_ = 0;
+  std::uint64_t team_rounds_ = 0;
   bool force_three_phase_ = false;
+  bool force_fork_join_ = false;
+  bool force_parallel_rounds_ = false;
 };
 
 /// One SsspWorkspace per OpenMP worker, for parallel fan-outs whose

@@ -10,10 +10,13 @@
 #include <algorithm>
 
 #include "cluster/cluster_connectivity.hpp"
+#include "cluster/est_cluster.hpp"
 #include "graph/generators.hpp"
 #include "hopset/hopset.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/team.hpp"
 #include "spanner/distributed_spanner.hpp"
+#include "sssp/bfs.hpp"
 #include "spanner/low_stretch_tree.hpp"
 #include "spanner/spanner.hpp"
 #include "sssp/approx_query.hpp"
@@ -213,7 +216,197 @@ TEST_P(DriverDeterminism, ApproxQueryAll) {
   EXPECT_EQ(one.relaxations, many.relaxations);
 }
 
+// --- persistent-team round execution (PR 5): every driver's drain loop
+// --- runs inside one parallel region with an adaptive sequential round
+// --- fast path. Output must be bit-identical across (a) the persistent
+// --- team vs the historical fork-join-per-phase scheduling
+// --- (force_fork_join), (b) adaptive sequential rounds vs every round
+// --- through the parallel phases (force_parallel_rounds), and (c) 1 vs 4
+// --- threads — in every combination.
+
+void expect_same_clustering(const Clustering& a, const Clustering& b) {
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+  EXPECT_EQ(a.center, b.center);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.dist_to_center, b.dist_to_center);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+class TeamRounds : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // Big enough that mid-run frontiers exceed the adaptive threshold
+  // (kSequentialRoundEdges = 2048 edges) while head/tail rounds stay
+  // below it — the straddling case both mechanisms must agree on.
+  [[nodiscard]] Graph straddling() const {
+    return ensure_connected(make_random_graph(6000, 36000, GetParam()));
+  }
+  [[nodiscard]] Graph straddling_weighted() const {
+    return with_uniform_weights(straddling(), 1, 9, GetParam() + 17);
+  }
+};
+
+TEST_P(TeamRounds, EstClusterTeamVsForkJoinAcrossThreads) {
+  const Graph g = straddling_weighted();
+  EstClusterWorkspace fj_ws;
+  fj_ws.force_fork_join(true);
+  const Clustering baseline =
+      at_threads(1, [&] { return est_cluster(g, 0.5, GetParam(), fj_ws); });
+  for (int threads : {1, 4}) {
+    EstClusterWorkspace team_ws;
+    // Any parallel_for reached from inside the persistent region would
+    // silently serialize; the drain loops must route every phase through
+    // Team::loop, so arm the abort hook for the duration.
+    assert_on_nested_sequential(true);
+    const Clustering team =
+        at_threads(threads, [&] { return est_cluster(g, 0.5, GetParam(), team_ws); });
+    assert_on_nested_sequential(false);
+    expect_same_clustering(team, baseline);
+    // The straddle actually happened: both round classes occurred, and
+    // identically at every thread count.
+    EXPECT_GT(team_ws.sequential_rounds(), 0u);
+    EXPECT_GT(team_ws.team_rounds(), 0u);
+    EXPECT_EQ(team_ws.sequential_rounds(), fj_ws.sequential_rounds());
+    EXPECT_EQ(team_ws.team_rounds(), fj_ws.team_rounds());
+  }
+}
+
+TEST_P(TeamRounds, EstClusterSequentialVsParallelRounds) {
+  const Graph g = straddling_weighted();
+  EstClusterWorkspace forced;
+  forced.force_parallel_rounds(true);
+  const Clustering baseline =
+      at_threads(1, [&] { return est_cluster(g, 0.5, GetParam(), forced); });
+  EXPECT_EQ(forced.sequential_rounds(), 0u);
+  EXPECT_GT(forced.team_rounds(), 0u);
+  for (int threads : {1, 4}) {
+    EstClusterWorkspace adaptive;
+    const Clustering out =
+        at_threads(threads, [&] { return est_cluster(g, 0.5, GetParam(), adaptive); });
+    EXPECT_GT(adaptive.sequential_rounds(), 0u);
+    expect_same_clustering(out, baseline);
+  }
+}
+
+TEST_P(TeamRounds, DeltaSteppingAcrossAllSchedulingModes) {
+  const Graph g = straddling_weighted();
+  SsspWorkspace fj_ws;
+  fj_ws.force_fork_join(true);
+  const auto baseline =
+      at_threads(1, [&] { return delta_stepping(g, 0, 4.0, fj_ws); });
+  SsspWorkspace par_ws;
+  par_ws.force_parallel_rounds(true);
+  const auto parallel_rounds =
+      at_threads(4, [&] { return delta_stepping(g, 0, 4.0, par_ws); });
+  EXPECT_EQ(par_ws.sequential_rounds(), 0u);
+  EXPECT_EQ(parallel_rounds.dist, baseline.dist);
+  EXPECT_EQ(parallel_rounds.parent, baseline.parent);
+  EXPECT_EQ(parallel_rounds.phases, baseline.phases);
+  EXPECT_EQ(parallel_rounds.relaxations, baseline.relaxations);
+  for (int threads : {1, 4}) {
+    SsspWorkspace ws;
+    assert_on_nested_sequential(true);
+    const auto team =
+        at_threads(threads, [&] { return delta_stepping(g, 0, 4.0, ws); });
+    assert_on_nested_sequential(false);
+    EXPECT_GT(ws.sequential_rounds(), 0u);
+    EXPECT_GT(ws.team_rounds(), 0u);
+    EXPECT_EQ(ws.sequential_rounds(), fj_ws.sequential_rounds());
+    EXPECT_EQ(ws.team_rounds(), fj_ws.team_rounds());
+    EXPECT_EQ(team.dist, baseline.dist);
+    EXPECT_EQ(team.parent, baseline.parent);
+    EXPECT_EQ(team.phases, baseline.phases);
+    EXPECT_EQ(team.relaxations, baseline.relaxations);
+  }
+}
+
+TEST_P(TeamRounds, BfsDistancesAcrossAllSchedulingModes) {
+  // Plain BFS guarantees deterministic distances and level counts;
+  // parents are any valid BFS tree (docs/ARCHITECTURE.md).
+  const Graph g = straddling();
+  SsspWorkspace fj_ws;
+  fj_ws.force_fork_join(true);
+  const BfsResult baseline =
+      at_threads(1, [&] { return bfs(g, 0, kNoVertex, fj_ws); });
+  for (int threads : {1, 4}) {
+    SsspWorkspace ws;
+    assert_on_nested_sequential(true);
+    const BfsResult team =
+        at_threads(threads, [&] { return bfs(g, 0, kNoVertex, ws); });
+    assert_on_nested_sequential(false);
+    EXPECT_EQ(team.dist, baseline.dist);
+    EXPECT_EQ(team.rounds, baseline.rounds);
+    SsspWorkspace par_ws;
+    par_ws.force_parallel_rounds(true);
+    const BfsResult parallel_rounds =
+        at_threads(threads, [&] { return bfs(g, 0, kNoVertex, par_ws); });
+    EXPECT_EQ(par_ws.sequential_rounds(), 0u);
+    EXPECT_EQ(parallel_rounds.dist, baseline.dist);
+    EXPECT_EQ(parallel_rounds.rounds, baseline.rounds);
+  }
+}
+
+TEST_P(TeamRounds, ForcedWideTeamMatchesForkJoin) {
+  // Force a real 4-wide persistent team even on hosts with fewer
+  // processors (where the automatic width collapses to sequential): the
+  // staged rounds must still be bit-identical to the fork-join run.
+  const Graph g = straddling_weighted();
+  EstClusterWorkspace fj_ws;
+  fj_ws.force_fork_join(true);
+  const Clustering cluster_baseline =
+      at_threads(1, [&] { return est_cluster(g, 0.5, GetParam(), fj_ws); });
+  SsspWorkspace delta_fj;
+  delta_fj.force_fork_join(true);
+  const auto delta_baseline =
+      at_threads(1, [&] { return delta_stepping(g, 0, 4.0, delta_fj); });
+  Team::force_width(4);
+  EstClusterWorkspace team_ws;
+  const Clustering cluster_team =
+      at_threads(4, [&] { return est_cluster(g, 0.5, GetParam(), team_ws); });
+  SsspWorkspace delta_team;
+  const auto delta_wide =
+      at_threads(4, [&] { return delta_stepping(g, 0, 4.0, delta_team); });
+  Team::force_width(0);
+  expect_same_clustering(cluster_team, cluster_baseline);
+  EXPECT_EQ(delta_wide.dist, delta_baseline.dist);
+  EXPECT_EQ(delta_wide.parent, delta_baseline.parent);
+  EXPECT_EQ(delta_wide.phases, delta_baseline.phases);
+  EXPECT_EQ(delta_wide.relaxations, delta_baseline.relaxations);
+}
+
+TEST_P(TeamRounds, HopLimitedAcrossAllSchedulingModes) {
+  // Barrier-separated Bellman-Ford rounds (exact dist^h): distances,
+  // round and relaxation counters identical across every scheduling mode
+  // and thread count.
+  const Graph g = straddling_weighted();
+  SsspWorkspace fj_ws;
+  fj_ws.force_fork_join(true);
+  const auto baseline = at_threads(
+      1, [&] { return hop_limited_sssp(g, 0, 24, /*stop_early=*/true, kInfWeight, fj_ws); });
+  const auto baseline_dist = [&] {
+    std::vector<weight_t> d(g.num_vertices());
+    for (vid v = 0; v < g.num_vertices(); ++v) d[v] = fj_ws.dist_of(v);
+    return d;
+  }();
+  for (int threads : {1, 4}) {
+    for (const bool force_parallel : {false, true}) {
+      SsspWorkspace ws;
+      ws.force_parallel_rounds(force_parallel);
+      const auto stats = at_threads(threads, [&] {
+        return hop_limited_sssp(g, 0, 24, /*stop_early=*/true, kInfWeight, ws);
+      });
+      EXPECT_EQ(stats.rounds, baseline.rounds);
+      EXPECT_EQ(stats.relaxations, baseline.relaxations);
+      for (vid v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(ws.dist_of(v), baseline_dist[v]) << v;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DriverDeterminism,
+                         ::testing::Values<std::uint64_t>(1, 2, 3));
+INSTANTIATE_TEST_SUITE_P(Seeds, TeamRounds,
                          ::testing::Values<std::uint64_t>(1, 2, 3));
 
 }  // namespace

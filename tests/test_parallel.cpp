@@ -11,6 +11,7 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
 #include "parallel/sort.hpp"
+#include "parallel/team.hpp"
 #include "parallel/work_depth.hpp"
 #include "random/rng.hpp"
 
@@ -187,6 +188,108 @@ TEST(ParallelSort, CustomComparatorDescending) {
   std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
   parallel_sort(v, std::greater<int>{});
   EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int>{}));
+}
+
+/// Forces a real 4-wide persistent team (even on hosts with fewer
+/// processors, where the automatic width would collapse to sequential)
+/// so the stage publish/claim/barrier machinery is actually raced. The
+/// forced width is clamped to omp_get_max_threads() (it sizes every
+/// consumer's per-worker scratch), so the OpenMP thread count is raised
+/// alongside and restored afterwards.
+class TeamMachinery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef PARSH_HAVE_OPENMP
+    threads_before_ = omp_get_max_threads();
+    omp_set_num_threads(4);
+#endif
+    Team::force_width(4);
+  }
+  void TearDown() override {
+    Team::force_width(0);
+#ifdef PARSH_HAVE_OPENMP
+    omp_set_num_threads(threads_before_);
+#endif
+  }
+
+ private:
+  int threads_before_ = 1;
+};
+
+TEST_F(TeamMachinery, StagesCoverEveryIterationExactlyOnce) {
+  // Many short stages through one persistent region: every index of every
+  // stage must be executed exactly once, and all writes must be visible
+  // to the driver between stages (the completion barrier).
+  constexpr std::size_t kItems = 10000;
+  constexpr int kStages = 50;
+  std::vector<std::atomic<int>> hits(kItems);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  Team::drive(true, [&](Team& team) {
+    for (int s = 0; s < kStages; ++s) {
+      team.loop(0, kItems, 64, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      // Barrier check: after loop() returns, every item reads s + 1.
+      EXPECT_EQ(hits[0].load(std::memory_order_relaxed), s + 1);
+      EXPECT_EQ(hits[kItems - 1].load(std::memory_order_relaxed), s + 1);
+    }
+  });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), kStages) << i;
+  }
+}
+
+TEST_F(TeamMachinery, TinyStagesRunInlineAndEmptyStagesAreNoops) {
+  Team::drive(true, [&](Team& team) {
+    int sum = 0;
+    // Below the grain the stage runs inline on the driver: a plain
+    // non-atomic accumulator is safe.
+    team.loop(0, 10, 64, [&](std::size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum, 45);
+    team.loop(5, 5, 64, [&](std::size_t) { ADD_FAILURE() << "empty stage ran"; });
+  });
+}
+
+TEST_F(TeamMachinery, ForkJoinAndNestedModesMatchPersistent) {
+  constexpr std::size_t kItems = 5000;
+  auto run = [&](bool persistent) {
+    std::vector<std::uint64_t> out(kItems, 0);
+    Team::drive(persistent, [&](Team& team) {
+      team.loop(0, kItems, 32, [&](std::size_t i) { out[i] = i * i; });
+    });
+    return out;
+  };
+  const auto team = run(true);
+  const auto fork_join = run(false);
+  EXPECT_EQ(team, fork_join);
+  // Nested inside an outer drive, an inner drive degrades to inline
+  // sequential loops (the outer layer owns the parallelism) — same
+  // iterations, no deadlock.
+  std::vector<std::uint64_t> nested(kItems, 0);
+  Team::drive(true, [&](Team&) {
+    Team::drive(true, [&](Team& inner) {
+      inner.loop(0, kItems, 32, [&](std::size_t i) { nested[i] = i * i; });
+    });
+  });
+  EXPECT_EQ(nested, team);
+}
+
+TEST_F(TeamMachinery, NestedParallelForInsideTeamIsCounted) {
+  const std::uint64_t before = nested_sequential_calls();
+#ifdef PARSH_HAVE_OPENMP
+  if (omp_get_max_threads() > 1) {
+    // A big parallel_for reached from inside the persistent region
+    // silently serializes — the counter must record it (the seam the
+    // drivers' Team::loop conversions must never fall through).
+    Team::drive(true, [&](Team& team) {
+      team.loop(0, 1, 1, [&](std::size_t) {
+        parallel_for(0, 4 * kParallelGrain, [](std::size_t) {});
+      });
+    });
+    EXPECT_GT(nested_sequential_calls(), before);
+  }
+#endif
+  EXPECT_GE(nested_sequential_calls(), before);
 }
 
 TEST(ParallelSort, AlreadySortedAndAllEqualInputs) {

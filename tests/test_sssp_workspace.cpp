@@ -67,7 +67,15 @@ TEST(QueryBatch, WarmBatchDoesZeroWorkspaceAllocationsOn1MEdgeRmat) {
   // The workspace-reuse acceptance bar: preprocess a 1M-edge RMAT graph
   // once, serve a request batch twice through one workspace — the second
   // (warm) batch must run entirely inside the buffers the first batch
-  // grew, so the workspace's allocation counter freezes.
+  // grew, so the workspace's allocation counter freezes. Pinned to one
+  // worker like every identical-rerun Warm test: the hop-limited sweeps'
+  // parallel rounds stage improvers in per-worker lists, whose high-water
+  // marks are schedule-dependent at >1 workers (same caveat as the delta
+  // and est_cluster Warm tests).
+#ifdef PARSH_HAVE_OPENMP
+  const int threads_before = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
   const Graph g = ensure_connected(make_rmat(120000, 1120000, 7));
   ASSERT_GE(g.num_edges(), 1000000u);
   ApproxShortestPaths::Params p;
@@ -89,6 +97,9 @@ TEST(QueryBatch, WarmBatchDoesZeroWorkspaceAllocationsOn1MEdgeRmat) {
     EXPECT_EQ(cold[i].estimate, warm[i].estimate) << i;
     EXPECT_EQ(cold[i].rounds, warm[i].rounds) << i;
   }
+#ifdef PARSH_HAVE_OPENMP
+  omp_set_num_threads(threads_before);
+#endif
 }
 
 }  // namespace
