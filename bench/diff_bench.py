@@ -15,7 +15,13 @@ are compared:
 * speedup fields ("speedup" in the name, e.g. speedup_vs_1t): HIGHER is
   better — a ratio below 1 - threshold is a regression. This is what
   guards the persistent-team round engine's whole point: multi-threaded
-  runs must not quietly fall back below the 1-thread wall time.
+  runs must not quietly fall back below the 1-thread wall time;
+* rate fields ("_rate" suffix, e.g. BENCH_server.json's shed_rate):
+  fractions in [0, 1] where lower is better. Compared by absolute
+  difference rather than ratio, since healthy baselines are often
+  exactly 0 (below the saturation knee) and any ratio would divide by
+  zero — an increase of more than `threshold` percentage points is a
+  regression.
 
 The report ends with a 1-thread-vs-4-thread table built from the current
 reports (every row pair differing only in `threads`), so the step summary
@@ -48,6 +54,10 @@ def is_time_field(name: str) -> bool:
 
 def is_speedup_field(name: str) -> bool:
     return "speedup" in name
+
+
+def is_rate_field(name: str) -> bool:
+    return name.endswith("_rate")
 
 
 def row_key(row: dict):
@@ -145,10 +155,27 @@ def main() -> int:
             for field, value in row.items():
                 time_metric = is_time_field(field)
                 speedup_metric = is_speedup_field(field)
-                if not (time_metric or speedup_metric):
+                rate_metric = is_rate_field(field)
+                if not (time_metric or speedup_metric or rate_metric):
                     continue
                 old_value = old.get(field)
                 if not isinstance(value, (int, float)):
+                    continue
+                if rate_metric:
+                    # Absolute comparison: a 0 -> 0.3 shed-rate jump is
+                    # exactly the regression this exists to catch, and
+                    # has no finite ratio.
+                    if not isinstance(old_value, (int, float)):
+                        continue
+                    compared += 1
+                    delta = value - old_value
+                    line = (f"{name} [{fmt_key(key)}] {field}: "
+                            f"{old_value:.4f} -> {value:.4f} "
+                            f"({delta * 100:+.1f}pp)")
+                    if delta > args.threshold:
+                        regressions.append(line)
+                    elif delta < -args.threshold:
+                        improvements.append(line)
                     continue
                 if not isinstance(old_value, (int, float)) or old_value <= 0:
                     continue

@@ -1,10 +1,83 @@
 #include "graph/io.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <vector>
 
 namespace parsh {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ls(line);
+  std::string tok;
+  while (ls >> tok) out.push_back(std::move(tok));
+  return out;
+}
+
+/// Strict unsigned parse: the whole token, base 10, no sign, no overflow.
+bool parse_u64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty() || tok[0] == '-' || tok[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno == ERANGE || end != tok.c_str() + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict vertex-id parse: u64 rules plus the vid range.
+bool parse_vid(const std::string& tok, vid* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(tok, &v) || v > std::numeric_limits<vid>::max()) return false;
+  *out = static_cast<vid>(v);
+  return true;
+}
+
+/// Strict weight parse: whole token, finite, no overflow.
+bool parse_weight(const std::string& tok, weight_t* out) {
+  if (tok.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (errno == ERANGE || end != tok.c_str() + tok.size() || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Parse one "u v w" triple with every check the formats share: id
+/// syntax, id range against n, weight syntax, weight positivity (the
+/// library's algorithms assume positive weights).
+Edge parse_edge(const std::vector<std::string>& toks, std::size_t base, vid n,
+                std::size_t line_no) {
+  Edge e;
+  if (!parse_vid(toks[base], &e.u) || !parse_vid(toks[base + 1], &e.v)) {
+    throw IoError("malformed vertex id ('" + toks[base] + "', '" + toks[base + 1] +
+                      "')",
+                  line_no);
+  }
+  if (e.u >= n || e.v >= n) {
+    throw IoError("vertex id out of range (n = " + std::to_string(n) + ")", line_no);
+  }
+  if (!parse_weight(toks[base + 2], &e.w)) {
+    throw IoError("malformed or overflowing weight '" + toks[base + 2] + "'", line_no);
+  }
+  if (e.w <= 0) {
+    throw IoError("nonpositive weight " + toks[base + 2] +
+                      " (edge weights must be > 0)",
+                  line_no);
+  }
+  return e;
+}
+
+}  // namespace
 
 void write_edge_list(std::ostream& out, const Graph& g) {
   out << g.num_vertices() << " " << g.num_edges() << "\n";
@@ -20,15 +93,46 @@ void write_edge_list_file(const std::string& path, const Graph& g) {
 }
 
 Graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
   vid n = 0;
   eid m = 0;
-  if (!(in >> n >> m)) throw std::runtime_error("edge list: bad header");
+  bool have_header = false;
   std::vector<Edge> edges;
-  edges.reserve(m);
-  for (eid i = 0; i < m; ++i) {
-    Edge e;
-    if (!(in >> e.u >> e.v >> e.w)) throw std::runtime_error("edge list: bad edge line");
-    edges.push_back(e);
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> toks = split_ws(line);
+    if (toks.empty()) continue;  // blank lines are harmless
+    if (!have_header) {
+      std::uint64_t hn = 0, hm = 0;
+      if (toks.size() != 2 || !parse_u64(toks[0], &hn) || !parse_u64(toks[1], &hm) ||
+          hn > std::numeric_limits<vid>::max()) {
+        throw IoError("edge list: bad header (want 'n m', got '" + line + "')",
+                      line_no);
+      }
+      n = static_cast<vid>(hn);
+      m = hm;
+      edges.reserve(m);
+      have_header = true;
+      continue;
+    }
+    if (edges.size() == m) {
+      throw IoError("edge list: trailing data after the declared " +
+                        std::to_string(m) + " edges",
+                    line_no);
+    }
+    if (toks.size() != 3) {
+      throw IoError("edge list: malformed edge line (want 'u v w', got '" + line +
+                        "')",
+                    line_no);
+    }
+    edges.push_back(parse_edge(toks, 0, n, line_no));
+  }
+  if (!have_header) throw IoError("edge list: bad header (empty input)", line_no + 1);
+  if (edges.size() < m) {
+    throw IoError("edge list: truncated (header declared " + std::to_string(m) +
+                      " edges, got " + std::to_string(edges.size()) + ")",
+                  line_no + 1);
   }
   return Graph::from_edges(n, std::move(edges));
 }
@@ -41,27 +145,66 @@ Graph read_edge_list_file(const std::string& path) {
 
 Graph read_dimacs(std::istream& in) {
   std::string line;
+  std::size_t line_no = 0;
   vid n = 0;
+  eid m = 0;
+  bool have_problem = false;
   std::vector<Edge> edges;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    char kind;
-    ls >> kind;
-    if (kind == 'c') continue;
-    if (kind == 'p') {
-      std::string sp;
-      eid m;
-      ls >> sp >> n >> m;
+    ++line_no;
+    const std::vector<std::string> toks = split_ws(line);
+    if (toks.empty() || toks[0] == "c") continue;
+    if (toks[0] == "p") {
+      if (have_problem) throw IoError("dimacs: duplicate problem line", line_no);
+      std::uint64_t hn = 0, hm = 0;
+      if (toks.size() != 4 || !parse_u64(toks[2], &hn) || !parse_u64(toks[3], &hm) ||
+          hn > std::numeric_limits<vid>::max()) {
+        throw IoError("dimacs: bad problem line (want 'p sp n m', got '" + line +
+                          "')",
+                      line_no);
+      }
+      n = static_cast<vid>(hn);
+      m = hm;
       edges.reserve(m);
-    } else if (kind == 'a') {
+      have_problem = true;
+    } else if (toks[0] == "a") {
+      if (!have_problem) {
+        throw IoError("dimacs: arc line before the problem line", line_no);
+      }
+      if (toks.size() != 4) {
+        throw IoError("dimacs: malformed arc line (want 'a u v w', got '" + line +
+                          "')",
+                      line_no);
+      }
+      vid u = 0, v = 0;
+      if (!parse_vid(toks[1], &u) || !parse_vid(toks[2], &v)) {
+        throw IoError("dimacs: malformed vertex id", line_no);
+      }
+      if (u == 0 || v == 0) throw IoError("dimacs: ids are 1-indexed", line_no);
+      if (u > n || v > n) {
+        throw IoError("dimacs: vertex id out of range (n = " + std::to_string(n) + ")",
+                      line_no);
+      }
       Edge e;
-      ls >> e.u >> e.v >> e.w;
-      if (e.u == 0 || e.v == 0) throw std::runtime_error("dimacs: ids are 1-indexed");
-      --e.u;
-      --e.v;
+      e.u = u - 1;
+      e.v = v - 1;
+      if (!parse_weight(toks[3], &e.w)) {
+        throw IoError("dimacs: malformed or overflowing weight '" + toks[3] + "'",
+                      line_no);
+      }
+      if (e.w <= 0) {
+        throw IoError("dimacs: nonpositive weight " + toks[3], line_no);
+      }
       edges.push_back(e);
+    } else {
+      throw IoError("dimacs: unknown line kind '" + toks[0] + "'", line_no);
     }
+  }
+  if (!have_problem) throw IoError("dimacs: missing problem line", line_no + 1);
+  if (edges.size() != m) {
+    throw IoError("dimacs: truncated (problem line declared " + std::to_string(m) +
+                      " arcs, got " + std::to_string(edges.size()) + ")",
+                  line_no + 1);
   }
   return Graph::from_edges(n, std::move(edges));
 }

@@ -1,13 +1,37 @@
 // Graph serialization: a simple whitespace edge-list format and DIMACS
 // shortest-path (.gr) files, so examples can load external datasets.
+//
+// Readers are strict: a malformed line, an out-of-range vertex id, a
+// negative/zero/overflowing weight, or a file that ends before the
+// declared edge count all throw IoError carrying the 1-based line number
+// where parsing stopped — external datasets are exactly where silent
+// misparses turn into wrong benchmark numbers.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/graph.hpp"
 
 namespace parsh {
+
+/// Typed parse failure: what went wrong and on which input line. Derives
+/// from std::runtime_error so pre-existing catch sites keep working;
+/// what() already includes the line number.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& message, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  /// 1-based line number of the offending (or missing) line.
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
 
 /// Write "u v w" lines (one per undirected edge) preceded by "n m".
 void write_edge_list(std::ostream& out, const Graph& g);

@@ -1,0 +1,131 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parsh::server {
+
+namespace {
+/// EWMA smoothing: heavy enough to track load shifts within a few
+/// batches, light enough that one outlier batch doesn't flip shedding.
+constexpr double kEwmaAlpha = 0.2;
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(AdmissionParams params, ServerMetrics* metrics,
+                               FaultInjector* injector)
+    : params_(params), metrics_(metrics), injector_(injector) {
+  ewma_ms_ = params_.warm_ms_per_query_hint > 0 ? params_.warm_ms_per_query_hint : 0.5;
+}
+
+Status AdmissionQueue::offer(PendingRequest&& r, std::uint32_t* retry_after_ms) {
+  *retry_after_ms = 0;
+  // Phantom backlog from the fault plan folds into this one decision only
+  // — a spike is a burst, not a level shift.
+  std::uint64_t phantom = 0;
+  if (injector_ != nullptr) {
+    const FaultAction act = injector_->next(FaultSite::kAdmission);
+    if (act.kind == FaultAction::Kind::kQueueSpike) phantom = act.amount;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) {
+    return Status::fail(StatusCode::kUnavailable, "server shutting down");
+  }
+  const std::size_t depth = queue_.size() - head_;
+  const std::size_t arriving = r.req.pairs.size();
+  const double budget_ms =
+      r.req.deadline_ms > 0 ? static_cast<double>(r.req.deadline_ms)
+                            : params_.default_deadline_ms;
+  // Everything that must drain before this request's last query finishes.
+  const double ahead = static_cast<double>(queued_queries_ + in_flight_queries_ +
+                                           arriving + phantom);
+  const double est_drain_ms =
+      ahead * ewma_ms_ / static_cast<double>(std::max<std::size_t>(params_.workers, 1));
+  const bool over_depth = depth + phantom >= params_.max_queue_depth;
+  if (over_depth || est_drain_ms > budget_ms) {
+    // Retry once roughly half the backlog has drained; always >= 1ms so a
+    // literal-minded client cannot hot-loop.
+    const double hint = std::min(1000.0, std::max(1.0, est_drain_ms * 0.5));
+    *retry_after_ms = static_cast<std::uint32_t>(std::lround(hint));
+    metrics_->bump(metrics_->requests_shed);
+    return Status::fail(StatusCode::kResourceExhausted,
+                        over_depth ? "admission queue full"
+                                   : "backlog exceeds request deadline");
+  }
+  queued_queries_ += arriving;
+  queue_.push_back(std::move(r));
+  metrics_->bump(metrics_->requests_admitted);
+  lock.unlock();
+  work_cv_.notify_one();
+  return Status::success();
+}
+
+std::size_t AdmissionQueue::batch_target_locked() const {
+  const double per_query = std::max(ewma_ms_, 1e-3);
+  const double target = params_.batch_budget_ms / per_query;
+  const auto t = static_cast<std::size_t>(std::max(1.0, target));
+  return std::min(t, params_.max_batch);
+}
+
+bool AdmissionQueue::take_batch(std::vector<PendingRequest>* out,
+                                std::size_t* skip_scales) {
+  out->clear();
+  *skip_scales = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [&] { return stopped_ || head_ < queue_.size(); });
+  if (head_ == queue_.size()) return false;  // stopped and drained
+
+  // Degradation tier decided per dispatch from queue pressure at pop
+  // time, so the server sheds precision before it sheds requests.
+  const std::size_t depth = queue_.size() - head_;
+  if (params_.degrade_at_fraction < 1.0 &&
+      static_cast<double>(depth) >=
+          params_.degrade_at_fraction * static_cast<double>(params_.max_queue_depth)) {
+    *skip_scales = params_.degrade_skip_scales;
+  }
+
+  const std::size_t target = batch_target_locked();
+  std::size_t queries = 0;
+  while (head_ < queue_.size() && (out->empty() || queries < target)) {
+    queries += queue_[head_].req.pairs.size();
+    out->push_back(std::move(queue_[head_]));
+    ++head_;
+  }
+  queued_queries_ -= std::min(queued_queries_, queries);
+  in_flight_queries_ += queries;
+  // Compact once the dead prefix dominates (amortized O(1) per pop).
+  if (head_ > 64 && head_ * 2 >= queue_.size()) {
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return true;
+}
+
+void AdmissionQueue::finish_batch(std::size_t queries, double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_queries_ -= std::min(in_flight_queries_, queries);
+  if (queries > 0 && elapsed_ms >= 0) {
+    const double per_query = elapsed_ms / static_cast<double>(queries);
+    ewma_ms_ = (1.0 - kEwmaAlpha) * ewma_ms_ + kEwmaAlpha * per_query;
+  }
+}
+
+void AdmissionQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+double AdmissionQueue::ewma_ms_per_query() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_ms_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() - head_;
+}
+
+}  // namespace parsh::server

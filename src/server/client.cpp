@@ -1,0 +1,160 @@
+#include "server/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace parsh::server {
+
+QueryClient::QueryClient(FdStream stream, ClientConfig cfg)
+    : stream_(std::move(stream)), cfg_(cfg), jitter_(Rng(cfg.seed).split(0xc1)) {}
+
+Status QueryClient::connect_tcp(std::uint16_t port, ClientConfig cfg,
+                                QueryClient* out) {
+  FdStream stream;
+  const Status s =
+      tcp_connect_loopback(port, &stream, Deadline::after_ms(cfg.rpc_timeout_ms));
+  if (!s.ok()) return s;
+  cfg.reconnect_port = port;
+  *out = QueryClient(std::move(stream), cfg);
+  return Status::success();
+}
+
+bool QueryClient::reconnect_() {
+  if (cfg_.reconnect_port == 0) return false;
+  FdStream fresh;
+  const Status s = tcp_connect_loopback(cfg_.reconnect_port, &fresh,
+                                        Deadline::after_ms(cfg_.rpc_timeout_ms));
+  if (!s.ok()) return false;
+  stream_ = std::move(fresh);
+  ++stats_.reconnects;
+  return true;
+}
+
+double QueryClient::backoff_ms_(int attempt, double server_hint_ms) {
+  // Exponential base doubling per attempt, capped, then decorrelated
+  // jitter in [0.5, 1.5) of it. The server's retry-after hint, when
+  // present, floors the wait — it knows the backlog, we don't.
+  double base = cfg_.backoff_base_ms * static_cast<double>(1u << std::min(attempt, 16));
+  base = std::min(base, cfg_.backoff_max_ms);
+  const double jitter = 0.5 + jitter_.uniform(jitter_draws_++);
+  return std::max(base * jitter, server_hint_ms);
+}
+
+Status QueryClient::roundtrip_(const std::vector<std::uint8_t>& bytes,
+                               std::uint64_t want_id, QueryResponse* out) {
+  const Deadline deadline = Deadline::after_ms(cfg_.rpc_timeout_ms);
+  Status s = stream_.write_frame(bytes, deadline);
+  if (!s.ok()) return s;
+  for (;;) {
+    Frame frame;
+    s = stream_.read_frame(&frame, deadline);
+    if (!s.ok()) return s;
+    switch (frame.type) {
+      case FrameType::kQueryResponse: {
+        QueryResponse resp;
+        s = decode_query_response(frame.payload, &resp);
+        if (!s.ok()) return s;
+        if (resp.id != want_id) continue;  // stale response from a prior timeout
+        *out = std::move(resp);
+        return Status::success();
+      }
+      case FrameType::kError: {
+        Status err;
+        if (!decode_error(frame.payload, &err).ok()) {
+          return Status::fail(StatusCode::kInternal, "undecodable error frame");
+        }
+        return err;  // server closes after an error frame
+      }
+      case FrameType::kPong:
+      case FrameType::kStatsResponse:
+        continue;  // unrelated traffic on a shared connection
+      default:
+        return Status::fail(StatusCode::kInternal, "unexpected frame from server");
+    }
+  }
+}
+
+Status QueryClient::query(const std::vector<std::pair<vid, vid>>& pairs,
+                          std::uint32_t deadline_ms, QueryResponse* out) {
+  QueryRequest req;
+  req.deadline_ms = deadline_ms;
+  req.pairs = pairs;
+  Status last = Status::fail(StatusCode::kInternal, "no attempt made");
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (!stream_.valid() && !reconnect_()) {
+      return Status::fail(StatusCode::kConnectionClosed, "not connected");
+    }
+    req.id = next_id_++;  // fresh id per attempt: stale replies are skipped
+    std::vector<std::uint8_t> bytes;
+    encode_query_request(bytes, req);
+    ++stats_.requests_sent;
+
+    QueryResponse resp;
+    last = roundtrip_(bytes, req.id, &resp);
+    double hint_ms = 0;
+    if (last.ok()) {
+      if (resp.status == StatusCode::kResourceExhausted) {
+        ++stats_.sheds_seen;
+        hint_ms = resp.retry_after_ms;
+        last = Status::fail(StatusCode::kResourceExhausted, "shed by server");
+      } else {
+        if (resp.status == StatusCode::kDeadlineExceeded) ++stats_.deadline_seen;
+        if (resp.flags & kRespFlagDegraded) ++stats_.degraded_seen;
+        *out = std::move(resp);
+        return Status::success();
+      }
+    }
+    // Retry policy: sheds, unavailability and dead connections retry;
+    // late answers and our own malformed requests do not.
+    const bool retryable = last.code == StatusCode::kResourceExhausted ||
+                           last.code == StatusCode::kUnavailable ||
+                           last.code == StatusCode::kConnectionClosed;
+    if (!retryable || attempt == cfg_.max_retries) break;
+    if (last.code == StatusCode::kConnectionClosed) {
+      stream_.close();
+      if (!reconnect_()) break;
+    }
+    ++stats_.retries;
+    const double wait = backoff_ms_(attempt, hint_ms);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wait));
+  }
+  ++stats_.failures;
+  return last;
+}
+
+Status QueryClient::ping() {
+  const Deadline deadline = Deadline::after_ms(cfg_.rpc_timeout_ms);
+  const std::uint64_t nonce = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  encode_ping(bytes, nonce, /*pong=*/false);
+  Status s = stream_.write_frame(bytes, deadline);
+  if (!s.ok()) return s;
+  for (;;) {
+    Frame frame;
+    s = stream_.read_frame(&frame, deadline);
+    if (!s.ok()) return s;
+    if (frame.type != FrameType::kPong) continue;
+    std::uint64_t got = 0;
+    s = decode_ping(frame.payload, &got);
+    if (!s.ok()) return s;
+    if (got == nonce) return Status::success();
+  }
+}
+
+Status QueryClient::stats(StatsSnapshot* out) {
+  const Deadline deadline = Deadline::after_ms(cfg_.rpc_timeout_ms);
+  std::vector<std::uint8_t> bytes;
+  encode_stats_request(bytes);
+  Status s = stream_.write_frame(bytes, deadline);
+  if (!s.ok()) return s;
+  for (;;) {
+    Frame frame;
+    s = stream_.read_frame(&frame, deadline);
+    if (!s.ok()) return s;
+    if (frame.type != FrameType::kStatsResponse) continue;
+    return decode_stats_response(frame.payload, out);
+  }
+}
+
+}  // namespace parsh::server

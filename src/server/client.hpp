@@ -1,0 +1,90 @@
+// Client side of the query service: framing, request/response matching,
+// and retry discipline.
+//
+// Retries follow the standard overload-safe recipe: only retryable
+// failures retry (RESOURCE_EXHAUSTED honoring the server's retry-after
+// hint, UNAVAILABLE, and — over TCP — a dropped connection, via
+// reconnect), with exponential backoff and deterministic decorrelated
+// jitter so a fleet of sheds does not re-arrive in lockstep.
+// DEADLINE_EXCEEDED and INVALID_ARGUMENT never retry: the first means the
+// answer is already late, the second means retrying sends the same
+// garbage. Jitter draws from the library's counter-based Rng, so a load
+// generator run is reproducible per seed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "random/rng.hpp"
+#include "server/protocol.hpp"
+#include "server/transport.hpp"
+#include "util/deadline.hpp"
+#include "util/types.hpp"
+
+namespace parsh::server {
+
+struct ClientConfig {
+  /// Wall budget for one request/response round trip.
+  double rpc_timeout_ms = 2000.0;
+  /// Retry attempts after the first try (0 disables retries).
+  int max_retries = 3;
+  double backoff_base_ms = 2.0;
+  double backoff_max_ms = 250.0;
+  /// Jitter stream seed (determinism of load-generator runs).
+  std::uint64_t seed = 1;
+  /// When nonzero, a dropped connection reconnects to this loopback port.
+  std::uint16_t reconnect_port = 0;
+};
+
+/// Client-side tallies a load generator aggregates into its report.
+struct ClientStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t sheds_seen = 0;
+  std::uint64_t deadline_seen = 0;
+  std::uint64_t degraded_seen = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t failures = 0;  ///< requests that exhausted retries
+};
+
+class QueryClient {
+ public:
+  /// A disconnected client (the connect_tcp out-param target).
+  QueryClient() = default;
+  QueryClient(FdStream stream, ClientConfig cfg);
+
+  /// Connect to a loopback TCP server (reconnect_port is set for you).
+  [[nodiscard]] static Status connect_tcp(std::uint16_t port, ClientConfig cfg,
+                                          QueryClient* out);
+
+  /// One query batch, retried per the config. On success *out holds the
+  /// server's response (which may itself report DEADLINE_EXCEEDED —
+  /// that's an answer, not a transport failure).
+  [[nodiscard]] Status query(const std::vector<std::pair<vid, vid>>& pairs,
+                             std::uint32_t deadline_ms, QueryResponse* out);
+
+  [[nodiscard]] Status ping();
+  [[nodiscard]] Status stats(StatsSnapshot* out);
+
+  [[nodiscard]] const ClientStats& client_stats() const { return stats_; }
+  [[nodiscard]] bool connected() const { return stream_.valid(); }
+  void close() { stream_.close(); }
+
+ private:
+  /// Send one frame and read frames until the matching response id (or a
+  /// terminal error) arrives.
+  [[nodiscard]] Status roundtrip_(const std::vector<std::uint8_t>& bytes,
+                                  std::uint64_t want_id, QueryResponse* out);
+  [[nodiscard]] double backoff_ms_(int attempt, double server_hint_ms);
+  [[nodiscard]] bool reconnect_();
+
+  FdStream stream_;
+  ClientConfig cfg_;
+  Rng jitter_{1};
+  std::uint64_t jitter_draws_ = 0;
+  std::uint64_t next_id_ = 1;
+  ClientStats stats_;
+};
+
+}  // namespace parsh::server

@@ -1,0 +1,112 @@
+#include "server/fault_injector.hpp"
+
+namespace parsh::server {
+
+namespace {
+
+// Draw indices: each next() call at a site consumes a fixed window of the
+// site's counter-based stream (kDrawsPerCall values), so the j-th call
+// always reads the same stream positions no matter what other sites did.
+constexpr std::uint64_t kDrawsPerCall = 4;
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan) : plan_(plan) {
+  Rng root(seed);
+  sites_.reserve(kNumFaultSites);
+  for (std::size_t s = 0; s < kNumFaultSites; ++s) {
+    sites_.push_back(Site{root.split(s), 0, {}});
+  }
+}
+
+FaultAction FaultInjector::next(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& st = sites_[static_cast<std::size_t>(site)];
+  const std::uint64_t n = st.count++;
+  const std::uint64_t base = n * kDrawsPerCall;
+  const double u = st.rng.uniform(base);
+
+  FaultAction act;
+  // Fixed trial order per site against one uniform draw; value draws use
+  // dedicated stream positions so adding a kind never shifts the others.
+  double cum = 0;
+  auto hit = [&](double p) {
+    if (p <= 0) return false;
+    cum += p;
+    return u < cum;
+  };
+  switch (site) {
+    case FaultSite::kWriteFrame:
+      if (hit(plan_.tear_write)) {
+        act.kind = FaultAction::Kind::kTearWrite;
+        // Tear inside the header or just after: 1..11 bytes survive.
+        act.amount = 1 + st.rng.uniform_int(base + 1, 11);
+      } else if (hit(plan_.slow_write)) {
+        act.kind = FaultAction::Kind::kSlowWrite;
+        act.amount = 1 + st.rng.uniform_int(base + 1, 7);  // chunk bytes
+        act.delay_us = static_cast<std::uint32_t>(
+            st.rng.uniform_int(base + 2, plan_.max_delay_us + 1));
+      } else if (hit(plan_.drop_connection)) {
+        act.kind = FaultAction::Kind::kDropConnection;
+      }
+      break;
+    case FaultSite::kReadFrame:
+      if (hit(plan_.drop_connection)) act.kind = FaultAction::Kind::kDropConnection;
+      break;
+    case FaultSite::kWorkerLoop:
+      if (hit(plan_.worker_stall)) {
+        act.kind = FaultAction::Kind::kStall;
+        act.delay_us = static_cast<std::uint32_t>(
+            st.rng.uniform_int(base + 1, plan_.max_delay_us + 1));
+      }
+      break;
+    case FaultSite::kAdmission:
+      if (hit(plan_.queue_spike)) {
+        act.kind = FaultAction::Kind::kQueueSpike;
+        act.amount = 1 + st.rng.uniform_int(base + 1, plan_.max_spike);
+      }
+      break;
+  }
+
+  if (!act.none()) ++injected_;
+  std::string entry = fault_site_name(site);
+  entry += '/';
+  entry += std::to_string(n);
+  entry += ':';
+  entry += fault_kind_name(act.kind);
+  if (act.amount != 0) {
+    entry += ':';
+    entry += std::to_string(act.amount);
+  }
+  if (act.delay_us != 0) {
+    entry += ':';
+    entry += std::to_string(act.delay_us);
+    entry += "us";
+  }
+  st.trace.push_back(std::move(entry));
+  return act;
+}
+
+std::uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+std::vector<std::string> FaultInjector::trace(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<std::size_t>(site)].trace;
+}
+
+std::string FaultInjector::trace_string() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Site& st : sites_) {
+    for (const std::string& e : st.trace) {
+      out += e;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace parsh::server

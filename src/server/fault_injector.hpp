@@ -1,0 +1,121 @@
+// Seed-deterministic fault injection for the serving layer.
+//
+// The server's robustness tests need failures that are (a) realistic —
+// torn frames, slow-loris writes, worker stalls, queue spikes, dropped
+// connections — and (b) reproducible, so a failing recovery path replays
+// under a debugger. Determinism despite a threaded server comes from
+// per-site streams: each interrupt point (FaultSite) owns its own
+// counter-based Rng stream, its own call counter, and its own trace, so
+// the decision sequence at a site is a pure function of (seed, site,
+// per-site call index). Cross-site thread interleaving cannot perturb any
+// site's decisions — only the order traces from *different* sites would
+// merge, which is why traces are kept per site rather than globally.
+//
+// Same seed + same per-site call counts => byte-identical traces,
+// regardless of thread count. tests/test_server.cpp asserts exactly that.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "random/rng.hpp"
+
+namespace parsh::server {
+
+/// Interrupt points the server threads consult before acting.
+enum class FaultSite : std::size_t {
+  kWriteFrame = 0,  ///< before each outbound frame write
+  kReadFrame = 1,   ///< before each inbound frame read
+  kWorkerLoop = 2,  ///< before each batch the query worker executes
+  kAdmission = 3,   ///< at each admission decision
+};
+inline constexpr std::size_t kNumFaultSites = 4;
+
+[[nodiscard]] constexpr const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kWriteFrame: return "write";
+    case FaultSite::kReadFrame: return "read";
+    case FaultSite::kWorkerLoop: return "worker";
+    case FaultSite::kAdmission: return "admission";
+  }
+  return "?";
+}
+
+/// What the consulted site must do. Sites that cannot perform a kind
+/// never receive it (the injector draws only site-appropriate kinds).
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kTearWrite,       ///< write only `amount` bytes of the frame, then fail the stream
+    kSlowWrite,       ///< slow-loris: dribble the frame in `amount`-byte chunks, `delay_us` apart
+    kDropConnection,  ///< close the connection as if the peer vanished
+    kStall,           ///< sleep `delay_us` before serving (a GC-pause stand-in)
+    kQueueSpike,      ///< pretend `amount` phantom requests are queued ahead
+  };
+  Kind kind = Kind::kNone;
+  std::uint64_t amount = 0;
+  std::uint32_t delay_us = 0;
+
+  [[nodiscard]] bool none() const { return kind == Kind::kNone; }
+};
+
+[[nodiscard]] constexpr const char* fault_kind_name(FaultAction::Kind kind) {
+  switch (kind) {
+    case FaultAction::Kind::kNone: return "none";
+    case FaultAction::Kind::kTearWrite: return "tear";
+    case FaultAction::Kind::kSlowWrite: return "slow";
+    case FaultAction::Kind::kDropConnection: return "drop";
+    case FaultAction::Kind::kStall: return "stall";
+    case FaultAction::Kind::kQueueSpike: return "spike";
+  }
+  return "?";
+}
+
+/// Per-kind injection probabilities (0 disables a kind). Probabilities at
+/// one site are tried in a fixed order against a single uniform draw, so
+/// their sum at a site should stay <= 1.
+struct FaultPlan {
+  double tear_write = 0;       ///< at kWriteFrame
+  double slow_write = 0;       ///< at kWriteFrame
+  double drop_connection = 0;  ///< at kWriteFrame and kReadFrame
+  double worker_stall = 0;     ///< at kWorkerLoop
+  double queue_spike = 0;      ///< at kAdmission
+  std::uint32_t max_delay_us = 2000;  ///< cap on stall / slow-write pauses
+  std::uint64_t max_spike = 64;       ///< cap on phantom queue depth
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultPlan plan);
+
+  /// Consult the injector at `site`. Thread-safe; decisions at a site
+  /// depend only on the site's own call index.
+  FaultAction next(FaultSite site);
+
+  /// Total non-kNone actions handed out so far.
+  [[nodiscard]] std::uint64_t injected() const;
+
+  /// The site's decision trace, one entry per next() call, e.g.
+  /// "write/3:tear:17". Equal seeds and call counts yield equal traces.
+  [[nodiscard]] std::vector<std::string> trace(FaultSite site) const;
+
+  /// All site traces joined (site order, then call order) — the string
+  /// the determinism tests compare across runs and thread counts.
+  [[nodiscard]] std::string trace_string() const;
+
+ private:
+  struct Site {
+    Rng rng;
+    std::uint64_t count = 0;
+    std::vector<std::string> trace;
+  };
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::vector<Site> sites_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace parsh::server

@@ -1,0 +1,53 @@
+// Lock-free server counters, snapshotted onto the wire StatsSnapshot.
+//
+// Counters are relaxed atomics: they are monotone tallies read for
+// reporting, never for synchronization, so no ordering is needed and the
+// hot serving paths pay one uncontended RMW per event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "server/protocol.hpp"
+
+namespace parsh::server {
+
+struct ServerMetrics {
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> invalid_frames{0};
+  std::atomic<std::uint64_t> requests_admitted{0};
+  std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> queries_ok{0};
+  std::atomic<std::uint64_t> queries_deadline_exceeded{0};
+  std::atomic<std::uint64_t> queries_out_of_range{0};
+  std::atomic<std::uint64_t> queries_degraded{0};
+  std::atomic<std::uint64_t> batches_served{0};
+  std::atomic<std::uint64_t> connections_opened{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> pool_checkout_timeouts{0};
+
+  void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
+    c.fetch_add(by, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] StatsSnapshot snapshot(std::uint64_t faults_injected) const {
+    StatsSnapshot s;
+    s.frames_received = frames_received.load(std::memory_order_relaxed);
+    s.invalid_frames = invalid_frames.load(std::memory_order_relaxed);
+    s.requests_admitted = requests_admitted.load(std::memory_order_relaxed);
+    s.requests_shed = requests_shed.load(std::memory_order_relaxed);
+    s.queries_ok = queries_ok.load(std::memory_order_relaxed);
+    s.queries_deadline_exceeded =
+        queries_deadline_exceeded.load(std::memory_order_relaxed);
+    s.queries_out_of_range = queries_out_of_range.load(std::memory_order_relaxed);
+    s.queries_degraded = queries_degraded.load(std::memory_order_relaxed);
+    s.batches_served = batches_served.load(std::memory_order_relaxed);
+    s.connections_opened = connections_opened.load(std::memory_order_relaxed);
+    s.connections_closed = connections_closed.load(std::memory_order_relaxed);
+    s.faults_injected = faults_injected;
+    s.pool_checkout_timeouts = pool_checkout_timeouts.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace parsh::server

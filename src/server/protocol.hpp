@@ -1,0 +1,147 @@
+// Wire protocol of the approx-SSSP query service.
+//
+// Length-prefixed binary frames over a byte stream (TCP socket, Unix
+// socketpair or pipe). Every frame:
+//
+//   offset  size  field
+//   0       2     magic 0x5350 ("PS", little-endian u16)
+//   2       1     protocol version (kProtocolVersion)
+//   3       1     frame type (FrameType)
+//   4       4     payload length in bytes (little-endian u32)
+//   8       len   payload
+//
+// All integers are little-endian fixed-width; doubles are IEEE-754 bit
+// patterns (memcpy'd, the only representation this codebase runs on).
+// Parsing is strict: unknown magic/version/type, payloads above
+// kMaxPayloadBytes, batch counts above kMaxBatchPairs, or payloads whose
+// length disagrees with their count field are rejected with a typed
+// Status — a malformed frame can desynchronize the stream, so the server
+// answers with an ERROR frame and closes the connection rather than
+// guessing where the next frame starts. Vertex-id range checks against
+// the loaded graph happen per query at admission (OUT_OF_RANGE answers),
+// not at decode: the frame is well-formed, the request content is not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/status.hpp"
+#include "util/types.hpp"
+
+namespace parsh::server {
+
+inline constexpr std::uint16_t kMagic = 0x5350;  // "PS"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Frames larger than this are rejected before the payload is read (a
+/// 4 GiB length prefix must not allocate 4 GiB).
+inline constexpr std::size_t kMaxPayloadBytes = 1u << 20;
+/// Most query pairs one request frame may carry.
+inline constexpr std::size_t kMaxBatchPairs = 4096;
+/// Deadlines are capped: nobody waits a minute for a distance.
+inline constexpr std::uint32_t kMaxDeadlineMs = 60'000;
+
+enum class FrameType : std::uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kPing = 3,
+  kPong = 4,
+  kStatsRequest = 5,
+  kStatsResponse = 6,
+  /// Server -> client: the previous frame was unparseable; the connection
+  /// closes after this frame. Payload: status code u32 + utf8 detail.
+  kError = 7,
+};
+
+[[nodiscard]] constexpr bool frame_type_known(std::uint8_t t) {
+  return t >= 1 && t <= 7;
+}
+
+/// A parsed frame: type plus raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- request / response messages --------------------------------------------
+
+/// Client -> server: a batch of s-t distance queries under one deadline.
+struct QueryRequest {
+  std::uint64_t id = 0;          ///< echoed in the response
+  std::uint32_t deadline_ms = 0; ///< 0 = server default; capped at kMaxDeadlineMs
+  std::uint32_t flags = 0;       ///< reserved (must be 0 in v1)
+  std::vector<std::pair<vid, vid>> pairs;
+};
+
+/// One answer inside a query response.
+struct QueryAnswer {
+  StatusCode status = StatusCode::kOk;
+  double estimate = 0;       ///< +inf encodes "unreached/unanswered"
+  std::uint32_t scale = 0;   ///< distance scale that answered
+};
+
+/// Response-level flag bits.
+inline constexpr std::uint32_t kRespFlagDegraded = 1u << 0;  ///< served from a degraded tier
+inline constexpr std::uint32_t kRespFlagPartial = 1u << 1;   ///< some answers are partial
+
+/// Server -> client: the batch verdict. `status` is the frame-level
+/// outcome (a shed request carries kResourceExhausted here and no
+/// answers); per-query outcomes live in `answers[i].status`.
+struct QueryResponse {
+  std::uint64_t id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::uint32_t retry_after_ms = 0;  ///< backoff hint when shed
+  std::uint32_t flags = 0;
+  std::vector<QueryAnswer> answers;
+};
+
+/// Server counters snapshot carried by a kStatsResponse (field order is
+/// part of the wire format; append only).
+struct StatsSnapshot {
+  std::uint64_t frames_received = 0;
+  std::uint64_t invalid_frames = 0;
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t queries_ok = 0;
+  std::uint64_t queries_deadline_exceeded = 0;
+  std::uint64_t queries_out_of_range = 0;
+  std::uint64_t queries_degraded = 0;
+  std::uint64_t batches_served = 0;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t pool_checkout_timeouts = 0;
+};
+
+// ---- encoding ---------------------------------------------------------------
+// Encoders append a complete frame (header + payload) to `out`, which can
+// then be handed to the transport in one write.
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  const std::uint8_t* payload, std::size_t len);
+
+void encode_query_request(std::vector<std::uint8_t>& out, const QueryRequest& req);
+void encode_query_response(std::vector<std::uint8_t>& out, const QueryResponse& resp);
+void encode_ping(std::vector<std::uint8_t>& out, std::uint64_t nonce, bool pong);
+void encode_stats_request(std::vector<std::uint8_t>& out);
+void encode_stats_response(std::vector<std::uint8_t>& out, const StatsSnapshot& s);
+void encode_error(std::vector<std::uint8_t>& out, const Status& status);
+
+// ---- decoding ---------------------------------------------------------------
+
+/// Validate a frame header. On success fills type/payload_len.
+[[nodiscard]] Status parse_frame_header(const std::uint8_t header[kFrameHeaderBytes],
+                                        FrameType* type, std::uint32_t* payload_len);
+
+[[nodiscard]] Status decode_query_request(const std::vector<std::uint8_t>& payload,
+                                          QueryRequest* out);
+[[nodiscard]] Status decode_query_response(const std::vector<std::uint8_t>& payload,
+                                           QueryResponse* out);
+[[nodiscard]] Status decode_ping(const std::vector<std::uint8_t>& payload,
+                                 std::uint64_t* nonce);
+[[nodiscard]] Status decode_stats_response(const std::vector<std::uint8_t>& payload,
+                                           StatsSnapshot* out);
+[[nodiscard]] Status decode_error(const std::vector<std::uint8_t>& payload,
+                                  Status* out);
+
+}  // namespace parsh::server

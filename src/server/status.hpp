@@ -1,0 +1,74 @@
+// Typed status taxonomy of the serving layer.
+//
+// The robustness contract of src/server/ is that no exception crosses the
+// server boundary: every failure — malformed frame, out-of-range vertex,
+// overload shed, expired deadline, dead peer — is a Status with a stable
+// wire code, so clients can branch on it (retry on RESOURCE_EXHAUSTED,
+// give up on DEADLINE_EXCEEDED, reconnect on CONNECTION_CLOSED) and tests
+// can assert the exact failure path taken.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace parsh::server {
+
+enum class StatusCode : std::uint32_t {
+  kOk = 0,
+  /// Structurally invalid input: bad frame, bad count, bad flag.
+  kInvalidArgument = 1,
+  /// A vertex id outside the loaded graph's [0, n).
+  kOutOfRange = 2,
+  /// Load shed: the admission queue's estimated drain time exceeds the
+  /// request's budget (or the queue/pool is at capacity). Retryable —
+  /// responses carry a retry-after hint.
+  kResourceExhausted = 3,
+  /// The request's deadline expired; any answers included are partial.
+  kDeadlineExceeded = 4,
+  /// The server is shutting down or otherwise refusing work. Retryable
+  /// against another replica, not this one.
+  kUnavailable = 5,
+  /// The peer hung up (or a fault injector pretended it did).
+  kConnectionClosed = 6,
+  /// A bug surfaced as an exception at the boundary and was converted.
+  kInternal = 7,
+};
+
+[[nodiscard]] constexpr const char* status_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kConnectionClosed: return "CONNECTION_CLOSED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A code plus a human-readable detail message (empty on success).
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return code == StatusCode::kOk; }
+
+  static Status success() { return {}; }
+  static Status fail(StatusCode code, std::string message) {
+    return {code, std::move(message)};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = status_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+}  // namespace parsh::server

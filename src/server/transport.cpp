@@ -1,0 +1,309 @@
+#include "server/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace parsh::server {
+
+namespace {
+
+Status errno_status(const char* op) {
+  std::string msg = op;
+  msg += ": ";
+  msg += std::strerror(errno);
+  return Status::fail(StatusCode::kUnavailable, std::move(msg));
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Block until fd is ready for `events` or the deadline expires. Polls in
+/// bounded slices so even Deadline::never() wakes periodically (the
+/// caller's loop re-checks stop conditions between slices).
+Status wait_ready(int fd, short events, const Deadline& deadline) {
+  if (deadline.expired()) {
+    return Status::fail(StatusCode::kDeadlineExceeded, "io deadline expired");
+  }
+  struct pollfd pfd{fd, events, 0};
+  const int timeout_ms = deadline.remaining_ms_clamped(50);
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0 && errno != EINTR) return errno_status("poll");
+  if (rc > 0 && (pfd.revents & (POLLERR | POLLNVAL))) {
+    return Status::fail(StatusCode::kUnavailable, "poll: socket error");
+  }
+  // POLLHUP still allows draining buffered data; let read() see the EOF.
+  return Status::success();
+}
+
+}  // namespace
+
+// ---- FdStream ---------------------------------------------------------------
+
+FdStream::FdStream(int fd) : fd_(fd) {
+  if (fd_ >= 0 && !set_nonblocking(fd_)) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FdStream::~FdStream() { close(); }
+
+FdStream::FdStream(FdStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+FdStream& FdStream::operator=(FdStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FdStream::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void FdStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FdStream::read_exact(std::uint8_t* buf, std::size_t n, const Deadline& deadline) {
+  if (fd_ < 0) return Status::fail(StatusCode::kConnectionClosed, "read on closed stream");
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::read(fd_, buf + got, n - got);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      return Status::fail(StatusCode::kConnectionClosed, "peer closed mid-read");
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return errno_status("read");
+    const Status s = wait_ready(fd_, POLLIN, deadline);
+    if (!s.ok()) return s;
+  }
+  return Status::success();
+}
+
+Status FdStream::write_all(const std::uint8_t* buf, std::size_t n,
+                           const Deadline& deadline) {
+  if (fd_ < 0) return Status::fail(StatusCode::kConnectionClosed, "write on closed stream");
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing SIGPIPE.
+    const ssize_t rc = ::send(fd_, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::fail(StatusCode::kConnectionClosed, "peer closed mid-write");
+    }
+    if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return errno_status("send");
+    const Status s = wait_ready(fd_, POLLOUT, deadline);
+    if (!s.ok()) return s;
+  }
+  return Status::success();
+}
+
+Status FdStream::read_frame(Frame* out, const Deadline& deadline) {
+  std::uint8_t header[kFrameHeaderBytes];
+  Status s = read_exact(header, kFrameHeaderBytes, deadline);
+  if (!s.ok()) return s;
+  std::uint32_t payload_len = 0;
+  s = parse_frame_header(header, &out->type, &payload_len);
+  if (!s.ok()) return s;
+  out->payload.resize(payload_len);
+  return payload_len == 0 ? Status::success()
+                          : read_exact(out->payload.data(), payload_len, deadline);
+}
+
+Status FdStream::write_frame(const std::vector<std::uint8_t>& bytes,
+                             const Deadline& deadline, FaultInjector* injector) {
+  if (injector != nullptr) {
+    const FaultAction act = injector->next(FaultSite::kWriteFrame);
+    switch (act.kind) {
+      case FaultAction::Kind::kTearWrite: {
+        const std::size_t n = act.amount < bytes.size() ? act.amount : bytes.size();
+        (void)write_all(bytes.data(), n, deadline);
+        shutdown_both();
+        return Status::fail(StatusCode::kConnectionClosed, "injected torn write");
+      }
+      case FaultAction::Kind::kDropConnection:
+        shutdown_both();
+        return Status::fail(StatusCode::kConnectionClosed, "injected connection drop");
+      case FaultAction::Kind::kSlowWrite: {
+        // Dribble paced chunks for a while, then flush: bounds the total
+        // injected delay so a slow-loris can't outlive every deadline.
+        const std::size_t chunk = act.amount == 0 ? 1 : act.amount;
+        std::size_t off = 0;
+        for (int i = 0; i < 16 && off < bytes.size(); ++i) {
+          const std::size_t n = chunk < bytes.size() - off ? chunk : bytes.size() - off;
+          const Status s = write_all(bytes.data() + off, n, deadline);
+          if (!s.ok()) return s;
+          off += n;
+          std::this_thread::sleep_for(std::chrono::microseconds(act.delay_us));
+        }
+        return off < bytes.size()
+                   ? write_all(bytes.data() + off, bytes.size() - off, deadline)
+                   : Status::success();
+      }
+      case FaultAction::Kind::kNone:
+      case FaultAction::Kind::kStall:
+      case FaultAction::Kind::kQueueSpike:
+        break;  // not write-site kinds
+    }
+  }
+  return write_all(bytes.data(), bytes.size(), deadline);
+}
+
+// ---- socketpair -------------------------------------------------------------
+
+Status make_socketpair(FdStream* a, FdStream* b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return errno_status("socketpair");
+  }
+  *a = FdStream(fds[0]);
+  *b = FdStream(fds[1]);
+  if (!a->valid() || !b->valid()) {
+    return Status::fail(StatusCode::kInternal, "socketpair: nonblocking setup failed");
+  }
+  return Status::success();
+}
+
+// ---- TCP --------------------------------------------------------------------
+
+TcpListener::~TcpListener() { close(); }
+
+Status TcpListener::listen_loopback(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = errno_status("bind");
+    close();
+    return s;
+  }
+  if (::listen(fd_, 64) != 0) {
+    const Status s = errno_status("listen");
+    close();
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status s = errno_status("getsockname");
+    close();
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (!set_nonblocking(fd_)) {
+    close();
+    return Status::fail(StatusCode::kInternal, "listener: nonblocking setup failed");
+  }
+  return Status::success();
+}
+
+Status TcpListener::accept(FdStream* out, const Deadline& deadline) {
+  if (fd_ < 0) return Status::fail(StatusCode::kUnavailable, "listener closed");
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = FdStream(cfd);
+      return out->valid()
+                 ? Status::success()
+                 : Status::fail(StatusCode::kInternal, "accept: nonblocking setup failed");
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != ECONNABORTED) {
+      return errno_status("accept");
+    }
+    if (deadline.expired()) {
+      return Status::fail(StatusCode::kDeadlineExceeded, "accept deadline expired");
+    }
+    const Status s = wait_ready(fd_, POLLIN, deadline);
+    if (!s.ok()) return s;
+  }
+}
+
+void TcpListener::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status tcp_connect_loopback(std::uint16_t port, FdStream* out, const Deadline& deadline) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return Status::fail(StatusCode::kInternal, "connect: nonblocking setup failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const Status s = errno_status("connect");
+    ::close(fd);
+    return s;
+  }
+  // Nonblocking connect completes when the socket turns writable.
+  for (;;) {
+    struct pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, deadline.remaining_ms_clamped(50));
+    if (rc < 0 && errno != EINTR) {
+      ::close(fd);
+      return errno_status("poll");
+    }
+    if (rc > 0) break;
+    if (deadline.expired()) {
+      ::close(fd);
+      return Status::fail(StatusCode::kDeadlineExceeded, "connect deadline expired");
+    }
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+    ::close(fd);
+    return Status::fail(StatusCode::kUnavailable,
+                        std::string("connect: ") + std::strerror(err ? err : errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = FdStream(fd);
+  return Status::success();
+}
+
+}  // namespace parsh::server

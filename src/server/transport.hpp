@@ -1,0 +1,106 @@
+// Byte-stream transport of the serving layer: nonblocking fds driven by
+// poll(2) under a Deadline.
+//
+// Works identically over a TCP loopback socket and a Unix socketpair (the
+// tests' transport), because both are just stream fds. All operations are
+// deadline-bounded — nothing in the server can block forever on a slow or
+// dead peer — and every failure surfaces as a typed Status; no errno
+// escapes, no exception crosses this boundary.
+//
+// Thread/shutdown contract: one thread reads a stream while another may
+// call shutdown_both() to interrupt it. shutdown(2) is used for the wakeup
+// instead of close(2) deliberately: closing an fd another thread is
+// polling races with fd-number reuse (a fresh accept could receive the
+// same number and the poller would read the wrong connection). Only the
+// owning thread (or the destructor, after joins) calls close().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/fault_injector.hpp"
+#include "server/protocol.hpp"
+#include "server/status.hpp"
+#include "util/deadline.hpp"
+
+namespace parsh::server {
+
+/// A nonblocking stream fd with deadline-bounded exact-size io.
+class FdStream {
+ public:
+  FdStream() = default;
+  /// Take ownership of `fd` and switch it to O_NONBLOCK.
+  explicit FdStream(int fd);
+  ~FdStream();
+  FdStream(FdStream&& other) noexcept;
+  FdStream& operator=(FdStream&& other) noexcept;
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Half-close both directions: a peer or co-thread blocked in poll wakes
+  /// with EOF. Safe to call from a thread that does not own the stream.
+  void shutdown_both();
+  /// Release the fd. Owning-thread only (see the shutdown contract above).
+  void close();
+
+  /// Read exactly n bytes or fail: kConnectionClosed on EOF,
+  /// kDeadlineExceeded when the budget runs out mid-read, kUnavailable on
+  /// socket errors.
+  [[nodiscard]] Status read_exact(std::uint8_t* buf, std::size_t n,
+                                  const Deadline& deadline);
+  /// Write exactly n bytes or fail (same taxonomy as read_exact).
+  [[nodiscard]] Status write_all(const std::uint8_t* buf, std::size_t n,
+                                 const Deadline& deadline);
+
+  /// Read one validated frame (header checks per parse_frame_header, then
+  /// the payload). A malformed header fails kInvalidArgument — the stream
+  /// is desynchronized and must be closed by the caller.
+  [[nodiscard]] Status read_frame(Frame* out, const Deadline& deadline);
+
+  /// Write one encoded frame. When `injector` is non-null the kWriteFrame
+  /// site is consulted first: a tear writes a prefix then fails the
+  /// stream, a slow-loris dribbles the bytes in tiny paced chunks, a drop
+  /// fails without writing. Injected failures return kConnectionClosed —
+  /// indistinguishable from a real dead peer, which is the point.
+  [[nodiscard]] Status write_frame(const std::vector<std::uint8_t>& bytes,
+                                   const Deadline& deadline,
+                                   FaultInjector* injector = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected AF_UNIX stream pair (the in-process test transport).
+[[nodiscard]] Status make_socketpair(FdStream* a, FdStream* b);
+
+/// A loopback TCP listener (port 0 picks an ephemeral port).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] Status listen_loopback(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Accept one connection within the deadline (kDeadlineExceeded on
+  /// timeout — callers poll in a loop so a stop flag gets checked).
+  [[nodiscard]] Status accept(FdStream* out, const Deadline& deadline);
+  void shutdown_both();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a loopback listener within the deadline.
+[[nodiscard]] Status tcp_connect_loopback(std::uint16_t port, FdStream* out,
+                                          const Deadline& deadline);
+
+}  // namespace parsh::server

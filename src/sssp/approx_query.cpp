@@ -28,37 +28,63 @@ ApproxShortestPaths::ApproxShortestPaths(const Graph& g, Params params)
   }
 }
 
-ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t,
-                                                            SsspWorkspace& ws) const {
+ApproxShortestPaths::QueryResult ApproxShortestPaths::query(
+    vid s, vid t, SsspWorkspace& ws, const QueryOptions& opts) const {
   QueryResult out;
   if (s == t) {
     out.estimate = 0;
     return out;
   }
+  // Degraded tier: start at the requested scale, never past the last one
+  // (some scale must answer). Skipping fine scales drops both their
+  // short-range precision and their per-query round cost.
+  const std::size_t first =
+      hopset_.scales.empty()
+          ? 0
+          : std::min(opts.skip_scales, hopset_.scales.size() - 1);
+  out.degraded = first > 0;
+  const bool check_deadline = !opts.deadline.never_expires();
   const double ratio =
       std::pow(static_cast<double>(std::max<vid>(n_, 2)), params_.hopset.eta);
-  for (std::size_t i = 0; i < hopset_.scales.size(); ++i) {
+  for (std::size_t i = first; i < hopset_.scales.size(); ++i) {
+    if (check_deadline && opts.deadline.expired()) {
+      out.deadline_exceeded = true;
+      break;
+    }
     const HopsetScale& sc = hopset_.scales[i];
     // Only distances up to the scale's cap are this scale's business;
     // pruning there makes out-of-scale searches die after a few rounds.
     const weight_t dist_limit =
         sc.d * ratio * (1.0 + params_.epsilon) / sc.w_hat + 1.0;
-    const HopLimitedStats r = hop_limited_sssp(sc.rounded, s, hop_budget_[i],
-                                               /*stop_early=*/true, dist_limit, ws);
+    const HopLimitedStats r =
+        hop_limited_sssp(sc.rounded, s, hop_budget_[i],
+                         /*stop_early=*/true, dist_limit, ws, opts.deadline);
     out.rounds += r.rounds;
     out.relaxations += r.relaxations;
+    // A deadline-cut sweep's distances are still valid upper bounds, so
+    // fold this scale's (partial) answer in before unwinding.
     const weight_t dt = ws.dist_of(t);
-    if (dt == kInfWeight) continue;
-    const weight_t est = dt * sc.w_hat;
-    if (est < out.estimate) {
-      out.estimate = est;
-      out.scale_used = i;
+    if (dt != kInfWeight) {
+      const weight_t est = dt * sc.w_hat;
+      if (est < out.estimate) {
+        out.estimate = est;
+        out.scale_used = i;
+      }
+      // The scale whose range contains the estimate is (1+eps)-accurate;
+      // larger scales only get coarser. Stop once consistent.
+      if (!r.deadline_hit && est <= sc.d * ratio * (1.0 + params_.epsilon)) break;
     }
-    // The scale whose range contains the estimate is (1+eps)-accurate;
-    // larger scales only get coarser. Stop once consistent.
-    if (est <= sc.d * ratio * (1.0 + params_.epsilon)) break;
+    if (r.deadline_hit) {
+      out.deadline_exceeded = true;
+      break;
+    }
   }
   return out;
+}
+
+ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t,
+                                                            SsspWorkspace& ws) const {
+  return query(s, t, ws, QueryOptions{});
 }
 
 ApproxShortestPaths::QueryResult ApproxShortestPaths::query(vid s, vid t) const {
@@ -71,6 +97,26 @@ std::vector<ApproxShortestPaths::QueryResult> ApproxShortestPaths::query_batch(
   std::vector<QueryResult> out(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     out[i] = query(pairs[i].first, pairs[i].second, ws);
+  }
+  return out;
+}
+
+std::vector<ApproxShortestPaths::QueryResult> ApproxShortestPaths::query_batch(
+    const std::vector<QueryPair>& pairs, SsspWorkspace& ws,
+    const QueryOptions& opts) const {
+  std::vector<QueryResult> out(pairs.size());
+  const bool check_deadline = !opts.deadline.never_expires();
+  bool expired = false;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    // Once the shared budget runs out, answer the rest of the batch
+    // immediately: infinite partials, flagged, no traversal work.
+    if (!expired && check_deadline && opts.deadline.expired()) expired = true;
+    if (expired) {
+      out[i].deadline_exceeded = true;
+      out[i].degraded = opts.skip_scales > 0 && num_scales() > 1;
+      continue;
+    }
+    out[i] = query(pairs[i].first, pairs[i].second, ws, opts);
   }
   return out;
 }

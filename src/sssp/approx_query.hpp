@@ -18,12 +18,14 @@
 // across a workspace pool (one workspace per OpenMP worker).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "hopset/weighted_hopset.hpp"
 #include "sssp/sssp_workspace.hpp"
+#include "util/deadline.hpp"
 
 namespace parsh {
 
@@ -47,6 +49,33 @@ class ApproxShortestPaths {
     std::uint64_t rounds = 0;        ///< hop rounds executed (depth proxy)
     std::uint64_t relaxations = 0;   ///< edges relaxed (work proxy)
     std::size_t scale_used = 0;      ///< index of the answering scale
+    /// The deadline expired before every scheduled scale finished. The
+    /// estimate is whatever the completed rounds settled — still a valid
+    /// upper bound when finite (rounded-up weights), but the (1+eps)
+    /// stretch target is no longer guaranteed.
+    bool deadline_exceeded = false;
+    /// Served from a degraded tier (skip_scales > 0 actually skipped
+    /// scales); see QueryOptions for the tier's stretch contract.
+    bool degraded = false;
+  };
+
+  /// Per-query serving knobs. Defaults reproduce the plain query exactly.
+  struct QueryOptions {
+    /// Cooperative cancellation budget, polled between scales and between
+    /// hop rounds inside each scale. On expiry the query unwinds with a
+    /// partial, deadline_exceeded-flagged answer instead of blocking.
+    Deadline deadline = Deadline::never();
+    /// Graceful degradation tier: skip the `skip_scales` finest distance
+    /// scales (clamped so at least one scale is always served). Skipped
+    /// fine scales are where short-range accuracy and most out-of-scale
+    /// round cost live, so tier t trades precision on short distances for
+    /// a cheaper query. Stretch contract of tier t (see degraded_slack()):
+    /// a query whose matching scale is still served keeps the (1+eps)
+    /// target; one whose distance D falls below the finest served scale's
+    /// band is answered by that scale with
+    ///   estimate <= (1+eps) * D + degraded_slack() * d_first
+    /// where d_first is the finest served scale's lower bound.
+    std::size_t skip_scales = 0;
   };
 
   /// Approximate dist(s, t).
@@ -54,6 +83,10 @@ class ApproxShortestPaths {
   /// Workspace form: all traversal state lives in `ws`; warm calls
   /// allocate nothing. Results are identical to the plain form.
   [[nodiscard]] QueryResult query(vid s, vid t, SsspWorkspace& ws) const;
+  /// Serving form: deadline-checked, degradable. With default options
+  /// this is exactly the workspace form.
+  [[nodiscard]] QueryResult query(vid s, vid t, SsspWorkspace& ws,
+                                  const QueryOptions& opts) const;
 
   /// An s-t request batch, answered in order. The workspace overload runs
   /// the batch sequentially through one workspace (the deterministic-reuse
@@ -66,6 +99,13 @@ class ApproxShortestPaths {
       const std::vector<QueryPair>& pairs, SsspWorkspace& ws) const;
   [[nodiscard]] std::vector<QueryResult> query_batch(
       const std::vector<QueryPair>& pairs, SsspWorkspacePool& pool) const;
+  /// Serving form: the batch shares one budget. The deadline is also
+  /// checked between requests — once it expires, the remaining requests
+  /// return immediately as deadline_exceeded partials (estimate infinite)
+  /// rather than blocking the worker on work nobody will wait for.
+  [[nodiscard]] std::vector<QueryResult> query_batch(
+      const std::vector<QueryPair>& pairs, SsspWorkspace& ws,
+      const QueryOptions& opts) const;
 
   /// Batch form: approximate distances from s to every vertex (one
   /// hop-budgeted sweep per scale; unreachable stays kInfWeight). This is
@@ -81,6 +121,25 @@ class ApproxShortestPaths {
 
   [[nodiscard]] const WeightedHopset& hopset() const { return hopset_; }
   [[nodiscard]] std::uint64_t preprocessing_rounds() const { return hopset_.rounds; }
+
+  /// Number of distance scales a query can be degraded across (the max
+  /// meaningful QueryOptions::skip_scales is num_scales() - 1).
+  [[nodiscard]] std::size_t num_scales() const { return hopset_.scales.size(); }
+
+  /// The additive-slack coefficient of the degraded-tier stretch bound:
+  /// answering a query of true distance D from a scale with lower bound d
+  /// (instead of its finer matching scale) costs at most
+  ///   estimate <= (1+eps) * D + degraded_slack() * d.
+  /// Derivation: the scale's rounding granularity is w_hat = zeta * d / k
+  /// (Lemma 5.2), the query walks paths of at most hop_slack * k + 2 hops,
+  /// and each hop rounds up by < w_hat — so the additive term is bounded
+  /// by (hop_slack * k + 2) * w_hat * (1 + eps) ~= zeta * hop_slack *
+  /// (1 + eps) * d; the extra (1+eps) factor absorbs the hopset's own
+  /// multiplicative stretch on the rounded graph.
+  [[nodiscard]] double degraded_slack() const {
+    return params_.hopset.zeta * params_.hop_slack * (1.0 + params_.epsilon) +
+           2.0 * params_.hopset.zeta / std::max(1.0, hopset_.k_hops);
+  }
 
  private:
   Params params_;

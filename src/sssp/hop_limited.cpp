@@ -142,7 +142,7 @@ void relax_round(const Graph& g, BellmanFordRefs& r, TeamLike& team,
 
 HopLimitedStats hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
                                  bool stop_early, weight_t dist_limit,
-                                 SsspWorkspace& ws) {
+                                 SsspWorkspace& ws, const Deadline& deadline) {
   require_vertex(g, source, "hop_limited_sssp");
   ws.begin_run_(g.num_vertices());
   BellmanFordRefs r{ws.dist_,          ws.touched_,       ws.frontier_,
@@ -159,9 +159,17 @@ HopLimitedStats hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
   (void)stop_early;
   HopLimitedStats stats;
   const SsspWorkspace::RoundHooks hooks = ws.round_hooks_();
+  // The deadline is polled on the driver thread between rounds only — a
+  // round is the unit of cancellation, so a partial run is always "the
+  // first k rounds in full" and the settled distances are exact dist^k.
+  const bool check_deadline = !deadline.never_expires();
   Team::drive(!hooks.force_fork_join, [&](Team& team) {
     for (std::uint64_t round = 0; round < h; ++round) {
       if (r.frontier.empty()) break;  // nothing more can ever improve
+      if (check_deadline && deadline.expired()) {
+        stats.deadline_hit = true;
+        break;
+      }
       relax_round(g, r, team, hooks, &stats.relaxations, dist_limit);
       ++stats.rounds;
     }

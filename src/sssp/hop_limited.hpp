@@ -13,6 +13,7 @@
 
 #include "graph/graph.hpp"
 #include "sssp/sssp_workspace.hpp"
+#include "util/deadline.hpp"
 
 namespace parsh {
 
@@ -30,6 +31,11 @@ struct HopLimitedResult {
 struct HopLimitedStats {
   std::uint64_t rounds = 0;
   std::uint64_t relaxations = 0;
+  /// The deadline expired between rounds and the sweep stopped early. The
+  /// workspace distances are still valid upper bounds on dist^h (every
+  /// settled value is an achievable path weight) — just possibly looser
+  /// than the full h rounds would have produced.
+  bool deadline_hit = false;
 };
 
 /// Exact dist^h from `source` with at most `h` hops. If `stop_early` the
@@ -46,9 +52,15 @@ HopLimitedResult hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
 /// n-vector, and warm calls whose reach fits the workspace's high-water
 /// buffers perform zero heap allocations. Iterate ws.touched() to read
 /// the reached set sparsely.
+///
+/// `deadline` is polled between rounds (cooperative cancellation — the
+/// serving layer's per-request budget): on expiry the sweep returns with
+/// deadline_hit set and whatever distances the completed rounds settled.
+/// The default never-expiring deadline makes the check a flag test.
 HopLimitedStats hop_limited_sssp(const Graph& g, vid source, std::uint64_t h,
                                  bool stop_early, weight_t dist_limit,
-                                 SsspWorkspace& ws);
+                                 SsspWorkspace& ws,
+                                 const Deadline& deadline = Deadline::never());
 
 /// The number of hops needed for the s-t distance to drop to within
 /// (1+eps) of `true_dist`: runs rounds until

@@ -34,13 +34,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "parallel/bucket_engine.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/deadline.hpp"
 
 namespace parsh {
 
@@ -176,7 +179,8 @@ class SsspWorkspace {
                                                    const std::vector<vid>&,
                                                    weight_t, SsspWorkspace&);
   friend HopLimitedStats hop_limited_sssp(const Graph&, vid, std::uint64_t,
-                                          bool, weight_t, SsspWorkspace&);
+                                          bool, weight_t, SsspWorkspace&,
+                                          const Deadline&);
   friend std::uint64_t hops_to_approx(const Graph&, vid, vid, weight_t, double,
                                       std::uint64_t);
 
@@ -244,6 +248,17 @@ class SsspWorkspace {
 /// weighted BFS, Cohen-baseline landmark searches, batched queries.
 /// Workspaces live in a deque so growing the pool never moves (immovable)
 /// existing workspaces.
+///
+/// Two access modes, not to be mixed concurrently:
+///  * worker-affine (`local()`): inside an OpenMP fan-out, each worker
+///    indexes its own slot — no locking, the historical mode;
+///  * serving (`checkout()`/Lease): external threads (the query server's
+///    std::thread workers) borrow a workspace from a free list under a
+///    mutex, with a Deadline bounding how long they are willing to wait.
+///    A pool smaller than the worker count is a deliberate admission
+///    surface: a checkout that cannot be satisfied within its budget
+///    returns an empty Lease and the caller sheds the batch instead of
+///    queueing unboundedly.
 class SsspWorkspacePool {
  public:
   SsspWorkspacePool() { prepare(); }
@@ -270,8 +285,88 @@ class SsspWorkspacePool {
     return total;
   }
 
+  /// An exclusively borrowed workspace (serving mode). Returns it to the
+  /// free list on destruction; an empty lease means the budget ran out.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        index_ = other.index_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    explicit operator bool() const { return pool_ != nullptr; }
+    SsspWorkspace& operator*() { return pool_->at(index_); }
+    SsspWorkspace* operator->() { return &pool_->at(index_); }
+
+    void release() {
+      if (pool_ != nullptr) pool_->checkin_(index_);
+      pool_ = nullptr;
+    }
+
+   private:
+    friend class SsspWorkspacePool;
+    Lease(SsspWorkspacePool* pool, std::size_t index) : pool_(pool), index_(index) {}
+    SsspWorkspacePool* pool_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  /// Size the pool for serving mode: exactly `count` workspaces on the
+  /// free list. Call from one thread with no leases outstanding, before
+  /// any checkout() — typically once at server start.
+  void prepare_serving(std::size_t count) {
+    if (count == 0) count = 1;
+    while (pool_.size() < count) pool_.emplace_back();
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.clear();
+    for (std::size_t i = 0; i < count; ++i) free_.push_back(i);
+  }
+
+  /// Borrow a workspace, waiting until one is free or `deadline` expires
+  /// (empty Lease). Wall-clock deadlines bound the wait exactly;
+  /// check-based ones are re-polled every few milliseconds.
+  [[nodiscard]] Lease checkout(const Deadline& deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (!free_.empty()) {
+        const std::size_t index = free_.back();
+        free_.pop_back();
+        return Lease(this, index);
+      }
+      if (deadline.expired()) return Lease();
+      free_cv_.wait_for(lock, std::chrono::milliseconds(
+                                  deadline.remaining_ms_clamped(5)));
+    }
+  }
+
+  /// Workspaces currently on the serving free list (diagnostics).
+  [[nodiscard]] std::size_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
  private:
+  void checkin_(std::size_t index) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.push_back(index);
+    }
+    free_cv_.notify_one();
+  }
+
   std::deque<SsspWorkspace> pool_;
+  mutable std::mutex mu_;
+  std::condition_variable free_cv_;
+  std::vector<std::size_t> free_;  // serving-mode free list (indices)
 };
 
 }  // namespace parsh

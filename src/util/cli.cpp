@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <string_view>
 
@@ -31,23 +33,63 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 
 long long Cli::get_int(const std::string& name, long long def) const {
   auto it = values_.find(name);
-  return it == values_.end() ? def : std::atoll(it->second.c_str());
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty()) throw CliError(name, v, "empty value; expected an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno == ERANGE) throw CliError(name, v, "integer overflows long long");
+  if (end != v.c_str() + v.size() || end == v.c_str()) {
+    throw CliError(name, v, "expected an integer");
+  }
+  return parsed;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   auto it = values_.find(name);
-  return it == values_.end() ? def : std::atof(it->second.c_str());
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty()) throw CliError(name, v, "empty value; expected a number");
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end != v.c_str() + v.size() || end == v.c_str()) {
+    throw CliError(name, v, "expected a number");
+  }
+  if (errno == ERANGE || !std::isfinite(parsed)) {
+    throw CliError(name, v, "magnitude overflows double");
+  }
+  return parsed;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw CliError(name, v, "expected true/1/yes or false/0/no");
 }
 
 std::uint64_t Cli::get_seed(const std::string& name, std::uint64_t def) const {
   auto it = values_.find(name);
-  return it == values_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty()) throw CliError(name, v, "empty value; expected an unsigned integer");
+  // Reject signs explicitly: strtoull would happily wrap "-1" to 2^64 - 1
+  // and hand back a "random" seed nobody asked for.
+  if (v[0] == '-' || v[0] == '+') {
+    throw CliError(name, v, "expected an unsigned integer (no sign)");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (errno == ERANGE) throw CliError(name, v, "integer overflows uint64");
+  if (end != v.c_str() + v.size() || end == v.c_str()) {
+    throw CliError(name, v, "expected an unsigned integer");
+  }
+  return parsed;
 }
 
 }  // namespace parsh

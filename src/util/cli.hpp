@@ -5,13 +5,34 @@
 //   int n = cli.get_int("n", 10000);
 //   double eps = cli.get_double("eps", 0.25);
 // Flags are written `--name value` or `--name=value`.
+//
+// Typed getters are strict: a value that is not fully parseable as the
+// requested type — garbage, trailing junk, a negative where the flag's
+// range forbids it, or an overflowing magnitude — throws CliError naming
+// the flag, instead of the old atoll/atof behavior of silently yielding
+// 0 and burning a benchmark run on meaningless parameters.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 namespace parsh {
+
+/// A flag value that failed to parse; what() names the flag and value.
+class CliError : public std::runtime_error {
+ public:
+  CliError(const std::string& flag, const std::string& value, const std::string& why)
+      : std::runtime_error("--" + flag + ": cannot parse '" + value + "' (" + why +
+                           ")"),
+        flag_(flag) {}
+
+  [[nodiscard]] const std::string& flag() const { return flag_; }
+
+ private:
+  std::string flag_;
+};
 
 class Cli {
  public:
@@ -19,9 +40,13 @@ class Cli {
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name, const std::string& def) const;
+  /// Strict signed integer ("-5" is fine, "5x"/"1e99"/"" are CliError).
   [[nodiscard]] long long get_int(const std::string& name, long long def) const;
+  /// Strict finite double (overflow to inf is CliError).
   [[nodiscard]] double get_double(const std::string& name, double def) const;
+  /// true/1/yes vs false/0/no; anything else is CliError.
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+  /// Strict unsigned 64-bit (negatives are CliError, not 2^64 - k).
   [[nodiscard]] std::uint64_t get_seed(const std::string& name, std::uint64_t def) const;
 
  private:

@@ -148,5 +148,105 @@ TEST(GraphIo, BadHeaderThrows) {
   EXPECT_THROW(read_edge_list(ss), std::runtime_error);
 }
 
+// Every malformed-input failure carries the 1-based line number where
+// parsing stopped (IoError), so a bad dataset is diagnosable without
+// bisecting the file by hand.
+
+TEST(GraphIo, MalformedEdgeLineReportsLineNumber) {
+  std::stringstream ss("3 2\n0 1 1.5\n0 two 1\n");
+  try {
+    (void)read_edge_list(ss);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, OutOfRangeVertexIdRejected) {
+  std::stringstream ss("3 1\n0 7 1\n");
+  try {
+    (void)read_edge_list(ss);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(GraphIo, NegativeVertexIdRejectedNotWrapped) {
+  // Stream extraction into uint32 would wrap "-1" to 4294967295; the
+  // strict parser rejects the sign outright.
+  std::stringstream ss("3 1\n-1 2 1\n");
+  EXPECT_THROW(read_edge_list(ss), IoError);
+}
+
+TEST(GraphIo, BadWeightsRejected) {
+  const char* cases[] = {
+      "2 1\n0 1 -3\n",     // negative
+      "2 1\n0 1 0\n",      // zero
+      "2 1\n0 1 1e999\n",  // overflows double
+      "2 1\n0 1 nope\n",   // garbage
+      "2 1\n0 1 inf\n",    // non-finite
+  };
+  for (const char* c : cases) {
+    std::stringstream ss(c);
+    EXPECT_THROW(read_edge_list(ss), IoError) << c;
+  }
+}
+
+TEST(GraphIo, TruncatedFileReportsDeclaredVsActual) {
+  std::stringstream ss("4 3\n0 1 1\n1 2 1\n");
+  try {
+    (void)read_edge_list(ss);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos);
+    EXPECT_NE(what.find('3'), std::string::npos);
+    EXPECT_NE(what.find('2'), std::string::npos);
+  }
+}
+
+TEST(GraphIo, TrailingDataRejected) {
+  std::stringstream ss("2 1\n0 1 1\n0 1 2\n");
+  EXPECT_THROW(read_edge_list(ss), IoError);
+}
+
+TEST(GraphIo, DimacsMalformedLinesReportLineNumbers) {
+  // Arc before problem line.
+  {
+    std::stringstream ss("a 1 2 1\n");
+    EXPECT_THROW(read_dimacs(ss), IoError);
+  }
+  // Unknown line kind.
+  {
+    std::stringstream ss("p sp 2 1\nq what\na 1 2 1\n");
+    try {
+      (void)read_dimacs(ss);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.line(), 2u);
+    }
+  }
+  // Out-of-range 1-indexed id.
+  {
+    std::stringstream ss("p sp 2 1\na 1 3 1\n");
+    EXPECT_THROW(read_dimacs(ss), IoError);
+  }
+  // Truncated: fewer arcs than the problem line declared.
+  {
+    std::stringstream ss("p sp 3 2\na 1 2 1\n");
+    EXPECT_THROW(read_dimacs(ss), IoError);
+  }
+}
+
+TEST(GraphIo, StrictReaderStillRoundTrips) {
+  const Graph g = Graph::from_edges(6, {{0, 1, 0.25}, {2, 3, 1e9}, {4, 5, 1}});
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.undirected_edges(), g.undirected_edges());
+}
+
 }  // namespace
 }  // namespace parsh

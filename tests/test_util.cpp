@@ -104,6 +104,68 @@ TEST(Cli, BooleanSpellings) {
   EXPECT_FALSE(cli.get_bool("d", true));
 }
 
+TEST(Cli, GarbageIntegerNamesTheFlag) {
+  const char* argv[] = {"prog", "--n=12monkeys"};
+  Cli cli(2, const_cast<char**>(argv));
+  try {
+    (void)cli.get_int("n", 0);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_EQ(e.flag(), "n");
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+  }
+}
+
+TEST(Cli, OverflowingIntegerRejected) {
+  const char* argv[] = {"prog", "--n=99999999999999999999999999"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("n", 0), CliError);
+}
+
+TEST(Cli, NegativeIntegerStillParses) {
+  const char* argv[] = {"prog", "--delta=-7"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("delta", 0), -7);
+}
+
+TEST(Cli, GarbageDoubleRejected) {
+  const char* argv[] = {"prog", "--eps=0.5oops", "--big=1e999"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_double("eps", 0), CliError);
+  EXPECT_THROW((void)cli.get_double("big", 0), CliError);
+}
+
+TEST(Cli, NegativeSeedRejectedInsteadOfWrapping) {
+  // strtoull would wrap "-1" to 2^64 - 1; the hardened getter refuses.
+  const char* argv[] = {"prog", "--seed=-1"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_seed("seed", 0), CliError);
+}
+
+TEST(Cli, SeedGarbageAndOverflowRejected) {
+  const char* argv[] = {"prog", "--a=0x12", "--b=99999999999999999999999999"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_seed("a", 0), CliError);
+  EXPECT_THROW((void)cli.get_seed("b", 0), CliError);
+  // In-range values parse exactly, all the way to the top of the range.
+  const char* argv2[] = {"prog", "--s=18446744073709551615"};
+  Cli cli2(2, const_cast<char**>(argv2));
+  EXPECT_EQ(cli2.get_seed("s", 0), 18446744073709551615ull);
+}
+
+TEST(Cli, BogusBooleanRejected) {
+  const char* argv[] = {"prog", "--flag=maybe"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_bool("flag", false), CliError);
+}
+
+TEST(Cli, CliErrorIsARuntimeError) {
+  // Call sites that catch std::runtime_error keep working.
+  const char* argv[] = {"prog", "--n=x"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_THROW((void)cli.get_int("n", 0), std::runtime_error);
+}
+
 TEST(Timer, MeasuresNonNegativeMonotoneTime) {
   Timer t;
   const double a = t.seconds();
