@@ -13,9 +13,12 @@
 // almost entirely through the adaptive sequential round fast path and
 // measure nothing but its overhead. `--scale` shrinks/grows the whole
 // sweep (CI smoke runs use --scale 0.025); each row also records the
-// per-round frontier-edge histogram (p50/p90/max) and the
-// sequential/team round split, so the adaptive threshold stays tunable
-// from recorded data.
+// per-round frontier-edge histogram (p50/p90/max), the sequential/team
+// round split and the push/pull direction split, so the adaptive and
+// direction thresholds stay tunable from recorded data. First-thread
+// rows add push_seconds — the same workload with force_push pinned,
+// timed against an equally warm workspace — so the direction
+// heuristic's 1-thread win is a recorded metric, not a claim.
 //
 //   ./bench_est_cluster_scaling --scale 1 --threads 1,2,4,8 --reps 3
 #include "bench_common.hpp"
@@ -67,8 +70,9 @@ int main(int argc, char** argv) {
 #endif
 
   JsonReport report("est_cluster");
-  Table table({"workload", "n", "m", "threads", "time(s)", "speedup", "oracle(s)",
-               "work", "rounds", "seq/team", "fe-p50/p90/max", "clusters"});
+  Table table({"workload", "n", "m", "threads", "time(s)", "push(s)", "speedup",
+               "oracle(s)", "work", "rounds", "seq/team", "pull-r/edges",
+               "fe-p50/p90/max", "clusters"});
   // "hub" and "rmat-heavy" are the skewed frontiers the degree-aware
   // work-stealing rounds target: without edge-range splitting their hub
   // expansions serialize behind one worker.
@@ -89,6 +93,12 @@ int main(int argc, char** argv) {
     ws.record_round_edges(&round_edges);
     est_cluster(g, beta, seed, ws);
     ws.record_round_edges(nullptr);
+    // Push-pinned companion workspace, warmed the same way: both timing
+    // loops below run against warm workspaces, so the organic-vs-push gap
+    // measures the direction heuristic, not allocation noise.
+    EstClusterWorkspace push_ws;
+    push_ws.force_push(true);
+    est_cluster(g, beta, seed, push_ws);
     std::sort(round_edges.begin(), round_edges.end());
     const std::size_t fe_p50 = percentile(round_edges, 0.50);
     const std::size_t fe_p90 = percentile(round_edges, 0.90);
@@ -99,6 +109,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(ws.team_rounds()));
     char fe_hist[64];
     std::snprintf(fe_hist, sizeof(fe_hist), "%zu/%zu/%zu", fe_p50, fe_p90, fe_max);
+    // Direction split of the instrumented run: the hysteresis decisions
+    // read only round totals and m, so these are thread-count-invariant
+    // like the histogram above.
+    const std::uint64_t pull_rounds = ws.pull_rounds();
+    const std::uint64_t pull_edges = ws.pull_edges_scanned();
+    char pull_split[48];
+    std::snprintf(pull_split, sizeof(pull_split), "%llu/%llu",
+                  static_cast<unsigned long long>(pull_rounds),
+                  static_cast<unsigned long long>(pull_edges));
     double t1 = 0;  // 1-thread engine time, denominator of the speedup column
     for (int t : threads) {
 #ifdef PARSH_HAVE_OPENMP
@@ -108,24 +127,38 @@ int main(int argc, char** argv) {
       Run best;
       best.seconds = 1e300;
       for (int r = 0; r < reps; ++r) {
-        const Run run = timed([&] { c = est_cluster(g, beta, seed); });
+        const Run run = timed([&] { c = est_cluster(g, beta, seed, ws); });
         if (run.seconds < best.seconds) best = run;
       }
       if (t == threads.front()) t1 = best.seconds;
+      // On the first (1-thread) row, also time the push-pinned workspace:
+      // the organic-vs-push gap is the direction heuristic's measured win,
+      // independent of thread count (the pull scan's edge savings are
+      // per-worker, not a parallelism effect).
+      double push_s = 0;
+      if (t == threads.front()) {
+        push_s = 1e300;
+        for (int r = 0; r < reps; ++r) {
+          push_s = std::min(
+              push_s, timed([&] { est_cluster(g, beta, seed, push_ws); }).seconds);
+        }
+      }
       table.row()
           .cell(wl)
           .cell(static_cast<std::size_t>(g.num_vertices()))
           .cell(static_cast<std::size_t>(g.num_edges()))
           .cell(t)
           .cell(best.seconds, 4)
+          .cell(push_s, 4)
           .cell(t1 / best.seconds, 2)
           .cell(oracle_s, 4)
           .cell(best.counters.work)
           .cell(best.counters.rounds)
           .cell(seq_team)
+          .cell(pull_split)
           .cell(fe_hist)
           .cell(static_cast<std::size_t>(c.num_clusters));
-      report.row()
+      auto& json_row = report.row()
           .field("bench", "est_cluster_scaling")
           .field("workload", wl)
           .field("n", static_cast<std::uint64_t>(g.num_vertices()))
@@ -140,10 +173,15 @@ int main(int argc, char** argv) {
           .field("rounds", best.counters.rounds)
           .field("sequential_rounds", ws.sequential_rounds())
           .field("team_rounds", ws.team_rounds())
+          .field("pull_rounds", pull_rounds)
+          .field("pull_edges_scanned", pull_edges)
           .field("frontier_edges_p50", static_cast<std::uint64_t>(fe_p50))
           .field("frontier_edges_p90", static_cast<std::uint64_t>(fe_p90))
           .field("frontier_edges_max", static_cast<std::uint64_t>(fe_max))
           .field("clusters", static_cast<std::uint64_t>(c.num_clusters));
+      // Only first-thread rows carry the push-pinned reference time;
+      // diff_bench.py tolerates the field's absence elsewhere.
+      if (t == threads.front()) json_row.field("push_seconds", push_s);
     }
   }
   table.print();

@@ -134,7 +134,9 @@ def main() -> int:
     base = load_reports(args.baseline)
     cur = load_reports(args.current)
     if not base:
-        print(f"no baseline BENCH_*.json under {args.baseline} — nothing to diff")
+        print(f"no baseline BENCH_*.json under {args.baseline} — "
+              f"recording seed: this run's reports become the baseline "
+              f"for the next diff")
         return 0
     if not cur:
         print(f"no current BENCH_*.json under {args.current} — nothing to diff")

@@ -156,6 +156,7 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
 
   ws.ensure_(n);
   ws.engine_.reset();
+  ws.relaxer_.begin_run();  // fresh direction hysteresis per run
 
   // Same draws as est_shifts, written into the reused start buffer:
   // first the raw delta, then start = delta_max - delta in place.
@@ -440,7 +441,11 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
           const vid u = newly[i];
           tally.add(hi - lo);
           const eid base = g.begin(u);
-          for (eid e = base + lo; e < base + hi; ++e) {
+          const eid stop = base + hi;
+          for (eid e = base + lo; e < stop; ++e) {
+            if (e + kPrefetchAhead < stop) {
+              prefetch_read(&center[g.target(e + kPrefetchAhead)]);
+            }
             const vid v = g.target(e);
             if (center[v].load(std::memory_order_relaxed) != kNoVertex) continue;
             const weight_t w = g.weight(e);
@@ -452,15 +457,52 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
           }
         };
       };
+      // Pull candidate scan for dense rounds: an open vertex scans its own
+      // (symmetric, equal-mirror-weight) adjacency for frontier neighbours
+      // and emits at most its lexicographic (key, via) minimum — exactly
+      // the proposal the push multiset's min-reduce would have settled,
+      // with k = key[u] + w the same double operation either way, so the
+      // clustering is bit-identical. The suppressed proposals are strict
+      // losers of that very reduce (a later-bucket loser finds v settled
+      // at or before the winner's bucket and dies in the alive() filter).
+      auto pull_expand = [&](vid v) -> std::size_t {
+        if (center[v].load(std::memory_order_relaxed) != kNoVertex) return 0;
+        const eid base = g.begin(v);
+        const eid stop = g.end(v);
+        double bk = kInfWeight;
+        vid bu = kNoVertex;
+        weight_t bw = 0;
+        for (eid e = base; e < stop; ++e) {
+          if (e + kPrefetchAhead < stop) {
+            ws.relaxer_.prefetch_frontier_bit(g.target(e + kPrefetchAhead));
+          }
+          const vid u = g.target(e);
+          if (!ws.relaxer_.in_frontier(u)) continue;
+          const weight_t w = g.weight(e);
+          const double k = key[u] + w;
+          if (k < bk || (k == bk && u < bu)) {
+            bk = k;
+            bu = u;
+            bw = hops[u] + w;
+          }
+        }
+        tally.add(static_cast<std::uint64_t>(stop - base));
+        if (bu != kNoVertex) {
+          engine.push_from_worker(static_cast<std::uint64_t>(bk) + cal_off,
+                                  EstProposal{v, bu, bk, bw});
+        }
+        return static_cast<std::size_t>(stop - base);
+      };
       ws.relaxer_.relax(
-          team, newly.size(), seq_threshold,
+          team, newly, g.num_vertices(), g.num_arcs(), seq_threshold,
           [&](std::size_t i) { return static_cast<std::size_t>(g.degree(newly[i])); },
           expand_with([&](std::uint64_t b, EstProposal p) {
             engine.push(b, std::move(p));
           }),
           expand_with([&](std::uint64_t b, EstProposal p) {
             engine.push_from_worker(b, std::move(p));
-          }));
+          }),
+          pull_expand);
       wd::add_work(tally.drain());
     }
   });

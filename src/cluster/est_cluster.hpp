@@ -152,6 +152,20 @@ class EstClusterWorkspace {
   [[nodiscard]] std::uint64_t vertex_grain_rounds() const {
     return relaxer_.vertex_grain_rounds();
   }
+
+  /// Direction hooks mirroring force_vertex_grain: pin every
+  /// direction-capable expansion to push / to pull regardless of the
+  /// edge-fraction heuristic (push-vs-pull equivalence tests; bit-identical
+  /// by the FrontierRelaxer contract). Forcing one clears the other.
+  void force_push(bool on) { relaxer_.force_push(on); }
+  void force_pull(bool on) { relaxer_.force_pull(on); }
+  /// Expansions run in pull (bitmap) mode, and the edges their candidate
+  /// scans examined (cumulative across calls; diagnostics and benches).
+  [[nodiscard]] std::uint64_t pull_rounds() const { return relaxer_.pull_rounds(); }
+  [[nodiscard]] std::uint64_t pull_edges_scanned() const {
+    return relaxer_.pull_edges_scanned();
+  }
+
   /// Heap-allocation events in the relaxer's prefix-sum scratch (warm
   /// calls on frontiers no larger than already seen add none).
   [[nodiscard]] std::uint64_t relax_alloc_events() const {

@@ -18,19 +18,33 @@ std::size_t chunk_first_vertex(const std::vector<std::size_t>& prefix,
   return static_cast<std::size_t>(it - prefix.begin()) - 1;
 }
 
-CalendarIndex::CalendarIndex(std::size_t span) : counts_(span == 0 ? 1 : span, 0) {}
+CalendarIndex::CalendarIndex(std::size_t span)
+    : counts_(span == 0 ? 1 : span, 0), next_hint_(counts_.size()) {}
 
 void CalendarIndex::note_push(std::uint64_t key, std::size_t count) {
+  // A push below the cached next-nonempty hint invalidates it; lowering
+  // the hint to the pushed offset keeps the "everything before the hint
+  // is empty" invariant exact (no fallback rescan ever needed).
+  const auto d = static_cast<std::size_t>(key - base_);
+  if (d < next_hint_) next_hint_ = d;
   counts_[slot_of(key)] += count;
   in_window_items_ += count;
 }
 
-std::uint64_t CalendarIndex::min_in_window() const {
+std::uint64_t CalendarIndex::min_in_window() {
   if (in_window_items_ == 0) return kNoBucket;
-  for (std::size_t d = 0; d < span(); ++d) {
-    if (counts_[(cursor_ + d) % span()] != 0) return base_ + d;
+  // Rotating next-nonempty hint: every offset before next_hint_ is known
+  // empty (note_push lowers it, take/rebase shift it), so successive
+  // rounds resume the scan where the last one stopped instead of paying
+  // O(span) from the cursor every time — the per-round overhead that
+  // dominates once weight rounding blows up the key range.
+  for (std::size_t d = next_hint_; d < span(); ++d) {
+    if (counts_[(cursor_ + d) % span()] != 0) {
+      next_hint_ = d;
+      return base_ + d;
+    }
   }
-  return kNoBucket;  // unreachable: in_window_items_ > 0
+  return kNoBucket;  // unreachable: in_window_items_ > 0 and the hint is exact
 }
 
 std::size_t CalendarIndex::take(std::uint64_t key) {
@@ -40,6 +54,9 @@ std::size_t CalendarIndex::take(std::uint64_t key) {
   in_window_items_ -= taken;
   // Slide the window so `key` is the base: the slots for keys before `key`
   // are empty (pop order is monotone) and rotate to the window's far end.
+  // The hint shifts with the base; the just-emptied slot extends it by one.
+  const auto k = static_cast<std::size_t>(key - base_);
+  next_hint_ = next_hint_ > k ? next_hint_ - k : 1;
   cursor_ = slot;
   base_ = key;
   return taken;
@@ -54,6 +71,7 @@ void CalendarIndex::rebase(std::uint64_t key) {
   // invariant too, since it sets cursor to the popped key's slot.
   cursor_ = static_cast<std::size_t>(key % span());
   base_ = key;
+  next_hint_ = span();  // drained window: every offset is known empty
 }
 
 void CalendarIndex::reset() {
@@ -61,6 +79,7 @@ void CalendarIndex::reset() {
   cursor_ = 0;
   in_window_items_ = 0;
   std::fill(counts_.begin(), counts_.end(), 0);
+  next_hint_ = span();
 }
 
 }  // namespace detail

@@ -50,12 +50,14 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <utility>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/primitives.hpp"
+#include "util/types.hpp"
 
 namespace parsh {
 
@@ -97,8 +99,10 @@ class CalendarIndex {
   void note_push(std::uint64_t key, std::size_t count = 1);
 
   /// Key of the least nonempty in-window bucket, or kNoBucket if the
-  /// window is empty.
-  [[nodiscard]] std::uint64_t min_in_window() const;
+  /// window is empty. Not const: maintains the rotating next-nonempty
+  /// hint, so repeated calls resume where the previous scan stopped
+  /// instead of rescanning all `span` slots from the cursor every round.
+  [[nodiscard]] std::uint64_t min_in_window();
 
   /// Empty `key`'s slot and advance the window so `key` becomes the base
   /// (earlier, empty slots rotate to the far end). Returns the number of
@@ -118,6 +122,7 @@ class CalendarIndex {
   std::size_t cursor_ = 0;           // slot index of base_
   std::size_t in_window_items_ = 0;  // total items across all slots
   std::vector<std::size_t> counts_;  // items per slot
+  std::size_t next_hint_ = 0;        // offsets below this are known empty
 };
 
 }  // namespace detail
@@ -389,7 +394,7 @@ class BucketEngine {
 };
 
 /// Adaptive degree-aware work distribution for one round's edge
-/// relaxations.
+/// relaxations, with direction-optimized (push/pull) dense rounds.
 ///
 /// The synchronous-round consumers all share one expansion shape: for each
 /// frontier vertex, visit its adjacency and emit proposals. Handing whole
@@ -406,25 +411,55 @@ class BucketEngine {
 /// direct calendar pushes — the adaptive sequential round fast path; see
 /// docs/ARCHITECTURE.md "Round scheduling").
 ///
-/// Determinism contract: relax() only changes HOW the per-edge body calls
-/// are scheduled, never which calls happen — every frontier edge is
-/// visited exactly once, in chunks of consecutive local edge offsets, and
-/// the path choice depends only on (frontier, degrees, threshold), never
-/// on the schedule. All consumers resolve concurrent writes with the
-/// order-independent CRCW min-reduces in parallel/atomics.hpp (their
-/// sequential bodies computing the same argmin with plain writes), so
-/// output is bit-identical across sequential / vertex-grain / edge-grain
-/// scheduling and across thread counts (pinned by the skewed-frontier
-/// suite tests/test_work_stealing.cpp and the TeamRounds suite, via the
-/// force_vertex_grain and force_parallel_rounds hooks).
+/// Direction optimization (Beamer-style push/pull switching): the
+/// frontier-aware overload of relax() additionally compares the round's
+/// frontier edge total against a configurable fraction of m (and a
+/// profitability floor of n/2 — see kPullFloorDivisor). Above both the
+/// round runs PULL: the frontier is materialized as a dense bitmap and
+/// every *candidate* vertex scans its own (symmetric) adjacency for
+/// frontier neighbours, computing the winning proposal locally and
+/// emitting at most one item through the normal staging path — exactly
+/// the rounds where the frontier covers most of the graph, cutting both
+/// edge examinations (BFS stops at the first frontier hit) and proposal
+/// traffic (one emission per candidate instead of one per edge).
+/// Hysteresis (enter high, exit lower) keeps the direction from
+/// thrashing across consecutive similar-sized rounds; the decision
+/// depends only on the (deterministic) round totals, never the schedule.
 ///
-/// Reuse: the prefix-sum scratch is grown monotonically and never shrunk
-/// (its own blocked scan keeps per-call allocations at zero once warm);
+/// Determinism contract: relax() only changes HOW the per-edge body calls
+/// are scheduled, never the resulting argmin — every frontier edge is
+/// visited exactly once on the push paths, and the pull body emits a
+/// proposal multiset whose per-vertex (key, via) minima are identical to
+/// the push multiset's (the suppressed proposals are strict losers of the
+/// very reduction that resolves them; see docs/ARCHITECTURE.md "Round
+/// scheduling"). The path choice depends only on (frontier, degrees,
+/// threshold, m, direction state), never on the schedule. All consumers
+/// resolve concurrent writes with the order-independent CRCW min-reduces
+/// in parallel/atomics.hpp (their sequential bodies computing the same
+/// argmin with plain writes), so output is bit-identical across
+/// sequential / vertex-grain / edge-grain / pull scheduling and across
+/// thread counts (pinned by tests/test_work_stealing.cpp,
+/// tests/test_direction_optimizing.cpp and the TeamRounds suite, via the
+/// force_vertex_grain / force_push / force_pull hooks).
+///
+/// Reuse: the prefix-sum scratch and the frontier bitmap are grown
+/// monotonically and never shrunk (warm calls allocate nothing);
 /// alloc_events() counts scratch growth exactly like BucketEngine's.
 /// Not thread-safe across concurrent relax() calls: one relaxer per call
 /// chain, owned by the workspaces alongside their engines.
 class FrontierRelaxer {
  public:
+  FrontierRelaxer() {
+    // Env seam for CI's pull-forced ctest lane (like OMP_NUM_THREADS):
+    // defaults every direction decision to pull so the dense path runs
+    // even on test graphs too small to trip the threshold organically.
+    // Explicit force_push()/force_pull() calls override it.
+    if (const char* e = std::getenv("PARSH_FORCE_PULL");
+        e != nullptr && e[0] != '\0' && e[0] != '0') {
+      force_pull_ = true;
+    }
+  }
+
   /// Target edges per stolen range. Small enough that a 10^5-degree hub
   /// splits across every worker, large enough that the per-range queue
   /// traffic (one dynamic-schedule dequeue) stays amortized.
@@ -439,25 +474,89 @@ class FrontierRelaxer {
   /// so the fast path only removes overhead, never parallelism.
   static constexpr std::size_t kSequentialRoundEdges = kEdgeGrain;
 
+  /// Direction-switch thresholds, as divisors of m: enter pull when a
+  /// round's frontier edge total reaches m / kPullEnterDivisor, and stay
+  /// in pull mode until it drops below m / kPullExitDivisor (hysteresis:
+  /// the exit bound is lower than the entry bound, so a frontier
+  /// oscillating around the entry threshold does not thrash direction).
+  static constexpr std::uint64_t kPullEnterDivisor = 20;
+  static constexpr std::uint64_t kPullExitDivisor = 64;
+  /// Profitability floor for pull, as a divisor of n: a pull round pays a
+  /// Theta(n) candidate sweep no matter how small the frontier, so both
+  /// the enter and stay conditions additionally require the round's edge
+  /// total to reach n / kPullFloorDivisor (the same shape as the
+  /// vertex-count terms in Ligra's/GAPBS's direction conditions). Dense
+  /// frontiers on sparse graphs — e.g. a settled star's rim pointing back
+  /// at its hub, where the edge total clears m/20 but a candidate sweep
+  /// over all n costs more than pushing the stale edges — stay push.
+  static constexpr std::uint64_t kPullFloorDivisor = 2;
+  /// Frontier chunk per dynamically-claimed iteration of the bitmap
+  /// set/clear stages.
+  static constexpr std::size_t kBitGrain = 2048;
+
   /// What relax() decided for one round: the frontier's total edge count
-  /// (from the degree prefix scan) and whether the round ran on the
-  /// sequential fast path.
+  /// (from the degree prefix scan), whether the round ran on the
+  /// sequential fast path, and whether it ran pull.
   struct RoundPlan {
     std::size_t edges = 0;
     bool sequential = false;
+    bool pull = false;
   };
 
   /// Test hook mirroring the workspaces' force_three_phase: always take
   /// the (parallel) whole-vertex path — no stolen edge ranges and no
-  /// sequential fast path.
+  /// sequential fast path. Takes precedence over the direction hooks.
   void force_vertex_grain(bool on) { force_vertex_grain_ = on; }
 
+  /// Direction hooks mirroring force_vertex_grain: pin every
+  /// direction-capable round to push / to pull regardless of the
+  /// edge-fraction heuristic (push-vs-pull bit-equality tests, and the
+  /// PARSH_FORCE_PULL CI lane). Forcing one direction clears the other;
+  /// an explicit force_push(true) beats the env default.
+  void force_push(bool on) {
+    force_push_ = on;
+    if (on) force_pull_ = false;
+  }
+  void force_pull(bool on) {
+    force_pull_ = on;
+    if (on) force_push_ = false;
+  }
+
+  /// Reset the direction hysteresis for a fresh run (drivers call this
+  /// once per run so one run's dense tail never bleeds pull mode into the
+  /// next run's sparse head).
+  void begin_run() { pull_mode_ = false; }
+
+  /// Tuning/test seam for the hysteresis divisors: enter pull at edge
+  /// total >= m / enter_div, leave below m / exit_div. exit_div >=
+  /// enter_div keeps the exit bound at or below the entry bound.
+  void set_pull_divisors(std::uint64_t enter_div, std::uint64_t exit_div) {
+    assert(enter_div != 0 && exit_div >= enter_div);
+    pull_enter_div_ = enter_div;
+    pull_exit_div_ = exit_div;
+  }
+
   /// Rounds scheduled as stolen edge ranges / as whole vertices /
-  /// entirely on one worker via the sequential fast path (cumulative;
-  /// diagnostics and tests). Every relax() call lands in exactly one.
+  /// entirely on one worker via the sequential fast path / as pull
+  /// (bitmap) rounds (cumulative; diagnostics and tests). Every relax()
+  /// call lands in exactly one.
   [[nodiscard]] std::uint64_t edge_grain_rounds() const { return edge_grain_rounds_; }
   [[nodiscard]] std::uint64_t vertex_grain_rounds() const { return vertex_grain_rounds_; }
   [[nodiscard]] std::uint64_t sequential_rounds() const { return sequential_rounds_; }
+  [[nodiscard]] std::uint64_t pull_rounds() const { return pull_rounds_; }
+  /// Edges examined by pull-round candidate scans (cumulative; the
+  /// direction heuristic's payoff is this growing slower than the pushed
+  /// frontier edge totals it replaced).
+  [[nodiscard]] std::uint64_t pull_edges_scanned() const { return pull_edges_scanned_; }
+
+  /// True iff `u` is in the current pull round's frontier bitmap. Valid
+  /// only inside a pull body.
+  [[nodiscard]] bool in_frontier(vid u) const {
+    return (bitmap_[u >> 6].load(std::memory_order_relaxed) >> (u & 63)) & 1u;
+  }
+  /// Best-effort prefetch of u's bitmap word (pull inner loops peek a few
+  /// edges ahead so the random bitmap reads overlap the CSR stream).
+  void prefetch_frontier_bit(vid u) const { prefetch_read(&bitmap_[u >> 6]); }
 
   /// Heap-allocation events in the prefix/scan scratch so far (cumulative;
   /// a warm round over a frontier no larger than already seen adds none).
@@ -511,6 +610,52 @@ class FrontierRelaxer {
     }
     const std::size_t total = scan_degrees_(team, frontier, degree_of);
     record_(total);
+    return push_round_(team, frontier, total, seq_threshold, seq_body, par_body);
+  }
+
+  /// Direction-aware relax(): the same contract as above, plus the pull
+  /// alternative. `frontier` holds the round's vertex ids (the bitmap is
+  /// built from them), `num_vertices`/`num_arcs` describe the graph the
+  /// round runs on, and `pull_body(v)` is the candidate scan: examine v's
+  /// (symmetric) adjacency, compute v's winning proposal over frontier
+  /// neighbours (`in_frontier(u)` tests membership) with the SAME argmin
+  /// tie-breaks the push reduce applies, emit it through push_from_worker,
+  /// and return the number of edges it examined. It runs inside team
+  /// stages and must only write through atomics / per-worker state.
+  ///
+  /// Direction is decided from the (deterministic) edge total before the
+  /// sequential fast path, so a dense round never falls into the
+  /// sequential push body just because a caller passed a big threshold.
+  template <typename TeamLike, typename Deg, typename SeqBody, typename ParBody,
+            typename PullBody>
+  RoundPlan relax(TeamLike& team, const std::vector<vid>& frontier,
+                  std::size_t num_vertices, std::uint64_t num_arcs,
+                  std::size_t seq_threshold, Deg&& degree_of, SeqBody&& seq_body,
+                  ParBody&& par_body, PullBody&& pull_body) {
+    if (frontier.empty()) return {0, false, false};
+    if (force_vertex_grain_) {
+      // The vertex-grain test seam pins the push scheduler outright.
+      return relax(team, frontier.size(), seq_threshold, degree_of, seq_body,
+                   par_body);
+    }
+    const std::size_t total = scan_degrees_(team, frontier.size(), degree_of);
+    record_(total);
+    if (decide_direction_(total, num_vertices, num_arcs)) {
+      ++pull_rounds_;
+      run_pull_(team, frontier, num_vertices, pull_body);
+      return {total, false, true};
+    }
+    return push_round_(team, frontier.size(), total, seq_threshold, seq_body,
+                       par_body);
+  }
+
+ private:
+  /// The push scheduling tail shared by both relax() overloads: prefix_
+  /// already holds the frontier's degree scan and `total` its sum.
+  template <typename TeamLike, typename SeqBody, typename ParBody>
+  RoundPlan push_round_(TeamLike& team, std::size_t frontier, std::size_t total,
+                        std::size_t seq_threshold, SeqBody& seq_body,
+                        ParBody& par_body) {
     // seq_threshold == 0 disables the fast path outright (the
     // force_parallel_rounds hook) — even for empty rounds.
     if (seq_threshold != 0 && total <= seq_threshold) {
@@ -596,14 +741,92 @@ class FrontierRelaxer {
     return running;
   }
 
+  /// Hysteresis state machine for the push/pull decision, then the force
+  /// overrides. The state advances on EVERY direction-capable round (the
+  /// forces only mask the outcome), so lifting a force mid-run leaves the
+  /// same state an unforced run would have — and the inputs (round edge
+  /// totals, m) are schedule-independent, so the decision is bit-stable
+  /// across thread counts.
+  bool decide_direction_(std::size_t total, std::size_t num_vertices,
+                         std::uint64_t num_arcs) {
+    // The n/kPullFloorDivisor term gates both conditions identically: it
+    // is a hard profitability floor (below it the candidate sweep cannot
+    // pay for itself), not part of the hysteresis band.
+    const std::uint64_t floor =
+        static_cast<std::uint64_t>(num_vertices) / kPullFloorDivisor;
+    const std::uint64_t enter = std::max<std::uint64_t>(
+        std::max<std::uint64_t>(1, num_arcs / pull_enter_div_), floor);
+    const std::uint64_t exit = std::max<std::uint64_t>(
+        std::max<std::uint64_t>(1, num_arcs / pull_exit_div_), floor);
+    if (num_arcs == 0) {
+      pull_mode_ = false;
+    } else if (!pull_mode_) {
+      pull_mode_ = total >= enter;
+    } else {
+      pull_mode_ = total >= exit;
+    }
+    if (force_push_) return false;
+    if (force_pull_) return true;
+    return pull_mode_;
+  }
+
+  /// One pull round: set the frontier bitmap, run the candidate scan over
+  /// all vertices, clear the bitmap (touching only the set words, so the
+  /// clear costs O(frontier), not O(n)). All three loops are team stages —
+  /// never nested parallel_for — so the round works identically inside a
+  /// persistent team and under the fork-join shim.
+  template <typename TeamLike, typename PullBody>
+  void run_pull_(TeamLike& team, const std::vector<vid>& frontier,
+                 std::size_t num_vertices, PullBody& pull_body) {
+    const std::size_t words = (num_vertices + 63) / 64;
+    if (words > bitmap_.size()) {
+      // atomic<uint64_t> is not movable: growth is a fresh vector (counted
+      // like every other scratch growth), zeroed in parallel. Monotone, so
+      // warm rounds on a same-size graph allocate nothing.
+      ++alloc_events_;
+      bitmap_ = std::vector<std::atomic<std::uint64_t>>(words);
+      team.loop(0, words, std::size_t{4096},
+                [&](std::size_t w) { bitmap_[w].store(0, std::memory_order_relaxed); });
+    }
+    const auto workers = static_cast<std::size_t>(num_workers());
+    if (workers > pull_tally_workers_) {
+      // Worker count raised since the tally was sized (it slots per
+      // worker at construction); rebuild it to match.
+      pull_tally_ = WorkerCounter();
+      pull_tally_workers_ = workers;
+    }
+    team.loop(0, frontier.size(), kBitGrain, [&](std::size_t i) {
+      const vid u = frontier[i];
+      bitmap_[u >> 6].fetch_or(std::uint64_t{1} << (u & 63),
+                               std::memory_order_relaxed);
+    });
+    team.loop(0, num_vertices, kVertexGrain, [&](std::size_t v) {
+      pull_tally_.add(pull_body(static_cast<vid>(v)));
+    });
+    team.loop(0, frontier.size(), kBitGrain, [&](std::size_t i) {
+      bitmap_[frontier[i] >> 6].store(0, std::memory_order_relaxed);
+    });
+    pull_edges_scanned_ += pull_tally_.drain();
+  }
+
   std::vector<std::size_t> prefix_;     // exclusive degree prefix sums
   std::vector<std::size_t> block_sum_;  // scan scratch
+  std::vector<std::atomic<std::uint64_t>> bitmap_;  // pull-round frontier bits
+  WorkerCounter pull_tally_;            // per-worker pull edge-scan counts
+  std::size_t pull_tally_workers_ = static_cast<std::size_t>(num_workers());
   std::vector<std::size_t>* round_edges_sink_ = nullptr;  // bench histogram
   std::uint64_t edge_grain_rounds_ = 0;
   std::uint64_t vertex_grain_rounds_ = 0;
   std::uint64_t sequential_rounds_ = 0;
+  std::uint64_t pull_rounds_ = 0;
+  std::uint64_t pull_edges_scanned_ = 0;
+  std::uint64_t pull_enter_div_ = kPullEnterDivisor;
+  std::uint64_t pull_exit_div_ = kPullExitDivisor;
   std::uint64_t alloc_events_ = 0;
+  bool pull_mode_ = false;
   bool force_vertex_grain_ = false;
+  bool force_push_ = false;
+  bool force_pull_ = false;
 };
 
 }  // namespace parsh

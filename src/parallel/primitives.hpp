@@ -19,6 +19,20 @@ inline std::size_t num_blocks(std::size_t n, std::size_t block) {
 inline constexpr std::size_t kScanBlock = 4096;
 }  // namespace detail
 
+/// Best-effort read prefetch with low temporal locality — the relax inner
+/// loops peek a few edges ahead so the random per-target state reads
+/// overlap the sequential CSR stream. A no-op where unsupported.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 1);
+#else
+  (void)p;
+#endif
+}
+
+/// How many edges ahead the relax bodies prefetch per-target state.
+inline constexpr std::size_t kPrefetchAhead = 8;
+
 /// Sum-reduce `f(i)` over [0, n).
 template <typename T, typename F>
 T parallel_reduce_sum(std::size_t n, F f) {

@@ -285,7 +285,8 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
     // per-bucket (dist, parent) min-reduce is order-independent, so the
     // output and the relaxation counter are bit-identical across all of
     // it and across thread counts.
-    auto relax_edges = [&](const std::vector<vid>& frontier, auto take) {
+    auto relax_edges = [&](const std::vector<vid>& frontier, std::uint64_t b,
+                           auto take) {
       // One body, two emission routes: the sequential round places
       // straight into the calendar, the parallel round stages per worker.
       auto scan_with = [&](auto push) {
@@ -294,7 +295,11 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
           const weight_t du = dist_of(u);
           std::uint64_t count = 0;
           const eid base = g.begin(u);
-          for (eid e = base + lo; e < base + hi; ++e) {
+          const eid stop = base + hi;
+          for (eid e = base + lo; e < stop; ++e) {
+            if (e + kPrefetchAhead < stop) {
+              prefetch_read(&dist[g.target(e + kPrefetchAhead)]);
+            }
             const weight_t w = g.weight(e);
             if (!take(w)) continue;
             const vid v = g.target(e);
@@ -307,13 +312,54 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
           tally.add(count);
         };
       };
+      // Pull candidate scan. A vertex already at or below the bucket's
+      // real lower bound cannot be improved by this round (every frontier
+      // distance is >= b*udelta and weights are positive, so any proposal
+      // exceeds the floor); everything else scans its own (symmetric,
+      // equal-mirror-weight) adjacency and emits at most its lexicographic
+      // (dist, via) minimum over frontier neighbours — exactly the winner
+      // the push multiset's reduce would have settled, with nd = dist(u)+w
+      // the same double operation, so the result is bit-identical. The
+      // suppressed proposals are strict losers of that very reduce.
+      // Relaxation accounting differs by design: push counts take-passing
+      // edges, pull counts emitted winners — both schedule-deterministic,
+      // but cross-direction comparisons must use distances, not counters.
+      const weight_t floor_dist = static_cast<weight_t>(b * udelta);
+      auto pull_scan = [&](vid v) -> std::size_t {
+        const weight_t dv = dist_of(v);
+        if (dv <= floor_dist) return 0;
+        const eid base = g.begin(v);
+        const eid stop = g.end(v);
+        weight_t bd = dv;
+        vid bu = kNoVertex;
+        for (eid e = base; e < stop; ++e) {
+          if (e + kPrefetchAhead < stop) {
+            ws.relaxer_.prefetch_frontier_bit(g.target(e + kPrefetchAhead));
+          }
+          const weight_t w = g.weight(e);
+          if (!take(w)) continue;
+          const vid u = g.target(e);
+          if (!ws.relaxer_.in_frontier(u)) continue;
+          const weight_t nd = dist_of(u) + w;
+          if (nd < bd || (nd == bd && bu != kNoVertex && u < bu)) {
+            bd = nd;
+            bu = u;
+          }
+        }
+        if (bu != kNoVertex) {
+          engine.push_from_worker(bucket_of(bd), SsspProposal{v, bu, bd});
+          tally.add(1);
+        }
+        return static_cast<std::size_t>(stop - base);
+      };
       ws.relaxer_.relax(
-          team, frontier.size(), seq_threshold,
+          team, frontier, g.num_vertices(), g.num_arcs(), seq_threshold,
           [&](std::size_t i) { return static_cast<std::size_t>(g.degree(frontier[i])); },
-          scan_with([&](std::uint64_t b, SsspProposal p) { engine.push(b, p); }),
-          scan_with([&](std::uint64_t b, SsspProposal p) {
-            engine.push_from_worker(b, p);
-          }));
+          scan_with([&](std::uint64_t bb, SsspProposal p) { engine.push(bb, p); }),
+          scan_with([&](std::uint64_t bb, SsspProposal p) {
+            engine.push_from_worker(bb, p);
+          }),
+          pull_scan);
       const std::uint64_t relaxed = tally.drain();
       r.relaxations += relaxed;
       wd::add_work(relaxed);
@@ -336,7 +382,7 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
         wd::add_round();
         reduce_round(packed, base_bits);
         for (vid v : newly) detail::push_counted(settled, v, ws.scratch_allocs_);
-        relax_edges(newly, [&](weight_t w) { return w <= delta; });
+        relax_edges(newly, b, [&](weight_t w) { return w <= delta; });
       }
       // Heavy relaxations (w > delta) go to strictly later buckets; done
       // once per settled vertex.
@@ -348,7 +394,7 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
           detail::push_counted(final_in_b, v, ws.scratch_allocs_);
         }
       }
-      relax_edges(final_in_b, [&](weight_t w) { return w > delta; });
+      relax_edges(final_in_b, b, [&](weight_t w) { return w > delta; });
     }
   });
   settled.clear();

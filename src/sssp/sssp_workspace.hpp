@@ -18,8 +18,9 @@
 //    last run" is restored lazily at the next run's start, so a run that
 //    reaches few vertices (a distance-capped query sweep) costs O(touched)
 //    workspace maintenance, not O(n);
-//  * a generation-stamp array for the claim steps (BFS's first-writer
-//    claim, delta-stepping's per-round settle dedup): stamps are monotone
+//  * a generation-stamp array for the claim steps (BFS's per-level claim
+//    — membership first-writer-wins, parents by min-via argmin —
+//    delta-stepping's per-round settle dedup): stamps are monotone
 //    across runs, so no run ever re-initializes them;
 //  * the (dist, parent) CRCW min-reduce scratch — three-phase atomics and
 //    the packed 64-bit word — shared with the packed/fallback round
@@ -147,6 +148,19 @@ class SsspWorkspace {
   }
   [[nodiscard]] std::uint64_t vertex_grain_rounds() const {
     return relaxer_.vertex_grain_rounds();
+  }
+
+  /// Direction hooks mirroring force_vertex_grain: pin every
+  /// direction-capable relax round to push / to pull regardless of the
+  /// edge-fraction heuristic (push-vs-pull equivalence tests; bit-identical
+  /// by the FrontierRelaxer contract). Forcing one clears the other.
+  void force_push(bool on) { relaxer_.force_push(on); }
+  void force_pull(bool on) { relaxer_.force_pull(on); }
+  /// Relax rounds run in pull (bitmap) mode, and the edges their candidate
+  /// scans examined (cumulative; diagnostics, tests and benches).
+  [[nodiscard]] std::uint64_t pull_rounds() const { return relaxer_.pull_rounds(); }
+  [[nodiscard]] std::uint64_t pull_edges_scanned() const {
+    return relaxer_.pull_edges_scanned();
   }
 
   /// Distance settled by the last run (kInfWeight if the run did not

@@ -51,6 +51,30 @@ TEST(CalendarIndex, RebaseAfterDrain) {
   EXPECT_EQ(idx.min_in_window(), 103u);
 }
 
+TEST(CalendarIndex, MinInWindowHintSkipsKnownEmptyPrefix) {
+  // The rotating next-nonempty hint must stay EXACT through every
+  // mutation: pushes below it lower it, take() shifts it with the base,
+  // rebase() resets it to "all empty". Wrong in either direction it
+  // would either rescan O(span) or skip a nonempty slot.
+  detail::CalendarIndex idx(64);
+  idx.note_push(50);
+  EXPECT_EQ(idx.min_in_window(), 50u);  // caches hint at offset 50
+  idx.note_push(7);                     // push BELOW the cached hint
+  EXPECT_EQ(idx.min_in_window(), 7u);   // hint must have been invalidated
+  EXPECT_EQ(idx.take(7), 1u);
+  EXPECT_EQ(idx.min_in_window(), 50u);  // hint rebased by take, still exact
+  idx.note_push(52, 2);
+  EXPECT_EQ(idx.take(50), 1u);
+  EXPECT_EQ(idx.min_in_window(), 52u);
+  EXPECT_EQ(idx.take(52), 2u);
+  EXPECT_EQ(idx.min_in_window(), kNoBucket);
+  idx.rebase(1000);
+  idx.note_push(1001);
+  EXPECT_EQ(idx.min_in_window(), 1001u);
+  // Repeated queries with no mutation in between resume from the hint.
+  EXPECT_EQ(idx.min_in_window(), 1001u);
+}
+
 TEST(BucketEngine, PopsBucketsInKeyOrder) {
   BucketEngine<int> eng({.span = 4});
   eng.push(5, 50);

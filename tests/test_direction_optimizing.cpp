@@ -1,0 +1,254 @@
+// Push-vs-pull bit-equality and direction-flip coverage for the
+// direction-optimizing frontier engine (parallel/bucket_engine.hpp).
+//
+// The FrontierRelaxer's contract: a pull (bitmap) round emits, per
+// candidate vertex, exactly the lexicographic minimum of the proposals the
+// push round would have emitted for it — the suppressed proposals are
+// strict losers of the very min-reduce that resolves them — so every
+// driver's OUTPUT (distances, parents, clustering) is bit-identical across
+// forced push, forced pull, the organic hysteresis, team/fork-join
+// scheduling, and 1 vs 4 threads. Work-proxy counters (delta phases and
+// relaxations, est work) are direction-DEPENDENT by design (push pops
+// stale-only buckets pull never creates) and are deliberately not compared
+// across directions; rounds/levels are direction-independent and are.
+//
+// Suites here run under the TSan CI job (no *Warm* name) and the
+// PARSH_FORCE_PULL ctest lane; explicit force_push(true)/force_pull(true)
+// override the env seam, so both directions are exercised regardless.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_stats.hpp"
+#include "cluster/est_cluster.hpp"
+#include "graph/generators.hpp"
+#include "parallel/bucket_engine.hpp"
+#include "parallel/parallel_for.hpp"
+#include "sssp/bfs.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/sssp_workspace.hpp"
+
+namespace parsh {
+namespace {
+
+/// Run `f` with the OpenMP worker count forced to `threads` (no-op in the
+/// sequential build, where both runs are trivially identical).
+template <typename F>
+auto at_threads(int threads, F f) {
+#ifdef PARSH_HAVE_OPENMP
+  const int before = omp_get_max_threads();
+  omp_set_num_threads(threads);
+  auto result = f();
+  omp_set_num_threads(before);
+  return result;
+#else
+  (void)threads;
+  return f();
+#endif
+}
+
+void expect_same_clustering(const Clustering& a, const Clustering& b) {
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+  EXPECT_EQ(a.center, b.center);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.dist_to_center, b.dist_to_center);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+/// Graphs whose dense rounds make pull worthwhile AND whose frontier sizes
+/// straddle the organic switch threshold: a random graph (frontiers grow
+/// through m/20 then shrink back through m/64 — both hysteresis edges
+/// fire), a star and a hub graph (one round covers nearly every vertex,
+/// and pull candidates have huge degree).
+std::vector<std::pair<const char*, Graph>> direction_graphs(std::uint64_t seed) {
+  std::vector<std::pair<const char*, Graph>> out;
+  out.emplace_back("random", ensure_connected(make_random_graph(6000, 36000, seed)));
+  out.emplace_back("star", make_star(4000));
+  out.emplace_back("hubs", make_hubs(8000, 3, seed + 1));
+  return out;
+}
+
+class DirectionOptimizing : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirectionOptimizing, EstClusterPushVsPullAcrossThreadsAndTeams) {
+  for (const auto& [name, g] : direction_graphs(GetParam())) {
+    SCOPED_TRACE(name);
+    EstClusterWorkspace push_ws;
+    push_ws.force_push(true);
+    const Clustering pushed =
+        at_threads(1, [&] { return est_cluster(g, 0.5, GetParam(), push_ws); });
+    EXPECT_EQ(push_ws.pull_rounds(), 0u);
+    EXPECT_TRUE(validate_clustering(g, pushed)) << name;
+    for (int threads : {1, 4}) {
+      for (const bool fork_join : {false, true}) {
+        EstClusterWorkspace ws;
+        ws.force_pull(true);
+        ws.force_fork_join(fork_join);
+        const Clustering pulled = at_threads(
+            threads, [&] { return est_cluster(g, 0.5, GetParam(), ws); });
+        EXPECT_GT(ws.pull_rounds(), 0u) << name << " @" << threads;
+        EXPECT_GT(ws.pull_edges_scanned(), 0u) << name << " @" << threads;
+        expect_same_clustering(pulled, pushed);
+      }
+    }
+  }
+}
+
+TEST_P(DirectionOptimizing, BfsPushVsPullAcrossThreadsAndTeams) {
+  // Parents included: the per-level min-via argmin must survive the
+  // direction flip bit-for-bit (the pull scan's early exit on the sorted
+  // adjacency IS that argmin).
+  for (const auto& [name, g] : direction_graphs(GetParam())) {
+    SCOPED_TRACE(name);
+    SsspWorkspace push_ws;
+    push_ws.force_push(true);
+    const BfsResult pushed =
+        at_threads(1, [&] { return bfs(g, 0, kNoVertex, push_ws); });
+    EXPECT_EQ(push_ws.pull_rounds(), 0u);
+    for (int threads : {1, 4}) {
+      for (const bool fork_join : {false, true}) {
+        SsspWorkspace ws;
+        ws.force_pull(true);
+        ws.force_fork_join(fork_join);
+        const BfsResult pulled =
+            at_threads(threads, [&] { return bfs(g, 0, kNoVertex, ws); });
+        EXPECT_GT(ws.pull_rounds(), 0u) << name << " @" << threads;
+        EXPECT_EQ(pulled.dist, pushed.dist);
+        EXPECT_EQ(pulled.parent, pushed.parent);
+        EXPECT_EQ(pulled.rounds, pushed.rounds);
+      }
+    }
+  }
+}
+
+TEST_P(DirectionOptimizing, MultiBfsPushVsPullOwners) {
+  for (const auto& [name, g] : direction_graphs(GetParam())) {
+    SCOPED_TRACE(name);
+    const std::vector<vid> sources = {0, 1, g.num_vertices() / 2};
+    SsspWorkspace push_ws;
+    push_ws.force_push(true);
+    const MultiBfsResult pushed =
+        at_threads(1, [&] { return multi_bfs(g, sources, kNoVertex, push_ws); });
+    for (int threads : {1, 4}) {
+      SsspWorkspace ws;
+      ws.force_pull(true);
+      const MultiBfsResult pulled =
+          at_threads(threads, [&] { return multi_bfs(g, sources, kNoVertex, ws); });
+      EXPECT_GT(ws.pull_rounds(), 0u) << name << " @" << threads;
+      EXPECT_EQ(pulled.dist, pushed.dist);
+      EXPECT_EQ(pulled.owner, pushed.owner);
+      EXPECT_EQ(pulled.rounds, pushed.rounds);
+    }
+  }
+}
+
+TEST_P(DirectionOptimizing, DeltaSteppingPushVsPullAcrossThreadsAndTeams) {
+  for (const auto& [name, base] : direction_graphs(GetParam())) {
+    SCOPED_TRACE(name);
+    const Graph g = with_uniform_weights(base, 1, 9, GetParam() + 17);
+    for (const weight_t delta : {0.0, 4.0}) {
+      SsspWorkspace push_ws;
+      push_ws.force_push(true);
+      const auto pushed =
+          at_threads(1, [&] { return delta_stepping(g, 0, delta, push_ws); });
+      EXPECT_EQ(push_ws.pull_rounds(), 0u);
+      for (int threads : {1, 4}) {
+        for (const bool fork_join : {false, true}) {
+          SsspWorkspace ws;
+          ws.force_pull(true);
+          ws.force_fork_join(fork_join);
+          const auto pulled =
+              at_threads(threads, [&] { return delta_stepping(g, 0, delta, ws); });
+          EXPECT_GT(ws.pull_rounds(), 0u) << name << " @" << threads;
+          // Distances and the parent tree are the contract; phases and
+          // relaxations are direction-dependent work proxies (push pops
+          // stale-only buckets pull never creates) and are not compared.
+          EXPECT_EQ(pulled.dist, pushed.dist);
+          EXPECT_EQ(pulled.parent, pushed.parent);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(DirectionOptimizing, OrganicHysteresisFlipsAndMatchesForcedRuns) {
+  // Unforced runs on the random graph must trip the enter threshold
+  // organically (36k frontier edges on m/20 = 3.6k-edge bound), run some
+  // rounds in each direction, produce identical output to both forced
+  // runs, and make the SAME direction decisions at every thread count
+  // (the heuristic only reads round totals and m).
+  const Graph g = ensure_connected(make_random_graph(6000, 36000, GetParam()));
+  SsspWorkspace push_ws;
+  push_ws.force_push(true);
+  const BfsResult pushed =
+      at_threads(1, [&] { return bfs(g, 0, kNoVertex, push_ws); });
+  std::vector<std::uint64_t> pull_rounds_by_thread;
+  for (int threads : {1, 4}) {
+    SsspWorkspace ws;
+    ws.force_pull(false);  // clears a PARSH_FORCE_PULL env default too
+    const BfsResult organic =
+        at_threads(threads, [&] { return bfs(g, 0, kNoVertex, ws); });
+    EXPECT_GT(ws.pull_rounds(), 0u) << "@" << threads;
+    EXPECT_LT(ws.pull_rounds(), static_cast<std::uint64_t>(pushed.rounds))
+        << "@" << threads;  // sparse head/tail stayed push
+    EXPECT_EQ(organic.dist, pushed.dist);
+    EXPECT_EQ(organic.parent, pushed.parent);
+    EXPECT_EQ(organic.rounds, pushed.rounds);
+    pull_rounds_by_thread.push_back(ws.pull_rounds());
+  }
+  EXPECT_EQ(pull_rounds_by_thread[0], pull_rounds_by_thread[1]);
+}
+
+/// Minimal TeamLike for driving the relaxer directly (sequential loop).
+struct InlineTeam {
+  template <typename F>
+  void loop(std::size_t lo, std::size_t hi, std::size_t /*grain*/, F f) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+  }
+};
+
+TEST_P(DirectionOptimizing, HysteresisEntersHighExitsLow) {
+  // Drive the relaxer directly with a synthetic round sequence: enter at
+  // >= m/enter_div, stay until < m/exit_div — totals between the two
+  // bounds keep the current direction (no thrashing) — and the n/2
+  // profitability floor (kPullFloorDivisor) gates both conditions: a
+  // round whose total clears the hysteresis band but not the floor still
+  // runs push (the Theta(n) candidate sweep could not pay for itself).
+  FrontierRelaxer relaxer;
+  relaxer.force_pull(false);  // clear a PARSH_FORCE_PULL env default
+  relaxer.set_pull_divisors(10, 100);  // m=1000: enter at 100, exit below 10
+  relaxer.begin_run();
+  InlineTeam team;
+  const std::size_t n = 64;  // profitability floor n/2 = 32
+  const std::uint64_t m = 1000;
+  std::vector<vid> frontier = {1, 2, 3};
+  std::uint64_t degree = 0;
+  auto run_round = [&](std::uint64_t per_vertex_degree) {
+    degree = per_vertex_degree;
+    return relaxer.relax(
+        team, frontier, n, m, /*seq_threshold=*/0,
+        [&](std::size_t) { return static_cast<std::size_t>(degree); },
+        [&](std::size_t, std::size_t, std::size_t) {},
+        [&](std::size_t, std::size_t, std::size_t) {},
+        [&](vid) -> std::size_t { return 0; });
+  };
+  EXPECT_FALSE(run_round(20).pull);   // 60 < 100: below the enter bound
+  EXPECT_TRUE(run_round(40).pull);    // 120 >= 100: enters pull
+  EXPECT_TRUE(run_round(20).pull);    // 60 in [32, 100): hysteresis holds
+  EXPECT_FALSE(run_round(10).pull);   // 30 >= exit 10 but < floor 32: exits
+  EXPECT_TRUE(run_round(40).pull);    // 120 >= 100: re-enters
+  EXPECT_FALSE(run_round(3).pull);    // 9 < 10: exits below the band too
+  EXPECT_FALSE(run_round(20).pull);   // 60 < 100: does not re-enter
+  EXPECT_EQ(relaxer.pull_rounds(), 3u);  // enter + hold + re-enter
+  relaxer.begin_run();                // fresh run resets the state machine
+  EXPECT_FALSE(run_round(20).pull);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectionOptimizing,
+                         ::testing::Values<std::uint64_t>(1, 2, 3));
+
+}  // namespace
+}  // namespace parsh

@@ -321,8 +321,8 @@ TEST_P(TeamRounds, DeltaSteppingAcrossAllSchedulingModes) {
 }
 
 TEST_P(TeamRounds, BfsDistancesAcrossAllSchedulingModes) {
-  // Plain BFS guarantees deterministic distances and level counts;
-  // parents are any valid BFS tree (docs/ARCHITECTURE.md).
+  // BFS distances, level counts AND parents are deterministic: parents
+  // are the per-level min-via argmin (docs/ARCHITECTURE.md).
   const Graph g = straddling();
   SsspWorkspace fj_ws;
   fj_ws.force_fork_join(true);
@@ -335,6 +335,7 @@ TEST_P(TeamRounds, BfsDistancesAcrossAllSchedulingModes) {
         at_threads(threads, [&] { return bfs(g, 0, kNoVertex, ws); });
     assert_on_nested_sequential(false);
     EXPECT_EQ(team.dist, baseline.dist);
+    EXPECT_EQ(team.parent, baseline.parent);
     EXPECT_EQ(team.rounds, baseline.rounds);
     SsspWorkspace par_ws;
     par_ws.force_parallel_rounds(true);
@@ -342,6 +343,7 @@ TEST_P(TeamRounds, BfsDistancesAcrossAllSchedulingModes) {
         at_threads(threads, [&] { return bfs(g, 0, kNoVertex, par_ws); });
     EXPECT_EQ(par_ws.sequential_rounds(), 0u);
     EXPECT_EQ(parallel_rounds.dist, baseline.dist);
+    EXPECT_EQ(parallel_rounds.parent, baseline.parent);
     EXPECT_EQ(parallel_rounds.rounds, baseline.rounds);
   }
 }

@@ -10,6 +10,11 @@
 // for — star / hub-and-spoke graphs and heavy-tailed RMATs — plus the
 // oracle equivalence and the warm high-water reuse of the relaxer's
 // prefix scratch.
+//
+// Workspaces asserting edge_grain_rounds() pin force_push: the skew zoo's
+// dense rounds trip the direction heuristic organically, and a pull round
+// is counted as neither edge- nor vertex-grain. Push-vs-pull equivalence
+// has its own suite (test_direction_optimizing.cpp).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -69,6 +74,7 @@ TEST_P(WorkStealing, EstClusterStolenPathMatchesOracle) {
   for (const auto& [name, g] : skewed_graphs(GetParam())) {
     SCOPED_TRACE(name);
     EstClusterWorkspace ws;
+    ws.force_push(true);
     const Clustering engine = est_cluster(g, 0.5, GetParam(), ws);
     // The skew actually exercised the stolen path.
     EXPECT_GT(ws.edge_grain_rounds(), 0u) << name;
@@ -96,6 +102,7 @@ TEST_P(WorkStealing, EstClusterEdgeGrainVsVertexGrainAcrossThreads) {
     EXPECT_GT(vertex_ws.vertex_grain_rounds(), 0u);
     for (int threads : {1, 4}) {
       EstClusterWorkspace ws;
+      ws.force_push(true);
       const Clustering stolen =
           at_threads(threads, [&] { return est_cluster(g, 0.5, GetParam(), ws); });
       EXPECT_GT(ws.edge_grain_rounds(), 0u) << name << " @" << threads;
@@ -122,6 +129,7 @@ TEST_P(WorkStealing, DeltaSteppingStolenPathAcrossThreads) {
       EXPECT_EQ(vertex_ws.edge_grain_rounds(), 0u);
       for (int threads : {1, 4}) {
         SsspWorkspace ws;
+        ws.force_push(true);
         const auto stolen =
             at_threads(threads, [&] { return delta_stepping(g, 0, delta, ws); });
         EXPECT_GT(ws.edge_grain_rounds(), 0u) << name << " @" << threads;
@@ -135,9 +143,9 @@ TEST_P(WorkStealing, DeltaSteppingStolenPathAcrossThreads) {
 }
 
 TEST_P(WorkStealing, BfsDistancesStolenPathAcrossThreads) {
-  // Plain BFS guarantees deterministic DISTANCES (parents are any valid
-  // BFS tree — first claim wins; see docs/ARCHITECTURE.md), so distances
-  // are what must survive the stolen path.
+  // BFS distances AND parents are deterministic: parents are the
+  // per-level min-via argmin (same contract as delta-stepping), so the
+  // whole tree must survive the stolen path and any thread count.
   for (const auto& [name, g] : skewed_graphs(GetParam())) {
     SCOPED_TRACE(name);
     SsspWorkspace vertex_ws;
@@ -146,10 +154,12 @@ TEST_P(WorkStealing, BfsDistancesStolenPathAcrossThreads) {
         at_threads(1, [&] { return bfs(g, 0, kNoVertex, vertex_ws); });
     for (int threads : {1, 4}) {
       SsspWorkspace ws;
+      ws.force_push(true);
       const BfsResult stolen =
           at_threads(threads, [&] { return bfs(g, 0, kNoVertex, ws); });
       EXPECT_GT(ws.edge_grain_rounds(), 0u) << name << " @" << threads;
       EXPECT_EQ(stolen.dist, baseline.dist);
+      EXPECT_EQ(stolen.parent, baseline.parent);
       EXPECT_EQ(stolen.rounds, baseline.rounds);
     }
   }
@@ -172,6 +182,7 @@ TEST(WorkStealingWarm, HubHeavyRmatReusesRelaxScratch) {
   const Graph g = ensure_connected(make_rmat_heavy(60000, 360000, 7));
   at_threads(1, [&] {
     EstClusterWorkspace ws;
+    ws.force_push(true);
     est_cluster(g, 0.4, 7, ws);  // cold: grows engine + relaxer scratch
     EXPECT_GT(ws.edge_grain_rounds(), 0u);
     const std::uint64_t engine_high = ws.engine_alloc_events();
@@ -189,6 +200,7 @@ TEST(WorkStealingWarm, DeltaSteppingHubHeavyRmatReusesWorkspace) {
       ensure_connected(make_rmat_heavy(60000, 360000, 11)), 1, 9, 13);
   at_threads(1, [&] {
     SsspWorkspace ws;
+    ws.force_push(true);
     delta_stepping(g, 0, 4.0, ws);  // cold
     EXPECT_GT(ws.edge_grain_rounds(), 0u);
     const std::uint64_t high = ws.alloc_events();
