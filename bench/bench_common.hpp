@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -80,6 +81,31 @@ inline Graph workload(const std::string& name, vid n, std::uint64_t seed,
   }
   std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
   std::exit(2);
+}
+
+/// Load a graph from disk for the `--graph <file>` flag, dispatching on
+/// extension: ".pcsr" memory-maps the binary CSR (zero-copy, O(1) warm),
+/// ".gr" parses DIMACS shortest-path, anything else parses the text
+/// edge-list format of graph/io.hpp. Setting PARSH_FORCE_COMPRESSED=1
+/// re-encodes a flat adjacency into the delta-varint form after loading,
+/// so any bench taking --graph can be driven down the compressed decode
+/// path without shipping a second file.
+inline Graph load_graph_file(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t len = std::char_traits<char>::length(suffix);
+    return path.size() >= len && path.compare(path.size() - len, len, suffix) == 0;
+  };
+  Graph g;
+  if (ends_with(".pcsr")) {
+    g = load_pcsr_file(path);
+  } else if (ends_with(".gr")) {
+    g = read_dimacs_file(path);
+  } else {
+    g = read_edge_list_file(path);
+  }
+  const char* force = std::getenv("PARSH_FORCE_COMPRESSED");
+  if (force && force[0] == '1' && !g.compressed()) g = g.compress_adjacency();
+  return g;
 }
 
 /// Flat JSON report: one object per recorded row, written as an array to

@@ -440,21 +440,18 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
         return [&, push](std::size_t i, std::size_t lo, std::size_t hi) {
           const vid u = newly[i];
           tally.add(hi - lo);
-          const eid base = g.begin(u);
-          const eid stop = base + hi;
-          for (eid e = base + lo; e < stop; ++e) {
-            if (e + kPrefetchAhead < stop) {
-              prefetch_read(&center[g.target(e + kPrefetchAhead)]);
-            }
-            const vid v = g.target(e);
-            if (center[v].load(std::memory_order_relaxed) != kNoVertex) continue;
-            const weight_t w = g.weight(e);
-            assert(w >= 1 && w == std::floor(w) &&
-                   "est_cluster requires positive integer weights");
-            const double k = key[u] + w;
-            push(static_cast<std::uint64_t>(k) + cal_off,
-                 EstProposal{v, u, k, hops[u] + w});
-          }
+          g.for_arcs(
+              u, lo, hi,
+              [&](vid ahead) { prefetch_read(&center[ahead]); },
+              [&](eid e, vid v) {
+                if (center[v].load(std::memory_order_relaxed) != kNoVertex) return;
+                const weight_t w = g.weight(e);
+                assert(w >= 1 && w == std::floor(w) &&
+                       "est_cluster requires positive integer weights");
+                const double k = key[u] + w;
+                push(static_cast<std::uint64_t>(k) + cal_off,
+                     EstProposal{v, u, k, hops[u] + w});
+              });
         };
       };
       // Pull candidate scan for dense rounds: an open vertex scans its own
@@ -467,31 +464,29 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
       // at or before the winner's bucket and dies in the alive() filter).
       auto pull_expand = [&](vid v) -> std::size_t {
         if (center[v].load(std::memory_order_relaxed) != kNoVertex) return 0;
-        const eid base = g.begin(v);
-        const eid stop = g.end(v);
+        const std::size_t deg = g.degree(v);
         double bk = kInfWeight;
         vid bu = kNoVertex;
         weight_t bw = 0;
-        for (eid e = base; e < stop; ++e) {
-          if (e + kPrefetchAhead < stop) {
-            ws.relaxer_.prefetch_frontier_bit(g.target(e + kPrefetchAhead));
-          }
-          const vid u = g.target(e);
-          if (!ws.relaxer_.in_frontier(u)) continue;
-          const weight_t w = g.weight(e);
-          const double k = key[u] + w;
-          if (k < bk || (k == bk && u < bu)) {
-            bk = k;
-            bu = u;
-            bw = hops[u] + w;
-          }
-        }
-        tally.add(static_cast<std::uint64_t>(stop - base));
+        g.for_arcs(
+            v, 0, deg,
+            [&](vid ahead) { ws.relaxer_.prefetch_frontier_bit(ahead); },
+            [&](eid e, vid u) {
+              if (!ws.relaxer_.in_frontier(u)) return;
+              const weight_t w = g.weight(e);
+              const double k = key[u] + w;
+              if (k < bk || (k == bk && u < bu)) {
+                bk = k;
+                bu = u;
+                bw = hops[u] + w;
+              }
+            });
+        tally.add(deg);
         if (bu != kNoVertex) {
           engine.push_from_worker(static_cast<std::uint64_t>(bk) + cal_off,
                                   EstProposal{v, bu, bk, bw});
         }
-        return static_cast<std::size_t>(stop - base);
+        return deg;
       };
       ws.relaxer_.relax(
           team, newly, g.num_vertices(), g.num_arcs(), seq_threshold,
@@ -503,6 +498,7 @@ Clustering est_cluster(const Graph& g, double beta, std::uint64_t seed,
             engine.push_from_worker(b, std::move(p));
           }),
           pull_expand);
+      if (!g.has_flat_adjacency()) ++ws.compressed_rounds_;
       wd::add_work(tally.drain());
     }
   });

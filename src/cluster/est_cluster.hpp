@@ -166,6 +166,15 @@ class EstClusterWorkspace {
     return relaxer_.pull_edges_scanned();
   }
 
+  /// Expansion rounds whose adjacency was decoded from the delta-varint
+  /// compressed representation (zero on flat graphs; mirrors pull_rounds
+  /// as the observable for the compressed-vs-flat equivalence tests —
+  /// outputs are bit-identical, this counter proves the compressed decode
+  /// actually ran).
+  [[nodiscard]] std::uint64_t compressed_rounds() const {
+    return compressed_rounds_;
+  }
+
   /// Heap-allocation events in the relaxer's prefix-sum scratch (warm
   /// calls on frontiers no larger than already seen add none).
   [[nodiscard]] std::uint64_t relax_alloc_events() const {
@@ -205,6 +214,7 @@ class EstClusterWorkspace {
   std::uint64_t fallback_rounds_ = 0;
   std::uint64_t sequential_rounds_ = 0;
   std::uint64_t team_rounds_ = 0;
+  std::uint64_t compressed_rounds_ = 0;
   bool force_three_phase_ = false;
   bool force_fork_join_ = false;
   bool force_parallel_rounds_ = false;

@@ -22,6 +22,8 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "graph/pcsr.hpp"
+#include "graph/storage.hpp"
 #include "graph/subgraph.hpp"
 #include "graph/validation.hpp"
 #include "hopset/baseline_cohen.hpp"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/connectivity.hpp"
+#include "graph/pcsr.hpp"
 #include "parallel/parallel_for.hpp"
 #include "random/rng.hpp"
 
@@ -247,6 +248,72 @@ Graph make_caterpillar(vid spine, vid legs) {
     for (vid l = 0; l < legs; ++l) edges.push_back({i, next++, 1.0});
   }
   return Graph::from_edges(spine * (legs + 1), std::move(edges));
+}
+
+void stream_rmat_pcsr(const std::string& path, vid n, eid m, std::uint64_t seed,
+                      double a, double b, double c, bool compress) {
+  // Mirrors make_rmat exactly — same counter layout, same quadrant walk —
+  // so the streamed file loads back bit-identical to the in-memory build.
+  int levels = 0;
+  while ((vid{1} << levels) < n) ++levels;
+  const Rng rng(seed);
+  StreamCsrOptions opt;
+  opt.compress = compress;
+  stream_edges_to_pcsr(
+      path, n, m,
+      [=](eid i) -> Edge {
+        std::uint64_t ctr = i * (levels + 2) * 4;
+        vid u = 0, v = 0;
+        for (int l = 0; l < levels; ++l) {
+          double r = rng.uniform(ctr++);
+          u <<= 1;
+          v <<= 1;
+          if (r < a) {
+            // top-left quadrant: no bits set
+          } else if (r < a + b) {
+            v |= 1;
+          } else if (r < a + b + c) {
+            u |= 1;
+          } else {
+            u |= 1;
+            v |= 1;
+          }
+        }
+        u %= n;
+        v %= n;
+        if (u == v) v = (v + 1) % n;
+        return {u, v, 1.0};
+      },
+      opt);
+}
+
+void stream_rmat_heavy_pcsr(const std::string& path, vid n, eid m,
+                            std::uint64_t seed, bool compress) {
+  stream_rmat_pcsr(path, n, m, seed, 0.72, 0.12, 0.12, compress);
+}
+
+void stream_grid_pcsr(const std::string& path, vid rows, vid cols,
+                      bool compress) {
+  // Horizontal edges first (rows * (cols-1)), then vertical; the builder
+  // canonicalizes order, so this matches make_grid's output exactly.
+  const eid horiz = cols > 0 ? static_cast<eid>(rows) * (cols - 1) : 0;
+  const eid vert = rows > 0 ? static_cast<eid>(rows - 1) * cols : 0;
+  StreamCsrOptions opt;
+  opt.compress = compress;
+  stream_edges_to_pcsr(
+      path, rows * cols, horiz + vert,
+      [=](eid i) -> Edge {
+        if (i < horiz) {
+          const vid r = static_cast<vid>(i / (cols - 1));
+          const vid c = static_cast<vid>(i % (cols - 1));
+          return {r * cols + c, r * cols + c + 1, 1.0};
+        }
+        const eid j = i - horiz;
+        const vid r = static_cast<vid>(j / cols);
+        const vid c = static_cast<vid>(j % cols);
+        return {r * cols + c, (r + 1) * cols + c, 1.0};
+      },
+      opt);
 }
 
 namespace {

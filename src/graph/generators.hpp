@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "graph/graph.hpp"
 
@@ -79,6 +80,28 @@ Graph make_barbell(vid k, vid bridge);
 
 /// Caterpillar: a spine path of `spine` vertices, each with `legs` leaves.
 Graph make_caterpillar(vid spine, vid legs);
+
+// --- Streamed-to-disk variants -------------------------------------------
+//
+// These emit a .pcsr file directly (graph/pcsr.hpp) without materializing
+// an edge list: edges are regenerated from the counter-based Rng stream in
+// each build pass and the arc arrays live in an mmap'ed scratch file, so a
+// 50M+ edge RMAT builds with O(n) heap. The result is bit-identical to
+// writing the corresponding in-memory generator output (same dedup and
+// min-weight-merge semantics), which the tests pin.
+
+/// Stream make_rmat(n, m, seed, a, b, c) to `path` as .pcsr.
+void stream_rmat_pcsr(const std::string& path, vid n, eid m, std::uint64_t seed,
+                      double a = 0.57, double b = 0.19, double c = 0.19,
+                      bool compress = false);
+
+/// Stream make_rmat_heavy(n, m, seed) to `path` as .pcsr.
+void stream_rmat_heavy_pcsr(const std::string& path, vid n, eid m,
+                            std::uint64_t seed, bool compress = false);
+
+/// Stream make_grid(rows, cols) to `path` as .pcsr.
+void stream_grid_pcsr(const std::string& path, vid rows, vid cols,
+                      bool compress = false);
 
 // --- Weight models -------------------------------------------------------
 

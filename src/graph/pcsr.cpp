@@ -1,0 +1,425 @@
+#include "graph/pcsr.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/primitives.hpp"
+
+namespace parsh {
+
+namespace {
+
+constexpr char kMagic[8] = {'p', 'a', 'r', 's', 'h', 'C', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFlagWeighted = 1u << 0;
+constexpr std::uint32_t kFlagCompressed = 1u << 1;
+constexpr std::uint32_t kKnownFlags = kFlagWeighted | kFlagCompressed;
+constexpr std::size_t kPage = 4096;          // header size and section alignment
+constexpr std::size_t kSectionCount = 6;     // offsets targets weights cs cb stream
+constexpr std::size_t kTableOff = 40;
+constexpr std::size_t kHeaderChecksumOff = kTableOff + kSectionCount * 24;  // 184
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t h = kFnvBasis) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint32_t rd_u32(const std::uint8_t* d, std::size_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, d + off, sizeof v);
+  return v;
+}
+
+std::uint64_t rd_u64(const std::uint8_t* d, std::size_t off) {
+  std::uint64_t v;
+  std::memcpy(&v, d + off, sizeof v);
+  return v;
+}
+
+void wr_u32(std::uint8_t* d, std::size_t off, std::uint32_t v) {
+  std::memcpy(d + off, &v, sizeof v);
+}
+
+void wr_u64(std::uint8_t* d, std::size_t off, std::uint64_t v) {
+  std::memcpy(d + off, &v, sizeof v);
+}
+
+struct Section {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = kFnvBasis;
+};
+
+struct ParsedHeader {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;
+  Section sec[kSectionCount];
+};
+
+enum SectionId {
+  kSecOffsets = 0,
+  kSecTargets = 1,
+  kSecWeights = 2,
+  kSecChunkStart = 3,
+  kSecChunkBytes = 4,
+  kSecStream = 5,
+};
+
+/// All the always-on O(1) validation: header checksum, flags, section
+/// geometry, and the handful of boundary words that tie the sections
+/// together. Nothing here reads a whole section.
+ParsedHeader parse_and_check(const std::uint8_t* d, std::uint64_t fsize) {
+  if (fsize < kPage) throw PcsrError("file too small for header page", fsize);
+  if (std::memcmp(d, kMagic, sizeof kMagic) != 0)
+    throw PcsrError("bad magic (not a .pcsr file)", 0);
+
+  ParsedHeader h;
+  h.version = rd_u32(d, 8);
+  if (h.version != kVersion)
+    throw PcsrError("unsupported version " + std::to_string(h.version), 8);
+  h.flags = rd_u32(d, 12);
+  if ((h.flags & ~kKnownFlags) != 0)
+    throw PcsrError("unknown flag bits", 12);
+  h.n = rd_u64(d, 16);
+  h.arcs = rd_u64(d, 24);
+  if (rd_u64(d, 32) != kSectionCount)
+    throw PcsrError("bad section count", 32);
+  if (fnv1a(d, kHeaderChecksumOff) != rd_u64(d, kHeaderChecksumOff))
+    throw PcsrError("header checksum mismatch", kHeaderChecksumOff);
+
+  if (h.n >= kNoVertex)
+    throw PcsrError("vertex count out of range", 16);
+  if (h.arcs > (std::uint64_t{1} << 61))
+    throw PcsrError("arc count out of range", 24);
+
+  for (std::size_t s = 0; s < kSectionCount; ++s) {
+    h.sec[s].offset = rd_u64(d, kTableOff + s * 24);
+    h.sec[s].bytes = rd_u64(d, kTableOff + s * 24 + 8);
+    h.sec[s].checksum = rd_u64(d, kTableOff + s * 24 + 16);
+  }
+
+  // Geometry: present sections are page-aligned, in table order, inside
+  // the file, and non-overlapping; absent sections are all-zero.
+  std::uint64_t prev_end = kPage;
+  for (std::size_t s = 0; s < kSectionCount; ++s) {
+    const Section& sec = h.sec[s];
+    if (sec.bytes == 0) {
+      if (sec.offset != 0)
+        throw PcsrError("empty section with nonzero offset", kTableOff + s * 24);
+      continue;
+    }
+    if (sec.offset % kPage != 0)
+      throw PcsrError("section offset not page-aligned", sec.offset);
+    if (sec.offset < prev_end)
+      throw PcsrError("sections overlap or are out of order", sec.offset);
+    if (sec.bytes > fsize || sec.offset > fsize - sec.bytes)
+      throw PcsrError("section extends past end of file", sec.offset);
+    prev_end = sec.offset + sec.bytes;
+  }
+
+  // Expected sizes follow from (n, arcs, flags).
+  const bool weighted = (h.flags & kFlagWeighted) != 0;
+  const bool compressed = (h.flags & kFlagCompressed) != 0;
+  if (h.sec[kSecOffsets].bytes != (h.n + 1) * sizeof(eid))
+    throw PcsrError("offsets section size does not match vertex count",
+                    kTableOff + kSecOffsets * 24);
+  if (h.sec[kSecWeights].bytes != (weighted ? h.arcs * sizeof(weight_t) : 0))
+    throw PcsrError("weights section size does not match header",
+                    kTableOff + kSecWeights * 24);
+  if (!compressed) {
+    if (h.sec[kSecTargets].bytes != h.arcs * sizeof(vid))
+      throw PcsrError("targets section size does not match arc count",
+                      kTableOff + kSecTargets * 24);
+    for (std::size_t s = kSecChunkStart; s <= kSecStream; ++s) {
+      if (h.sec[s].bytes != 0)
+        throw PcsrError("compressed sections present without flag",
+                        kTableOff + s * 24);
+    }
+  } else {
+    if (h.sec[kSecTargets].bytes != 0)
+      throw PcsrError("flat targets present in compressed file",
+                      kTableOff + kSecTargets * 24);
+    if (h.sec[kSecChunkStart].bytes != (h.n + 1) * sizeof(eid))
+      throw PcsrError("chunk_start section size does not match vertex count",
+                      kTableOff + kSecChunkStart * 24);
+    if (h.sec[kSecChunkBytes].bytes < sizeof(std::uint64_t) ||
+        h.sec[kSecChunkBytes].bytes % sizeof(std::uint64_t) != 0)
+      throw PcsrError("chunk_bytes section malformed",
+                      kTableOff + kSecChunkBytes * 24);
+  }
+
+  // Boundary words: offsets[0] == 0, offsets[n] == arcs; the chunk index
+  // endpoints must agree with the stream length.
+  const std::uint64_t off0 = rd_u64(d, h.sec[kSecOffsets].offset);
+  const std::uint64_t offn =
+      rd_u64(d, h.sec[kSecOffsets].offset + h.n * sizeof(eid));
+  if (off0 != 0)
+    throw PcsrError("offsets[0] != 0", h.sec[kSecOffsets].offset);
+  if (offn != h.arcs)
+    throw PcsrError("offsets[n] disagrees with header arc count",
+                    h.sec[kSecOffsets].offset + h.n * sizeof(eid));
+  if (compressed) {
+    const std::uint64_t chunks =
+        h.sec[kSecChunkBytes].bytes / sizeof(std::uint64_t) - 1;
+    const std::uint64_t cs0 = rd_u64(d, h.sec[kSecChunkStart].offset);
+    const std::uint64_t csn =
+        rd_u64(d, h.sec[kSecChunkStart].offset + h.n * sizeof(eid));
+    if (cs0 != 0)
+      throw PcsrError("chunk_start[0] != 0", h.sec[kSecChunkStart].offset);
+    if (csn != chunks)
+      throw PcsrError("chunk_start[n] disagrees with chunk_bytes size",
+                      h.sec[kSecChunkStart].offset + h.n * sizeof(eid));
+    const std::uint64_t cb0 = rd_u64(d, h.sec[kSecChunkBytes].offset);
+    const std::uint64_t cbn =
+        rd_u64(d, h.sec[kSecChunkBytes].offset + chunks * sizeof(std::uint64_t));
+    if (cb0 != 0)
+      throw PcsrError("chunk_bytes[0] != 0", h.sec[kSecChunkBytes].offset);
+    if (cbn != h.sec[kSecStream].bytes)
+      throw PcsrError("chunk_bytes end disagrees with stream size",
+                      h.sec[kSecChunkBytes].offset + chunks * sizeof(std::uint64_t));
+  }
+  return h;
+}
+
+}  // namespace
+
+void write_pcsr_file(const std::string& path, const Graph& g,
+                     const PcsrWriteOptions& opt) {
+  // Convert once up front if a compressed file was asked for; everything
+  // below just streams whatever representation `src` holds.
+  Graph converted;
+  const Graph* src = &g;
+  if (opt.compress && !g.compressed()) {
+    converted = g.compress_adjacency();
+    src = &converted;
+  }
+  const GraphStorage& st = src->storage();
+  const bool weighted = src->weighted();
+  const bool compressed = src->compressed();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw PcsrError("cannot open '" + path + "' for writing", 0);
+
+  const std::vector<char> zeros(kPage, 0);
+  out.write(zeros.data(), kPage);  // header placeholder
+
+  Section sec[kSectionCount];
+  std::uint64_t pos = kPage;
+  auto emit = [&](std::size_t id, const void* data, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    const std::uint64_t aligned = (pos + kPage - 1) / kPage * kPage;
+    if (aligned > pos) out.write(zeros.data(), aligned - pos);
+    sec[id].offset = aligned;
+    sec[id].bytes = bytes;
+    sec[id].checksum = fnv1a(data, bytes);
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    pos = aligned + bytes;
+  };
+
+  emit(kSecOffsets, st.offsets.data(), st.offsets.size() * sizeof(eid));
+  emit(kSecTargets, st.targets.data(), st.targets.size() * sizeof(vid));
+  emit(kSecWeights, st.weights.data(), st.weights.size() * sizeof(weight_t));
+  emit(kSecChunkStart, st.chunk_start.data(), st.chunk_start.size() * sizeof(eid));
+  emit(kSecChunkBytes, st.chunk_bytes.data(),
+       st.chunk_bytes.size() * sizeof(std::uint64_t));
+  emit(kSecStream, st.stream.data(), st.stream.size());
+
+  std::uint8_t header[kPage] = {};
+  std::memcpy(header, kMagic, sizeof kMagic);
+  wr_u32(header, 8, kVersion);
+  wr_u32(header, 12, (weighted ? kFlagWeighted : 0u) |
+                         (compressed ? kFlagCompressed : 0u));
+  wr_u64(header, 16, src->num_vertices());
+  wr_u64(header, 24, src->num_arcs());
+  wr_u64(header, 32, kSectionCount);
+  for (std::size_t s = 0; s < kSectionCount; ++s) {
+    wr_u64(header, kTableOff + s * 24, sec[s].offset);
+    wr_u64(header, kTableOff + s * 24 + 8, sec[s].bytes);
+    wr_u64(header, kTableOff + s * 24 + 16, sec[s].checksum);
+  }
+  wr_u64(header, kHeaderChecksumOff, fnv1a(header, kHeaderChecksumOff));
+
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(header), kPage);
+  out.flush();
+  if (!out) throw PcsrError("write to '" + path + "' failed", pos);
+}
+
+Graph load_pcsr_file(const std::string& path, const PcsrLoadOptions& opt) {
+  std::shared_ptr<MappedFile> file = MappedFile::open_readonly(path);
+  const std::uint8_t* d = file->data();
+  const ParsedHeader h = parse_and_check(d, file->size());
+
+  if (opt.verify_checksums) {
+    for (std::size_t s = 0; s < kSectionCount; ++s) {
+      if (h.sec[s].bytes == 0) continue;
+      if (fnv1a(d + h.sec[s].offset, h.sec[s].bytes) != h.sec[s].checksum)
+        throw PcsrError("section checksum mismatch", h.sec[s].offset);
+    }
+  }
+
+  auto take = [&](std::size_t id, auto* tag) {
+    using T = std::remove_pointer_t<decltype(tag)>;
+    if (h.sec[id].bytes == 0) return ArrayHandle<T>{};
+    return ArrayHandle<T>::view(
+        file, reinterpret_cast<const T*>(d + h.sec[id].offset),
+        h.sec[id].bytes / sizeof(T));
+  };
+
+  GraphStorage st;
+  st.offsets = take(kSecOffsets, static_cast<eid*>(nullptr));
+  st.targets = take(kSecTargets, static_cast<vid*>(nullptr));
+  st.weights = take(kSecWeights, static_cast<weight_t*>(nullptr));
+  st.chunk_start = take(kSecChunkStart, static_cast<eid*>(nullptr));
+  st.chunk_bytes = take(kSecChunkBytes, static_cast<std::uint64_t*>(nullptr));
+  st.stream = take(kSecStream, static_cast<std::uint8_t*>(nullptr));
+  return Graph::from_storage(static_cast<vid>(h.n), std::move(st));
+}
+
+PcsrInfo read_pcsr_info(const std::string& path) {
+  std::shared_ptr<MappedFile> file = MappedFile::open_readonly(path);
+  const ParsedHeader h = parse_and_check(file->data(), file->size());
+  PcsrInfo info;
+  info.version = h.version;
+  info.weighted = (h.flags & kFlagWeighted) != 0;
+  info.compressed = (h.flags & kFlagCompressed) != 0;
+  info.num_vertices = h.n;
+  info.num_arcs = h.arcs;
+  info.file_bytes = file->size();
+  info.adjacency_bytes =
+      info.compressed ? h.sec[kSecChunkBytes].bytes + h.sec[kSecStream].bytes
+                      : h.sec[kSecTargets].bytes;
+  return info;
+}
+
+void stream_edges_to_pcsr(const std::string& path, vid n, eid num_edges,
+                          const std::function<Edge(eid)>& edge_of,
+                          const StreamCsrOptions& opt) {
+  // Pass A: per-vertex arc counts (each undirected edge lands twice) and
+  // the weighted bit — same detection order as Graph::from_edges: weights
+  // are inspected before self loops are dropped.
+  std::unique_ptr<std::atomic<eid>[]> cursor(new std::atomic<eid>[n]);
+  parallel_for(0, n, [&](std::size_t v) {
+    cursor[v].store(0, std::memory_order_relaxed);
+  });
+  std::atomic<bool> any_weighted{false};
+  parallel_for(0, num_edges, [&](std::size_t i) {
+    const Edge e = edge_of(static_cast<eid>(i));
+    if (e.w != weight_t{1}) any_weighted.store(true, std::memory_order_relaxed);
+    if (e.u == e.v) return;
+    cursor[e.u].fetch_add(1, std::memory_order_relaxed);
+    cursor[e.v].fetch_add(1, std::memory_order_relaxed);
+  });
+  const bool weighted = any_weighted.load();
+
+  std::vector<eid> offsets(static_cast<std::size_t>(n) + 1, 0);
+  parallel_for(0, n, [&](std::size_t v) {
+    offsets[v] = cursor[v].load(std::memory_order_relaxed);
+  });
+  const eid arcs_max = exclusive_scan_inplace(offsets);
+
+  // The arc arrays live in an mmap'ed scratch file, not on the heap —
+  // that is the whole point of the streamed builder.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::string tmp = opt.tmp_dir.empty()
+                              ? path + ".scratch"
+                              : opt.tmp_dir + "/" + base + ".scratch";
+  const std::uint64_t tgt_bytes = arcs_max * sizeof(vid);
+  const std::uint64_t wgt_off = (tgt_bytes + 7) / 8 * 8;
+  const std::uint64_t total_bytes =
+      weighted ? wgt_off + arcs_max * sizeof(weight_t) : tgt_bytes;
+  {
+    std::shared_ptr<MappedFile> scratch =
+        MappedFile::create_readwrite(tmp, total_bytes);
+    vid* tgt = reinterpret_cast<vid*>(scratch->mutable_data());
+    weight_t* wgt =
+        weighted ? reinterpret_cast<weight_t*>(scratch->mutable_data() + wgt_off)
+                 : nullptr;
+
+    // Pass B: regenerate every edge and scatter both arc directions to
+    // slots claimed off per-vertex atomic cursors. Slot order is
+    // schedule-dependent; pass C canonicalizes it.
+    parallel_for(0, n, [&](std::size_t v) {
+      cursor[v].store(0, std::memory_order_relaxed);
+    });
+    parallel_for(0, num_edges, [&](std::size_t i) {
+      const Edge e = edge_of(static_cast<eid>(i));
+      if (e.u == e.v) return;
+      const eid s1 =
+          offsets[e.u] + cursor[e.u].fetch_add(1, std::memory_order_relaxed);
+      tgt[s1] = e.v;
+      if (wgt) wgt[s1] = e.w;
+      const eid s2 =
+          offsets[e.v] + cursor[e.v].fetch_add(1, std::memory_order_relaxed);
+      tgt[s2] = e.u;
+      if (wgt) wgt[s2] = e.w;
+    });
+
+    // Pass C: per-vertex sort by (target, weight) and dedup keeping the
+    // first — exactly build_csr's min-weight merge — giving a result
+    // independent of the scatter order above.
+    std::vector<eid> final_deg(static_cast<std::size_t>(n) + 1, 0);
+    parallel_for(0, n, [&](std::size_t v) {
+      const eid lo = offsets[v], hi = offsets[v + 1];
+      const std::size_t deg = hi - lo;
+      if (deg == 0) return;
+      eid k = 0;
+      if (!weighted) {
+        std::sort(tgt + lo, tgt + hi);
+        k = static_cast<eid>(std::unique(tgt + lo, tgt + hi) - (tgt + lo));
+      } else {
+        std::vector<std::pair<vid, weight_t>> adj(deg);
+        for (std::size_t j = 0; j < deg; ++j) adj[j] = {tgt[lo + j], wgt[lo + j]};
+        std::sort(adj.begin(), adj.end());
+        for (std::size_t j = 0; j < deg; ++j) {
+          if (k > 0 && adj[j].first == tgt[lo + k - 1]) continue;
+          tgt[lo + k] = adj[j].first;
+          wgt[lo + k] = adj[j].second;
+          ++k;
+        }
+      }
+      final_deg[v] = k;
+    });
+
+    std::vector<eid> final_off = final_deg;
+    const eid arcs = exclusive_scan_inplace(final_off);
+
+    // Pass D: left-compact in place. final_off[v] <= offsets[v] for every
+    // v, so walking vertices in increasing order never overwrites arcs
+    // that are still pending — but it must stay sequential.
+    for (vid v = 0; v < n; ++v) {
+      const eid src = offsets[v], dst = final_off[v], k = final_deg[v];
+      if (k == 0 || src == dst) continue;
+      std::memmove(tgt + dst, tgt + src, k * sizeof(vid));
+      if (wgt) std::memmove(wgt + dst, wgt + src, k * sizeof(weight_t));
+    }
+
+    GraphStorage st;
+    st.offsets = ArrayHandle<eid>::adopt(std::move(final_off));
+    st.targets = ArrayHandle<vid>::view(scratch, tgt, arcs);
+    if (weighted) st.weights = ArrayHandle<weight_t>::view(scratch, wgt, arcs);
+    const Graph g = Graph::from_storage(n, std::move(st));
+    write_pcsr_file(path, g, {opt.compress});
+  }  // unmap the scratch before removing it
+  std::remove(tmp.c_str());
+}
+
+}  // namespace parsh

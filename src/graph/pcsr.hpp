@@ -1,0 +1,105 @@
+// .pcsr: the on-disk binary CSR format.
+//
+// Layout (all integers little-endian, file offsets from byte 0):
+//
+//   [0, 4096)  header page
+//     0:   8-byte magic "parshCSR"
+//     8:   u32 version (currently 1)
+//     12:  u32 flags — bit 0: weighted, bit 1: compressed adjacency
+//     16:  u64 n (vertex count)
+//     24:  u64 num_arcs (directed arcs, 2x undirected edges)
+//     32:  u64 section count (always 6)
+//     40:  6 x {u64 offset, u64 bytes, u64 fnv1a} section table, in order:
+//            offsets, targets, weights, chunk_start, chunk_bytes, stream
+//     184: u64 FNV-1a checksum of header bytes [0, 184)
+//   then each present section, page-aligned (4096), in table order.
+//
+// Absent sections (weights of an unweighted graph; targets of a compressed
+// graph; the chunk sections of a flat graph) have offset = bytes = 0.
+//
+// load_pcsr_file mmaps the file and builds a Graph of ArrayHandle views
+// into the mapping — zero-copy, O(1) warm-up: only the header page and a
+// handful of boundary words are touched, the arrays fault in lazily as
+// algorithms walk them. The header checksum and all structural O(1)
+// invariants are always verified; full per-section checksums are opt-in
+// (PcsrLoadOptions::verify_checksums) since they read the whole file.
+// Every failure throws PcsrError with the offending byte offset — the
+// binary sibling of the text readers' IoError.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// Error in a .pcsr file: what() describes the problem, offset() is the
+/// byte position it was detected at (0 when not tied to one position).
+class PcsrError : public std::runtime_error {
+ public:
+  PcsrError(const std::string& message, std::uint64_t offset)
+      : std::runtime_error("pcsr offset " + std::to_string(offset) + ": " +
+                           message),
+        offset_(offset) {}
+
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::uint64_t offset_;
+};
+
+struct PcsrWriteOptions {
+  /// Write the adjacency delta-varint compressed (converting if needed).
+  bool compress = false;
+};
+
+struct PcsrLoadOptions {
+  /// Also verify the per-section FNV-1a checksums (reads the whole file).
+  bool verify_checksums = false;
+};
+
+/// Header summary, as read by tools/graph_convert and the tests.
+struct PcsrInfo {
+  std::uint32_t version = 0;
+  bool weighted = false;
+  bool compressed = false;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t adjacency_bytes = 0;  // targets or chunk index + stream
+};
+
+/// Stream `g` to `path`. Works from any backing (heap, mmap, compressed);
+/// with opt.compress the flat adjacency is converted on the way out.
+void write_pcsr_file(const std::string& path, const Graph& g,
+                     const PcsrWriteOptions& opt = {});
+
+/// mmap `path` and wrap it as a Graph without copying any array.
+Graph load_pcsr_file(const std::string& path, const PcsrLoadOptions& opt = {});
+
+/// Read and validate just the header (O(1)).
+PcsrInfo read_pcsr_info(const std::string& path);
+
+struct StreamCsrOptions {
+  bool compress = false;
+  /// Directory for the scratch scatter file; default: next to `path`.
+  std::string tmp_dir;
+};
+
+/// Build a .pcsr at `path` from an edge generator without materializing
+/// the edge list: edge_of(i) must be a pure function of i (the counter-
+/// based Rng convention), and is called a few times per edge across the
+/// count/scatter passes. Self loops are dropped, both arc directions are
+/// emitted, parallel edges are merged keeping the minimum weight — the
+/// exact from_edges semantics, so streaming a generator to disk and
+/// loading it back is bit-identical to building the same edges in memory.
+/// Peak heap is O(n); the arc arrays live in an mmap'ed scratch file that
+/// is removed on success.
+void stream_edges_to_pcsr(const std::string& path, vid n, eid num_edges,
+                          const std::function<Edge(eid)>& edge_of,
+                          const StreamCsrOptions& opt = {});
+
+}  // namespace parsh

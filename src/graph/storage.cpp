@@ -1,0 +1,85 @@
+#include "graph/storage.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace parsh {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::shared_ptr<MappedFile> MappedFile::open_readonly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("cannot open", path);
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      fail("cannot mmap", path);
+    }
+  }
+  ::close(fd);  // the mapping keeps its own reference
+
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->addr_ = addr;
+  file->size_ = size;
+  file->writable_ = false;
+  file->path_ = path;
+  return file;
+}
+
+std::shared_ptr<MappedFile> MappedFile::create_readwrite(
+    const std::string& path, std::size_t bytes) {
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("cannot create", path);
+
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    fail("cannot size", path);
+  }
+
+  void* addr = nullptr;
+  if (bytes > 0) {
+    addr = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      fail("cannot mmap", path);
+    }
+  }
+  ::close(fd);
+
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->addr_ = addr;
+  file->size_ = bytes;
+  file->writable_ = true;
+  file->path_ = path;
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr && size_ > 0) ::munmap(addr_, size_);
+}
+
+}  // namespace parsh

@@ -1,0 +1,179 @@
+// Graph storage backends: shared immutable array handles over either heap
+// vectors or mmap'ed file regions.
+//
+// A Graph owns its CSR arrays through ArrayHandle<T>: a raw (pointer, size)
+// view plus a shared_ptr keeping the backing storage alive. Heap-backed
+// handles adopt a std::vector; file-backed handles share one MappedFile
+// across every section cut from it. Copying a handle (and therefore a
+// Graph) shares the backing — O(1), no deep copy — which is what makes
+// Graph::as_unweighted / map_weights cheap and lets one mmap'ed .pcsr file
+// serve any number of Graph values without duplicating gigabytes.
+//
+// The compressed adjacency sections (delta-varint gap streams, decoded in
+// FrontierRelaxer's stolen ranges; see graph.hpp::for_arcs) also live here
+// as plain handles: storage knows bytes, Graph knows the encoding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parsh {
+
+/// Read-only (or scratch read-write) memory-mapped file, RAII. One
+/// MappedFile is typically shared by several ArrayHandles, each viewing a
+/// section of it; the mapping unmaps when the last handle drops.
+class MappedFile {
+ public:
+  /// Map `path` read-only. Throws std::runtime_error on open/map failure.
+  /// Empty files map to a null region of size 0.
+  static std::shared_ptr<MappedFile> open_readonly(const std::string& path);
+
+  /// Create (truncating) `path` at `bytes` and map it read-write: the
+  /// scratch backing for the streamed CSR builder. Throws on failure.
+  static std::shared_ptr<MappedFile> create_readwrite(const std::string& path,
+                                                      std::size_t bytes);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return static_cast<const std::uint8_t*>(addr_);
+  }
+  /// Writable base; null for read-only mappings.
+  [[nodiscard]] std::uint8_t* mutable_data() {
+    return writable_ ? static_cast<std::uint8_t*>(addr_) : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  bool writable_ = false;
+  std::string path_;
+};
+
+/// Immutable typed array view + shared ownership of whatever backs it.
+/// Default-constructed handles are empty (data() == nullptr, size() == 0).
+template <typename T>
+class ArrayHandle {
+ public:
+  ArrayHandle() = default;
+
+  /// Take ownership of a vector's buffer (the heap backend).
+  static ArrayHandle adopt(std::vector<T>&& v) {
+    auto keep = std::make_shared<std::vector<T>>(std::move(v));
+    ArrayHandle h;
+    h.data_ = keep->data();
+    h.size_ = keep->size();
+    h.owner_ = std::move(keep);
+    return h;
+  }
+
+  /// View `count` elements at `data` inside `file`, sharing the mapping.
+  /// The caller (the .pcsr loader) has already validated that the range
+  /// lies inside the file and is suitably aligned for T.
+  static ArrayHandle view(std::shared_ptr<const MappedFile> file, const T* data,
+                          std::size_t count) {
+    ArrayHandle h;
+    h.data_ = data;
+    h.size_ = count;
+    h.owner_ = std::move(file);
+    return h;
+  }
+
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+
+  void reset() { *this = ArrayHandle(); }
+
+  /// True iff both handles view the same memory (shared, not equal-valued)
+  /// — the assertion the storage-sharing tests pin O(1) copies with.
+  [[nodiscard]] bool shares(const ArrayHandle& other) const {
+    return data_ == other.data_ && size_ == other.size_;
+  }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::shared_ptr<const void> owner_;
+};
+
+/// The arrays one Graph is backed by. `offsets` is always present (size
+/// n+1); exactly one adjacency representation is:
+///  * flat: `targets` (size offsets[n]), today's O(1)-random-access form;
+///  * compressed: `chunk_start` (n+1 cumulative chunk counts),atomically
+///    with `chunk_bytes` (total_chunks+1 byte offsets) and `stream` (the
+///    delta-varint gap bytes) — decoded chunkwise by Graph::for_arcs.
+/// `weights` is empty for unit-weight graphs and always flat otherwise
+/// (size offsets[n], indexed by arc id in both representations, so
+/// Graph::weight stays O(1) even on compressed adjacency).
+struct GraphStorage {
+  ArrayHandle<eid> offsets;
+  ArrayHandle<vid> targets;
+  ArrayHandle<weight_t> weights;
+  ArrayHandle<eid> chunk_start;
+  ArrayHandle<std::uint64_t> chunk_bytes;
+  ArrayHandle<std::uint8_t> stream;
+};
+
+/// Neighbors per compressed-adjacency chunk. Each chunk opens with its
+/// first target as an absolute varint followed by gap varints, so a stolen
+/// edge range can start decoding at any chunk boundary without replaying
+/// the whole vertex.
+inline constexpr std::size_t kAdjChunk = 64;
+
+/// LEB128-style varint append (7 bits per byte, high bit = continue).
+inline void varint_append(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Encoded size of one varint, in bytes.
+inline std::size_t varint_size(std::uint32_t v) {
+  std::size_t bytes = 1;
+  while (v >= 0x80u) {
+    v >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+/// Bounds-checked varint decode: reads at most 5 bytes from [p, end),
+/// advances p. Returns false (leaving *out unspecified) if the stream ends
+/// mid-value or overflows 32 bits — corrupt input, never UB.
+inline bool varint_decode(const std::uint8_t*& p, const std::uint8_t* end,
+                          std::uint32_t* out) {
+  std::uint32_t v = 0;
+  int shift = 0;
+  while (p < end && shift < 35) {
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint32_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      if (shift == 28 && (byte >> 4) != 0) return false;  // > 32 bits
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace parsh

@@ -101,15 +101,12 @@ vid run_bfs(BfsCtx ctx, vid max_levels, NextStamp next_stamp, Finalize finalize)
         return [&, try_claim, record](std::size_t i, std::size_t lo,
                                       std::size_t hi) {
           const vid u = frontier[i];
-          const eid base = g.begin(u);
-          const eid stop = base + hi;
-          for (eid e = base + lo; e < stop; ++e) {
-            if (e + kPrefetchAhead < stop) {
-              prefetch_read(&stamp[g.target(e + kPrefetchAhead)]);
-            }
-            const vid v = g.target(e);
-            if (try_claim(v, u)) record(v);
-          }
+          g.for_arcs(
+              u, lo, hi,
+              [&](vid ahead) { prefetch_read(&stamp[ahead]); },
+              [&](eid, vid v) {
+                if (try_claim(v, u)) record(v);
+              });
         };
       };
       // Pull candidate scan: an unclaimed vertex takes the FIRST frontier
@@ -120,23 +117,19 @@ vid run_bfs(BfsCtx ctx, vid max_levels, NextStamp next_stamp, Finalize finalize)
       // payoff counter).
       auto pull_scan = [&](vid v) -> std::size_t {
         if (stamp[v].load(std::memory_order_relaxed) >= run_base) return 0;
-        const eid base = g.begin(v);
-        const eid stop = g.end(v);
-        for (eid e = base; e < stop; ++e) {
-          if (e + kPrefetchAhead < stop) {
-            ctx.relaxer.prefetch_frontier_bit(g.target(e + kPrefetchAhead));
-          }
-          const vid u = g.target(e);
-          if (!ctx.relaxer.in_frontier(u)) continue;
-          best_via[v].store(u, std::memory_order_relaxed);
-          stamp[v].store(round_id, std::memory_order_relaxed);
-          ctx.engine.push_from_worker(key + 1, v);
-          detail::push_counted(
-              ctx.newly_local[static_cast<std::size_t>(worker_id())], v,
-              ctx.scratch_allocs);
-          return static_cast<std::size_t>(e + 1 - base);
-        }
-        return static_cast<std::size_t>(stop - base);
+        return g.scan_arcs(
+            v,
+            [&](vid ahead) { ctx.relaxer.prefetch_frontier_bit(ahead); },
+            [&](eid, vid u) {
+              if (!ctx.relaxer.in_frontier(u)) return false;
+              best_via[v].store(u, std::memory_order_relaxed);
+              stamp[v].store(round_id, std::memory_order_relaxed);
+              ctx.engine.push_from_worker(key + 1, v);
+              detail::push_counted(
+                  ctx.newly_local[static_cast<std::size_t>(worker_id())], v,
+                  ctx.scratch_allocs);
+              return true;  // first frontier neighbour is the argmin via
+            });
       };
       ctx.newly.clear();
       const auto plan = ctx.relaxer.relax(
@@ -182,6 +175,7 @@ vid run_bfs(BfsCtx ctx, vid max_levels, NextStamp next_stamp, Finalize finalize)
                   [&](std::size_t i) { finalize(ctx.newly[i], next_level); });
       }
       ++(plan.sequential ? *ctx.hooks.sequential_rounds : *ctx.hooks.team_rounds);
+      if (!g.has_flat_adjacency()) ++*ctx.hooks.compressed_rounds;
       wd::add_work(plan.edges);  // the relaxer's prefix scan summed degrees
     }
   });

@@ -294,21 +294,18 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
           const vid u = frontier[i];
           const weight_t du = dist_of(u);
           std::uint64_t count = 0;
-          const eid base = g.begin(u);
-          const eid stop = base + hi;
-          for (eid e = base + lo; e < stop; ++e) {
-            if (e + kPrefetchAhead < stop) {
-              prefetch_read(&dist[g.target(e + kPrefetchAhead)]);
-            }
-            const weight_t w = g.weight(e);
-            if (!take(w)) continue;
-            const vid v = g.target(e);
-            const weight_t nd = du + w;
-            ++count;
-            if (nd < dist_of(v)) {
-              push(bucket_of(nd), SsspProposal{v, u, nd});
-            }
-          }
+          g.for_arcs(
+              u, lo, hi,
+              [&](vid ahead) { prefetch_read(&dist[ahead]); },
+              [&](eid e, vid v) {
+                const weight_t w = g.weight(e);
+                if (!take(w)) return;
+                const weight_t nd = du + w;
+                ++count;
+                if (nd < dist_of(v)) {
+                  push(bucket_of(nd), SsspProposal{v, u, nd});
+                }
+              });
           tally.add(count);
         };
       };
@@ -328,29 +325,27 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
       auto pull_scan = [&](vid v) -> std::size_t {
         const weight_t dv = dist_of(v);
         if (dv <= floor_dist) return 0;
-        const eid base = g.begin(v);
-        const eid stop = g.end(v);
+        const std::size_t deg = g.degree(v);
         weight_t bd = dv;
         vid bu = kNoVertex;
-        for (eid e = base; e < stop; ++e) {
-          if (e + kPrefetchAhead < stop) {
-            ws.relaxer_.prefetch_frontier_bit(g.target(e + kPrefetchAhead));
-          }
-          const weight_t w = g.weight(e);
-          if (!take(w)) continue;
-          const vid u = g.target(e);
-          if (!ws.relaxer_.in_frontier(u)) continue;
-          const weight_t nd = dist_of(u) + w;
-          if (nd < bd || (nd == bd && bu != kNoVertex && u < bu)) {
-            bd = nd;
-            bu = u;
-          }
-        }
+        g.for_arcs(
+            v, 0, deg,
+            [&](vid ahead) { ws.relaxer_.prefetch_frontier_bit(ahead); },
+            [&](eid e, vid u) {
+              const weight_t w = g.weight(e);
+              if (!take(w)) return;
+              if (!ws.relaxer_.in_frontier(u)) return;
+              const weight_t nd = dist_of(u) + w;
+              if (nd < bd || (nd == bd && bu != kNoVertex && u < bu)) {
+                bd = nd;
+                bu = u;
+              }
+            });
         if (bu != kNoVertex) {
           engine.push_from_worker(bucket_of(bd), SsspProposal{v, bu, bd});
           tally.add(1);
         }
-        return static_cast<std::size_t>(stop - base);
+        return deg;
       };
       ws.relaxer_.relax(
           team, frontier, g.num_vertices(), g.num_arcs(), seq_threshold,
@@ -360,6 +355,7 @@ DeltaSteppingResult delta_stepping(const Graph& g, vid source, weight_t delta,
             engine.push_from_worker(bb, p);
           }),
           pull_scan);
+      if (!g.has_flat_adjacency()) ++ws.compressed_rounds_;
       const std::uint64_t relaxed = tally.drain();
       r.relaxations += relaxed;
       wd::add_work(relaxed);

@@ -67,17 +67,15 @@ void relax_round(const Graph& g, BellmanFordRefs& r, TeamLike& team,
       [&](std::size_t i, std::size_t lo, std::size_t hi) {
         const vid u = r.frontier[i];
         const weight_t du = r.frontier_dist[i];
-        const eid base = g.begin(u);
-        for (eid e = base + lo; e < base + hi; ++e) {
-          const vid v = g.target(e);
+        g.for_arcs(u, lo, hi, [](vid) {}, [&](eid e, vid v) {
           const weight_t nd = du + g.weight(e);
-          if (nd > dist_limit) continue;
+          if (nd > dist_limit) return;
           const weight_t dv = dist_of(v);
-          if (nd >= dv) continue;
+          if (nd >= dv) return;
           r.dist[v].store(nd, std::memory_order_relaxed);
           if (dv == kInfWeight) detail::push_counted(r.touched, v, r.allocs);
           detail::push_counted(r.improved, v, r.allocs);
-        }
+        });
       },
       // Parallel round: CRCW min via a CAS loop. The vertices appended
       // are exactly those whose round-start distance some proposal beat
@@ -87,11 +85,9 @@ void relax_round(const Graph& g, BellmanFordRefs& r, TeamLike& team,
       [&](std::size_t i, std::size_t lo, std::size_t hi) {
         const vid u = r.frontier[i];
         const weight_t du = r.frontier_dist[i];
-        const eid base = g.begin(u);
-        for (eid e = base + lo; e < base + hi; ++e) {
-          const vid v = g.target(e);
+        g.for_arcs(u, lo, hi, [](vid) {}, [&](eid e, vid v) {
           const weight_t nd = du + g.weight(e);
-          if (nd > dist_limit) continue;
+          if (nd > dist_limit) return;
           weight_t cur = r.dist[v].load(std::memory_order_relaxed);
           while (nd < cur) {
             if (r.dist[v].compare_exchange_weak(cur, nd,
@@ -104,9 +100,10 @@ void relax_round(const Graph& g, BellmanFordRefs& r, TeamLike& team,
               break;
             }
           }
-        }
+        });
       });
   ++(plan.sequential ? *hooks.sequential_rounds : *hooks.team_rounds);
+  if (!g.has_flat_adjacency()) ++*hooks.compressed_rounds;
   *relaxations += plan.edges;
   wd::add_work(plan.edges);
   wd::add_round();

@@ -93,6 +93,7 @@ class SsspWorkspace {
     std::size_t seq_threshold = 0;
     std::uint64_t* sequential_rounds = nullptr;
     std::uint64_t* team_rounds = nullptr;
+    std::uint64_t* compressed_rounds = nullptr;
   };
 
   /// Heap-allocation events inside the workspace so far: both engines'
@@ -135,6 +136,15 @@ class SsspWorkspace {
   /// and counts toward neither.
   [[nodiscard]] std::uint64_t sequential_rounds() const { return sequential_rounds_; }
   [[nodiscard]] std::uint64_t team_rounds() const { return team_rounds_; }
+
+  /// Relax rounds whose adjacency was decoded from the delta-varint
+  /// compressed representation (zero on flat graphs). The observable for
+  /// the compressed-vs-flat equivalence tests, mirroring pull_rounds:
+  /// outputs are bit-identical, this counter proves the compressed decode
+  /// actually ran.
+  [[nodiscard]] std::uint64_t compressed_rounds() const {
+    return compressed_rounds_;
+  }
 
   /// Test hook mirroring force_three_phase: schedule every relax round as
   /// whole vertices, disabling the degree-aware stolen edge ranges and
@@ -218,7 +228,7 @@ class SsspWorkspace {
   RoundHooks round_hooks_() {
     return {force_fork_join_,
             force_parallel_rounds_ ? 0 : FrontierRelaxer::kSequentialRoundEdges,
-            &sequential_rounds_, &team_rounds_};
+            &sequential_rounds_, &team_rounds_, &compressed_rounds_};
   }
 
   BucketEngine<vid> frontier_engine_;            // BFS levels, Dial buckets
@@ -252,6 +262,7 @@ class SsspWorkspace {
   std::uint64_t fallback_rounds_ = 0;
   std::uint64_t sequential_rounds_ = 0;
   std::uint64_t team_rounds_ = 0;
+  std::uint64_t compressed_rounds_ = 0;
   bool force_three_phase_ = false;
   bool force_fork_join_ = false;
   bool force_parallel_rounds_ = false;

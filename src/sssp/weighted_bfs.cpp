@@ -72,12 +72,11 @@ std::uint64_t run_dial(const Graph& g, DialRefs r, std::span<const vid> sources,
         wd::add_round();
       }
       touched_work += g.degree(u);
-      for (eid e = g.begin(u); e < g.end(u); ++e) {
-        const vid v = g.target(e);
+      g.for_arcs(u, 0, g.degree(u), [](vid) {}, [&](eid e, vid v) {
         const weight_t w = g.weight(e);
         assert(w >= 1 && w == std::floor(w) && "weighted_bfs requires integer weights");
         const weight_t nd = d + w;
-        if (nd > limit) continue;
+        if (nd > limit) return;
         const weight_t dv = dist_of(v);
         if (nd < dv) {
           if (dv == kInfWeight) detail::push_counted(r.touched, v, r.allocs);
@@ -92,7 +91,7 @@ std::uint64_t run_dial(const Graph& g, DialRefs r, std::span<const vid> sources,
           r.parent[v] = u;
           r.owner[v] = r.owner[u];
         }
-      }
+      });
     }
     wd::add_work(touched_work);
   }
@@ -112,6 +111,7 @@ WeightedBfsResult weighted_bfs(const Graph& g, vid source, weight_t limit,
                 ws.touched_,         ws.frontier_, ws.scratch_allocs_};
   WeightedBfsResult r;
   r.rounds = run_dial(g, refs, std::span<const vid>(&source, 1), limit);
+  if (!g.has_flat_adjacency()) ws.compressed_rounds_ += r.rounds;
   r.dist.assign(n, kInfWeight);
   r.parent.assign(n, kNoVertex);
   for (vid v : ws.touched()) {
@@ -135,6 +135,7 @@ MultiWeightedBfsResult multi_weighted_bfs(const Graph& g, const std::vector<vid>
                 ws.touched_,         ws.frontier_, ws.scratch_allocs_};
   MultiWeightedBfsResult r;
   r.rounds = run_dial(g, refs, sources, limit);
+  if (!g.has_flat_adjacency()) ws.compressed_rounds_ += r.rounds;
   r.dist.assign(n, kInfWeight);
   r.owner.assign(n, kNoVertex);
   for (vid v : ws.touched()) {

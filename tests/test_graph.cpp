@@ -2,10 +2,12 @@
 // symmetrization rules, weight handling, derived copies, and I/O.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace parsh {
 namespace {
@@ -246,6 +248,47 @@ TEST(GraphIo, StrictReaderStillRoundTrips) {
   write_edge_list(ss, g);
   const Graph h = read_edge_list(ss);
   EXPECT_EQ(h.undirected_edges(), g.undirected_edges());
+}
+
+// The CSR build (sort + boundary-detected offsets + first-of-group dedup)
+// is parallel; its output must be a pure function of the edge list, not
+// the worker count or schedule. Stress it with the adversarial cases the
+// dedup rules cover: duplicates in both orientations, self loops, weight
+// ties, and hub-heavy degree skew.
+TEST(Graph, FromEdgesBitIdenticalAcrossThreadCounts) {
+  std::vector<Edge> edges;
+  const vid n = 1000;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 8000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const vid u = static_cast<vid>((x >> 33) % n);
+    const vid v = i % 5 == 0 ? u : static_cast<vid>((x >> 13) % n);  // self loops
+    const auto w = static_cast<weight_t>(1 + (x % 7));
+    edges.push_back(i % 3 == 0 ? Edge{v, u, w} : Edge{u, v, w});  // both orientations
+    if (i % 4 == 0) edges.push_back({u % 8, v, w + 1});  // hubs + duplicates
+  }
+  auto build = [&] { return Graph::from_edges(n, edges); };
+  auto run_at = [&](int threads) {
+#ifdef PARSH_HAVE_OPENMP
+    const int before = omp_get_max_threads();
+    omp_set_num_threads(threads);
+    Graph g = build();
+    omp_set_num_threads(before);
+    return g;
+#else
+    (void)threads;
+    return build();
+#endif
+  };
+  const Graph one = run_at(1);
+  const Graph many = run_at(4);
+  ASSERT_EQ(one.num_arcs(), many.num_arcs());
+  const GraphStorage& a = one.storage();
+  const GraphStorage& b = many.storage();
+  EXPECT_TRUE(std::equal(a.offsets.begin(), a.offsets.end(), b.offsets.begin()));
+  EXPECT_TRUE(std::equal(a.targets.begin(), a.targets.end(), b.targets.begin()));
+  EXPECT_TRUE(std::equal(a.weights.begin(), a.weights.end(), b.weights.begin()));
+  EXPECT_TRUE(one.validate());
 }
 
 }  // namespace
