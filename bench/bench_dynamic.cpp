@@ -1,0 +1,182 @@
+// DYNAMIC — batched edge updates with epoch-swapped incremental
+// re-serving (PR 9).
+//
+// Workload model: a serving loop where query batches and update batches
+// interleave. Each round
+//   1. pins the current snapshot (a batch already in flight),
+//   2. applies one random update batch to the organic engine (incremental
+//      dirty-scale rebuild) AND to a forced-full twin (every scale from
+//      scratch — the baseline the incremental path is measured against),
+//   3. finishes the in-flight query batch on the pinned pre-update
+//      snapshot (counted stale: a newer epoch existed by then), and
+//   4. serves a fresh batch on the new snapshot.
+//
+// Reported per configuration:
+//   * rebuild_ms / full_rebuild_ms — average incremental vs from-scratch
+//     rebuild wall time for the SAME update stream;
+//   * rebuild_speedup_vs_full — their ratio (higher is better; this is
+//     the figure of merit for the dirty-scale tracking);
+//   * dirty_scales / dirty_clusters vs totals — the structural version of
+//     the same story, wall-clock-independent (meaningful even on 1 CPU);
+//   * stale_rate — stale / served batches under this interleaving;
+//   * warm_query_ms — steady-state per-batch query cost on the snapshot.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parsh;
+  using namespace parsh::bench;
+  Cli cli(argc, argv);
+  const vid n = static_cast<vid>(cli.get_int("n", 1200));
+  const int updates = static_cast<int>(cli.get_int("updates", 12));
+  const int batch_edges = static_cast<int>(cli.get_int("batch", 8));
+  const int query_pairs = static_cast<int>(cli.get_int("queries", 8));
+  const std::uint64_t seed = cli.get_seed("seed", 1);
+  const std::string wl = cli.get("workload", "er");
+  // Log-uniform weights over a wide ratio: scales partition the weight
+  // range, so a batch of mostly-heavy changes leaves the low scales clean
+  // and the incremental rebuild has something to skip. (With narrow
+  // uniform weights every scale covers every edge and dirty == total.)
+  const double weight_ratio = cli.get_double("ratio", 10000.0);
+  const Graph g = with_log_uniform_weights(workload(wl, n, seed), weight_ratio,
+                                           seed + 17);
+  print_header("DYNAMIC: batched updates, epoch-swapped incremental re-serving",
+               g, wl.c_str());
+
+  DynamicApproxShortestPaths::Params p;
+  p.epsilon = 0.25;
+  p.hopset.hopset.seed = seed;
+  Timer t0;
+  DynamicApproxShortestPaths organic(g, p);
+  DynamicApproxShortestPaths full(g, p);
+  full.set_force_full_rebuild(true);
+  const double build_s = t0.seconds();
+  std::printf("epoch 0 build: %.2fs x2 engines, %zu scales\n", build_s,
+              organic.snapshot()->engine.num_scales());
+
+  const Rng rng = Rng(seed).split(0xdb);
+  SsspWorkspace ws;
+  double rebuild_ms_sum = 0, full_ms_sum = 0, query_s_sum = 0;
+  std::uint64_t dirty_scales = 0, total_scales = 0;
+  std::uint64_t dirty_clusters = 0, total_clusters = 0;
+  std::uint64_t stale = 0, served = 0, full_rebuild_rounds = 0;
+
+  Table table({"round", "rebuild ms", "full ms", "dirty/total scales",
+               "dirty/total clusters", "stale"});
+  for (int round = 0; round < updates; ++round) {
+    // The update batch: mostly inserts/reweights, some removals of edges
+    // known present (sampled from the current snapshot). Each round's
+    // batch is weight-coherent — drawn from one log-uniform band of the
+    // weight range, modelling an update feed that touches one edge class
+    // at a time (one road tier, one link speed). Heavy-band rounds leave
+    // the light distance scales clean, which is exactly the structure the
+    // dirty-scale tracking exists to exploit.
+    const Rng r = rng.split(round);
+    const int band = static_cast<int>(r.uniform_int(997, 4));
+    const double band_lo = std::pow(weight_ratio, band / 4.0);
+    const double band_hi = std::pow(weight_ratio, (band + 1) / 4.0);
+    GraphDelta d;
+    const auto snap_pinned = organic.snapshot();  // batch in flight
+    std::vector<Edge> present;
+    for (const Edge& e : snap_pinned->graph.undirected_edges()) {
+      if (e.w >= band_lo && e.w <= band_hi) present.push_back(e);
+    }
+    for (int k = 0; k < batch_edges; ++k) {
+      if (r.uniform_int(3 * k, 100) < 70 || present.empty()) {
+        const double x = static_cast<double>(r.uniform_int(3 * k + 3, 1u << 20)) /
+                         static_cast<double>(1u << 20);
+        const weight_t w = std::max<weight_t>(
+            1, std::floor(band_lo * std::pow(band_hi / band_lo, x)));
+        d.insert.push_back({static_cast<vid>(r.uniform_int(3 * k + 1, n)),
+                            static_cast<vid>(r.uniform_int(3 * k + 2, n)), w});
+      } else {
+        d.remove.push_back(present[r.uniform_int(3 * k + 1, present.size())]);
+      }
+    }
+
+    const auto ra = organic.apply(d);
+    const auto rb = full.apply(d);
+    rebuild_ms_sum += ra.rebuild_ms;
+    full_ms_sum += rb.rebuild_ms;
+    dirty_scales += ra.hopset.dirty_scales;
+    total_scales += ra.hopset.total_scales;
+    dirty_clusters += ra.hopset.dirty_clusters;
+    total_clusters += ra.hopset.total_clusters;
+    if (ra.hopset.full_rebuild) ++full_rebuild_rounds;
+
+    // The in-flight batch finishes on its pinned pre-update snapshot…
+    std::vector<ApproxShortestPaths::QueryPair> batch;
+    for (int q = 0; q < query_pairs; ++q) {
+      batch.push_back({static_cast<vid>(r.uniform_int(100 + 2 * q, n)),
+                       static_cast<vid>(r.uniform_int(101 + 2 * q, n))});
+    }
+    Timer tq;
+    (void)snap_pinned->engine.query_batch(batch, ws);
+    if (organic.note_batch_served(snap_pinned->epoch)) ++stale;
+    ++served;
+    // …and the next batch is served fresh from the new epoch.
+    const auto snap_now = organic.snapshot();
+    (void)snap_now->engine.query_batch(batch, ws);
+    query_s_sum += tq.seconds();
+    if (!organic.note_batch_served(snap_now->epoch)) ++served;
+    table.row()
+        .cell(static_cast<std::size_t>(round))
+        .cell(ra.rebuild_ms, 2)
+        .cell(rb.rebuild_ms, 2)
+        .cell(std::to_string(ra.hopset.dirty_scales) + "/" +
+              std::to_string(ra.hopset.total_scales))
+        .cell(std::to_string(ra.hopset.dirty_clusters) + "/" +
+              std::to_string(ra.hopset.total_clusters))
+        .cell(std::to_string(stale));
+  }
+  table.print("update rounds, batch=" + std::to_string(batch_edges));
+
+  const double u = updates > 0 ? static_cast<double>(updates) : 1;
+  const double rebuild_ms = rebuild_ms_sum / u;
+  const double full_ms = full_ms_sum / u;
+  const double stale_rate =
+      served > 0 ? static_cast<double>(stale) / static_cast<double>(served) : 0;
+  const double warm_query_ms = query_s_sum / u * 1e3 / 2;
+  std::printf("\nincremental rebuild: %.2f ms avg vs %.2f ms full "
+              "(%.2fx), dirty %llu/%llu scales, %llu/%llu clusters, "
+              "%llu/%d rounds forced full\n",
+              rebuild_ms, full_ms, rebuild_ms > 0 ? full_ms / rebuild_ms : 0.0,
+              static_cast<unsigned long long>(dirty_scales),
+              static_cast<unsigned long long>(total_scales),
+              static_cast<unsigned long long>(dirty_clusters),
+              static_cast<unsigned long long>(total_clusters),
+              static_cast<unsigned long long>(full_rebuild_rounds), updates);
+  std::printf("staleness: %llu/%llu batches served a pre-update epoch "
+              "(rate %.3f)\n",
+              static_cast<unsigned long long>(stale),
+              static_cast<unsigned long long>(served), stale_rate);
+  std::printf("Reading guide: rebuild_speedup_vs_full > 1 is the dirty-scale\n"
+              "tracking earning its keep; the dirty/total cluster ratio is the\n"
+              "same win counted structurally (thread-count independent).\n");
+
+  JsonReport report("dynamic");
+  report.row()
+      .field("workload", wl)
+      .field("n", static_cast<std::uint64_t>(n))
+      .field("m", static_cast<std::uint64_t>(g.num_edges()))
+      .field("updates", static_cast<std::uint64_t>(updates))
+      .field("batch_edges", static_cast<std::uint64_t>(batch_edges))
+      .field("weight_ratio", weight_ratio)
+      .field("queries", static_cast<std::uint64_t>(query_pairs))
+      .field("seed", seed)
+      .field("build_seconds", build_s)
+      .field("rebuild_ms", rebuild_ms)
+      .field("full_rebuild_ms", full_ms)
+      .field("rebuild_speedup_vs_full", rebuild_ms > 0 ? full_ms / rebuild_ms : 0.0)
+      .field("dirty_scales", dirty_scales)
+      .field("total_scales", total_scales)
+      .field("dirty_clusters", dirty_clusters)
+      .field("total_clusters", total_clusters)
+      .field("stale_rate", stale_rate)
+      .field("warm_query_ms", warm_query_ms);
+  const std::string path = report.save();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -43,7 +43,8 @@ import sys
 # it. String fields are always part of the identity.
 KEY_FIELDS = {
     "bench", "workload", "algorithm", "n", "m", "k", "threads", "eps",
-    "beta", "weight_ratio", "queries", "pairs", "seed",
+    "beta", "weight_ratio", "queries", "pairs", "seed", "updates",
+    "batch_edges",
 }
 
 

@@ -11,6 +11,8 @@
 //   WeightDecomposition    — Appendix B (weight-ratio reduction)
 //   build_limited_hopset   — Appendix C (depth n^alpha hopsets)
 //   ApproxShortestPaths    — Theorem 1.2 ((1+eps) s-t query engine)
+//   DynamicApproxShortestPaths — batched edge updates, epoch-swapped
+//                            incremental re-serving over apply_delta
 // plus the substrates: CSR graphs, generators, parallel primitives, BFS /
 // weighted BFS / Dijkstra / delta-stepping / hop-limited search.
 #pragma once
@@ -19,6 +21,7 @@
 #include "cluster/cluster_stats.hpp"
 #include "cluster/est_cluster.hpp"
 #include "graph/connectivity.hpp"
+#include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
@@ -50,6 +53,7 @@
 #include "sssp/bfs.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/dynamic_approx.hpp"
 #include "sssp/hop_limited.hpp"
 #include "sssp/sssp_workspace.hpp"
 #include "sssp/weighted_bfs.hpp"

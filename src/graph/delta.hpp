@@ -1,0 +1,78 @@
+// Batched graph mutations: GraphDelta + Graph::apply_delta.
+//
+// A delta is a batch of undirected edge operations against an immutable
+// CSR graph: inserts (which double as reweights when the edge already
+// exists) and removals. apply_delta merges the batch into a NEW Graph —
+// the input is never mutated, which is what lets the serving layer keep
+// answering queries from the old snapshot while the new one is built
+// (see sssp/dynamic_approx.hpp).
+//
+// Semantics, chosen to match Graph::from_edges so an incrementally
+// maintained graph is indistinguishable from one rebuilt from scratch:
+//   * removals apply before inserts — an edge in both lists ends up
+//     present, at the insert's weight;
+//   * duplicate inserts of the same {u,v} merge keeping the minimum
+//     weight (the from_edges parallel-edge convention);
+//   * self loops, removals of absent edges, and inserts that restate the
+//     current weight are no-ops (counted, not errors);
+//   * endpoints must lie in [0, n) — the vertex set is fixed; a delta
+//     referencing v >= n throws std::invalid_argument, as does a
+//     non-positive insert weight (CSR invariant).
+//
+// Storage sharing: the result reuses every GraphStorage handle the batch
+// did not invalidate. An all-no-op delta returns the input's handles
+// unchanged (O(1), ArrayHandle::shares observable); a reweight-only
+// delta (no arcs added or removed) shares offsets, targets and the
+// compressed-adjacency sections and materializes only a new weights
+// array; a structural delta rebuilds the adjacency via a parallel
+// per-vertex merge (count pass, exclusive scan, fill pass — every write
+// slot-fixed, so the arrays are identical at any worker count) and
+// re-encodes the compressed form iff the input carried one. All three
+// paths work identically on heap-backed and mmap-backed storage; the new
+// graph never aliases mutated sections of the old one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parsh {
+
+/// A batch of undirected edge operations. `insert` entries insert or
+/// reweight {u,v} to weight w; `remove` entries delete {u,v} if present
+/// (their weight field is ignored).
+struct GraphDelta {
+  std::vector<Edge> insert;
+  std::vector<Edge> remove;
+
+  [[nodiscard]] bool empty() const { return insert.empty() && remove.empty(); }
+};
+
+/// One undirected edge whose presence or weight actually changed, with
+/// u < v. A weight of 0 encodes "absent" on that side (weights are
+/// strictly positive, so 0 is unambiguous).
+struct EdgeChange {
+  vid u = 0;
+  vid v = 0;
+  weight_t w_old = 0;  ///< 0 = edge absent before the delta
+  weight_t w_new = 0;  ///< 0 = edge absent after the delta
+
+  friend bool operator==(const EdgeChange&, const EdgeChange&) = default;
+};
+
+/// apply_delta's result: the new graph plus the effective change set the
+/// incremental hopset rebuild keys its dirty-region tracking off.
+struct DeltaResult {
+  Graph graph;
+  /// Edges that actually changed, sorted by (u, v); no-ops excluded.
+  std::vector<EdgeChange> changes;
+  /// Sorted unique endpoints of `changes` — the delta's touched vertices.
+  std::vector<vid> touched;
+  std::uint64_t inserted = 0;    ///< edges absent before, present after
+  std::uint64_t removed = 0;     ///< edges present before, absent after
+  std::uint64_t reweighted = 0;  ///< present on both sides, weight changed
+  std::uint64_t noops = 0;       ///< operations with no effect
+};
+
+}  // namespace parsh

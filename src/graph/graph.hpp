@@ -28,6 +28,9 @@
 
 namespace parsh {
 
+struct GraphDelta;
+struct DeltaResult;
+
 /// A weighted undirected edge. Builder input and spanner/hopset output.
 struct Edge {
   vid u = 0;
@@ -193,6 +196,15 @@ class Graph {
   /// A copy of this graph with the given extra undirected edges added
   /// (used to form G union E' when querying hopsets).
   [[nodiscard]] Graph with_extra_edges(const std::vector<Edge>& extra) const;
+
+  /// Apply a batch of edge inserts/removes/reweights, producing a new
+  /// graph (this one is untouched — snapshots keep serving). Storage
+  /// handles the batch does not invalidate are shared, not copied: an
+  /// all-no-op delta is O(1), a reweight-only delta materializes just a
+  /// new weights array, and a structural delta rebuilds the adjacency
+  /// with a parallel per-vertex merge. See graph/delta.hpp for the full
+  /// semantics and the change-set the result carries.
+  [[nodiscard]] DeltaResult apply_delta(const GraphDelta& delta) const;
 
   /// A copy with all weights replaced by f(w) (weight rounding). Only the
   /// weights array is materialized; offsets and targets are shared.

@@ -215,4 +215,77 @@ Graph read_dimacs_file(const std::string& path) {
   return read_dimacs(in);
 }
 
+void write_delta(std::ostream& out, const GraphDelta& d) {
+  for (const Edge& e : d.insert) {
+    out << "+ " << e.u << " " << e.v;
+    if (e.w != 1) out << " " << e.w;
+    out << "\n";
+  }
+  for (const Edge& e : d.remove) {
+    out << "- " << e.u << " " << e.v << "\n";
+  }
+}
+
+void write_delta_file(const std::string& path, const GraphDelta& d) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_delta(out, d);
+}
+
+GraphDelta read_delta(std::istream& in) {
+  GraphDelta d;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> toks = split_ws(line);
+    if (toks.empty() || toks[0][0] == '#') continue;
+    Edge e;
+    if (toks[0] == "+") {
+      if (toks.size() != 3 && toks.size() != 4) {
+        throw IoError("delta: malformed insert (want '+ u v [w]', got '" + line +
+                          "')",
+                      line_no);
+      }
+      if (!parse_vid(toks[1], &e.u) || !parse_vid(toks[2], &e.v)) {
+        throw IoError("delta: malformed vertex id", line_no);
+      }
+      e.w = 1;
+      if (toks.size() == 4) {
+        if (!parse_weight(toks[3], &e.w)) {
+          throw IoError("delta: malformed or overflowing weight '" + toks[3] + "'",
+                        line_no);
+        }
+        if (e.w <= 0) {
+          throw IoError("delta: nonpositive weight " + toks[3] +
+                            " (edge weights must be > 0)",
+                        line_no);
+        }
+      }
+      d.insert.push_back(e);
+    } else if (toks[0] == "-") {
+      if (toks.size() != 3) {
+        throw IoError("delta: malformed removal (want '- u v', got '" + line + "')",
+                      line_no);
+      }
+      if (!parse_vid(toks[1], &e.u) || !parse_vid(toks[2], &e.v)) {
+        throw IoError("delta: malformed vertex id", line_no);
+      }
+      e.w = 1;
+      d.remove.push_back(e);
+    } else {
+      throw IoError("delta: unknown line kind '" + toks[0] +
+                        "' (want '+', '-', or '#')",
+                    line_no);
+    }
+  }
+  return d;
+}
+
+GraphDelta read_delta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_delta(in);
+}
+
 }  // namespace parsh

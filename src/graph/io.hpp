@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "graph/delta.hpp"
 #include "graph/graph.hpp"
 
 namespace parsh {
@@ -45,5 +46,17 @@ Graph read_edge_list_file(const std::string& path);
 /// 1-indexed). Arcs are symmetrized.
 Graph read_dimacs(std::istream& in);
 Graph read_dimacs_file(const std::string& path);
+
+/// Write an edge delta as text: "+ u v w" per insert (the weight is
+/// omitted when it is 1), "- u v" per removal. '#' starts a comment line.
+void write_delta(std::ostream& out, const GraphDelta& d);
+void write_delta_file(const std::string& path, const GraphDelta& d);
+
+/// Read the format produced by write_delta. Strict like the other
+/// readers (IoError with the line number); endpoint ids are only checked
+/// for vid-range syntax here — Graph::apply_delta validates them against
+/// the target graph's vertex count.
+GraphDelta read_delta(std::istream& in);
+GraphDelta read_delta_file(const std::string& path);
 
 }  // namespace parsh

@@ -47,6 +47,8 @@ struct BuildContext {
   /// fan-out (each center's search is sequential; the parallelism is
   /// across centers). Shared across the recursion for the same reason.
   SsspWorkspacePool* sssp;
+  /// When non-null, receives a copy of the level-0 clustering.
+  Clustering* top_out = nullptr;
 };
 
 std::uint64_t splitmix_hash_impl(std::uint64_t x) {
@@ -74,6 +76,7 @@ void hopset_recurse(const Subgraph& sub, double beta, std::uint64_t level,
 
   // Line 2: exponential start time clustering.
   const Clustering c = est_cluster(g, beta, seed, *ctx.ws);
+  if (level == 0 && ctx.top_out) *ctx.top_out = c;
   ++out.clusterings;
   out.rounds += c.rounds;
   const std::vector<vid> sizes = c.sizes();
@@ -163,6 +166,13 @@ HopsetResult build_hopset(const Graph& g, const HopsetParams& p) {
 HopsetResult build_hopset(const Graph& g, const HopsetParams& p,
                           EstClusterWorkspace& cluster_ws,
                           SsspWorkspacePool& sssp_ws) {
+  return build_hopset(g, p, cluster_ws, sssp_ws, nullptr);
+}
+
+HopsetResult build_hopset(const Graph& g, const HopsetParams& p,
+                          EstClusterWorkspace& cluster_ws,
+                          SsspWorkspacePool& sssp_ws,
+                          Clustering* top_clustering) {
   require_integer_weights(g, "build_hopset");
   if (!(p.delta > 1.0)) {
     throw std::invalid_argument("build_hopset: delta must exceed 1 (Section 4)");
@@ -178,9 +188,10 @@ HopsetResult build_hopset(const Graph& g, const HopsetParams& p,
           ? p.n_final_override
           : std::max<vid>(p.n_final_floor,
                           static_cast<vid>(std::pow(static_cast<double>(n), p.gamma1)));
+  if (top_clustering) *top_clustering = Clustering{};
   BuildContext ctx{p,     hopset_growth(n, p), hopset_rho(n, p),
                    n_final, &out,              &cluster_ws,
-                   &sssp_ws};
+                   &sssp_ws, top_clustering};
   out.growth = ctx.growth;
   out.rho = ctx.rho;
   out.n_final = ctx.n_final;

@@ -70,6 +70,7 @@ struct HopsetResult {
 
 class EstClusterWorkspace;
 class SsspWorkspacePool;
+struct Clustering;
 
 /// Build a hopset for g (positive integer weights). Deterministic in
 /// (g, params).
@@ -82,6 +83,17 @@ HopsetResult build_hopset(const Graph& g, const HopsetParams& params);
 HopsetResult build_hopset(const Graph& g, const HopsetParams& params,
                           EstClusterWorkspace& cluster_ws,
                           SsspWorkspacePool& sssp_ws);
+
+/// Like the workspace form, but additionally copies the level-0 EST
+/// clustering (the one Algorithm 4's first call computes over the whole
+/// graph) into `*top_clustering` when non-null. If the graph is at most
+/// n_final vertices the recursion never clusters and the output is left
+/// empty (num_clusters == 0). The incremental rebuild keys its
+/// dirty-region accounting off this partition.
+HopsetResult build_hopset(const Graph& g, const HopsetParams& params,
+                          EstClusterWorkspace& cluster_ws,
+                          SsspWorkspacePool& sssp_ws,
+                          Clustering* top_clustering);
 
 /// The per-level beta growth factor (k_conf * eps^{-1} * log n, floored at
 /// 2) and rho = growth^delta, exposed for tests.

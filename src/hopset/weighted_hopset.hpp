@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "graph/graph.hpp"
 #include "hopset/hopset.hpp"
 
@@ -41,6 +42,13 @@ struct HopsetScale {
   weight_t w_hat = 1;     ///< rounding granularity
   Graph rounded;          ///< rounded G ∪ E' (hopset edges merged in)
   std::uint64_t hopset_edges = 0;
+  std::uint64_t rounds = 0;  ///< this scale's share of the build rounds
+  /// The level-0 EST partition of this scale's rounded graph: cluster id
+  /// per vertex (empty when the scale never clustered, i.e. n <= n_final).
+  /// This is the dirty-region map — an edge change can only perturb the
+  /// scale through the clusters its endpoints sit in.
+  std::vector<vid> top_cluster_of;
+  vid top_clusters = 0;
 };
 
 struct WeightedHopset {
@@ -54,5 +62,41 @@ struct WeightedHopset {
 
 /// Build per-scale hopsets for a positively weighted graph.
 WeightedHopset build_weighted_hopset(const Graph& g, const WeightedHopsetParams& params);
+
+/// Workspace form: all scales run through the caller's clustering
+/// workspace and traversal pool (the epoch-swap rebuild path keeps these
+/// warm across batches). Same output as the plain form.
+WeightedHopset build_weighted_hopset(const Graph& g, const WeightedHopsetParams& params,
+                                     EstClusterWorkspace& cluster_ws,
+                                     SsspWorkspacePool& sssp_ws);
+
+/// What an incremental rebuild actually recomputed. Scales whose distance
+/// band cannot see any changed edge (every change is heavier than the
+/// scale's Klein-Subramanian cap) are reused wholesale; `dirty_clusters`
+/// counts, over the rebuilt scales, the previous top-level clusters the
+/// relevant changes touch — the paper's dirty-region reading of the EST
+/// partition. Scales that never clustered count as one cluster.
+struct HopsetRebuildStats {
+  std::uint64_t dirty_scales = 0;
+  std::uint64_t total_scales = 0;
+  std::uint64_t dirty_clusters = 0;
+  std::uint64_t total_clusters = 0;
+  bool full_rebuild = false;  ///< the scale ladder itself moved
+};
+
+/// Rebuild `prev` (built from the pre-delta graph with the same params)
+/// for the post-delta graph `g`, recomputing only dirty scales. The
+/// result is bit-identical to build_weighted_hopset(g, params): a clean
+/// scale's pruned edge set is provably unchanged, and the per-scale build
+/// is deterministic in (pruned graph, d, params, scale index), so reusing
+/// it is exact — the differential harness in tests/test_dynamic.cpp pins
+/// this. Falls back to a full rebuild when the scale ladder moves (the
+/// delta changed min/max weight enough to shift the d sequence).
+WeightedHopset rebuild_weighted_hopset(const Graph& g, const WeightedHopsetParams& params,
+                                       const WeightedHopset& prev,
+                                       const std::vector<EdgeChange>& changes,
+                                       EstClusterWorkspace& cluster_ws,
+                                       SsspWorkspacePool& sssp_ws,
+                                       HopsetRebuildStats* stats = nullptr);
 
 }  // namespace parsh

@@ -123,6 +123,48 @@ Status QueryClient::query(const std::vector<std::pair<vid, vid>>& pairs,
   return last;
 }
 
+Status QueryClient::update(std::vector<Edge> insert, std::vector<Edge> remove,
+                           UpdateResponse* out) {
+  if (!stream_.valid() && !reconnect_()) {
+    return Status::fail(StatusCode::kConnectionClosed, "not connected");
+  }
+  UpdateRequest req;
+  req.id = next_id_++;
+  req.insert = std::move(insert);
+  req.remove = std::move(remove);
+  std::vector<std::uint8_t> bytes;
+  encode_update_request(bytes, req);
+  ++stats_.requests_sent;
+
+  const Deadline deadline = Deadline::after_ms(cfg_.rpc_timeout_ms);
+  Status s = stream_.write_frame(bytes, deadline);
+  if (!s.ok()) return s;
+  for (;;) {
+    Frame frame;
+    s = stream_.read_frame(&frame, deadline);
+    if (!s.ok()) return s;
+    switch (frame.type) {
+      case FrameType::kUpdateResponse: {
+        UpdateResponse resp;
+        s = decode_update_response(frame.payload, &resp);
+        if (!s.ok()) return s;
+        if (resp.id != req.id) continue;  // stale reply from a prior timeout
+        *out = resp;
+        return Status::success();
+      }
+      case FrameType::kError: {
+        Status err;
+        if (!decode_error(frame.payload, &err).ok()) {
+          return Status::fail(StatusCode::kInternal, "undecodable error frame");
+        }
+        return err;  // server closes after an error frame
+      }
+      default:
+        continue;  // unrelated traffic on a shared connection
+    }
+  }
+}
+
 Status QueryClient::ping() {
   const Deadline deadline = Deadline::after_ms(cfg_.rpc_timeout_ms);
   const std::uint64_t nonce = next_id_++;

@@ -64,6 +64,14 @@ class QueryClient {
   [[nodiscard]] Status query(const std::vector<std::pair<vid, vid>>& pairs,
                              std::uint32_t deadline_ms, QueryResponse* out);
 
+  /// One update batch (v2 frames). Updates never retry: a transport
+  /// failure leaves "did it apply?" genuinely unknown, and re-sending a
+  /// delta that already landed double-applies it. On success *out holds
+  /// the server's verdict — which may itself be a typed failure (e.g.
+  /// kUnavailable from a static server); that's an answer, not an error.
+  [[nodiscard]] Status update(std::vector<Edge> insert, std::vector<Edge> remove,
+                              UpdateResponse* out);
+
   [[nodiscard]] Status ping();
   [[nodiscard]] Status stats(StatsSnapshot* out);
 

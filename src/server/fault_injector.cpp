@@ -66,6 +66,13 @@ FaultAction FaultInjector::next(FaultSite site) {
         act.amount = 1 + st.rng.uniform_int(base + 1, plan_.max_spike);
       }
       break;
+    case FaultSite::kSwap:
+      if (hit(plan_.swap_stall)) {
+        act.kind = FaultAction::Kind::kStall;
+        act.delay_us = static_cast<std::uint32_t>(
+            st.rng.uniform_int(base + 1, plan_.max_delay_us + 1));
+      }
+      break;
   }
 
   if (!act.none()) ++injected_;

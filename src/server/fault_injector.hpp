@@ -30,8 +30,9 @@ enum class FaultSite : std::size_t {
   kReadFrame = 1,   ///< before each inbound frame read
   kWorkerLoop = 2,  ///< before each batch the query worker executes
   kAdmission = 3,   ///< at each admission decision
+  kSwap = 4,        ///< at the epoch-swap boundary, snapshot built but unpublished
 };
-inline constexpr std::size_t kNumFaultSites = 4;
+inline constexpr std::size_t kNumFaultSites = 5;
 
 [[nodiscard]] constexpr const char* fault_site_name(FaultSite site) {
   switch (site) {
@@ -39,6 +40,7 @@ inline constexpr std::size_t kNumFaultSites = 4;
     case FaultSite::kReadFrame: return "read";
     case FaultSite::kWorkerLoop: return "worker";
     case FaultSite::kAdmission: return "admission";
+    case FaultSite::kSwap: return "swap";
   }
   return "?";
 }
@@ -82,6 +84,10 @@ struct FaultPlan {
   double drop_connection = 0;  ///< at kWriteFrame and kReadFrame
   double worker_stall = 0;     ///< at kWorkerLoop
   double queue_spike = 0;      ///< at kAdmission
+  /// Stall between finishing a rebuild and publishing its snapshot — the
+  /// widest version of the query-during-swap window the dynamic tests
+  /// need sanitizer coverage on (at kSwap).
+  double swap_stall = 0;
   std::uint32_t max_delay_us = 2000;  ///< cap on stall / slow-write pauses
   std::uint64_t max_spike = 64;       ///< cap on phantom queue depth
 };

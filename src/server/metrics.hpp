@@ -25,6 +25,9 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> connections_opened{0};
   std::atomic<std::uint64_t> connections_closed{0};
   std::atomic<std::uint64_t> pool_checkout_timeouts{0};
+  std::atomic<std::uint64_t> updates_applied{0};
+  std::atomic<std::uint64_t> updates_rejected{0};
+  std::atomic<std::uint64_t> stale_batches{0};
 
   void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
     c.fetch_add(by, std::memory_order_relaxed);
@@ -46,6 +49,9 @@ struct ServerMetrics {
     s.connections_closed = connections_closed.load(std::memory_order_relaxed);
     s.faults_injected = faults_injected;
     s.pool_checkout_timeouts = pool_checkout_timeouts.load(std::memory_order_relaxed);
+    s.updates_applied = updates_applied.load(std::memory_order_relaxed);
+    s.updates_rejected = updates_rejected.load(std::memory_order_relaxed);
+    s.stale_batches = stale_batches.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -86,8 +86,15 @@ Status parse_frame_header(const std::uint8_t header[kFrameHeaderBytes],
   const std::uint16_t magic =
       static_cast<std::uint16_t>(header[0]) | static_cast<std::uint16_t>(header[1]) << 8;
   if (magic != kMagic) return malformed("frame: bad magic");
-  if (header[2] != kProtocolVersion) return malformed("frame: unsupported version");
+  // v1 request frames are still honored; the update frames are the one
+  // thing v2 added at the frame level, so a v1 header may not carry them.
+  if (header[2] != 1 && header[2] != kProtocolVersion) {
+    return malformed("frame: unsupported version");
+  }
   if (!frame_type_known(header[3])) return malformed("frame: unknown type");
+  if (header[2] == 1 && header[3] > 7) {
+    return malformed("frame: update frames require protocol v2");
+  }
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
   if (len > kMaxPayloadBytes) return malformed("frame: payload too large");
@@ -140,16 +147,17 @@ Status decode_query_request(const std::vector<std::uint8_t>& payload,
 }
 
 // ---- query response ---------------------------------------------------------
-// payload: id u64, status u32, retry_after_ms u32, flags u32, count u32,
-//          count * {status u32, estimate f64, scale u32}
+// payload: id u64, status u32, retry_after_ms u32, flags u32, epoch u64,
+//          count u32, count * {status u32, estimate f64, scale u32}
 
 void encode_query_response(std::vector<std::uint8_t>& out, const QueryResponse& resp) {
   std::vector<std::uint8_t> payload;
-  payload.reserve(24 + resp.answers.size() * 16);
+  payload.reserve(32 + resp.answers.size() * 16);
   put_u64(payload, resp.id);
   put_u32(payload, static_cast<std::uint32_t>(resp.status));
   put_u32(payload, resp.retry_after_ms);
   put_u32(payload, resp.flags);
+  put_u64(payload, resp.epoch);
   put_u32(payload, static_cast<std::uint32_t>(resp.answers.size()));
   for (const QueryAnswer& a : resp.answers) {
     put_u32(payload, static_cast<std::uint32_t>(a.status));
@@ -164,7 +172,7 @@ Status decode_query_response(const std::vector<std::uint8_t>& payload,
   Reader r(payload.data(), payload.size());
   std::uint32_t status = 0, count = 0;
   if (!r.u64(&out->id) || !r.u32(&status) || !r.u32(&out->retry_after_ms) ||
-      !r.u32(&out->flags) || !r.u32(&count)) {
+      !r.u32(&out->flags) || !r.u64(&out->epoch) || !r.u32(&count)) {
     return malformed("query response: truncated header");
   }
   if (status > static_cast<std::uint32_t>(StatusCode::kInternal)) {
@@ -189,6 +197,113 @@ Status decode_query_response(const std::vector<std::uint8_t>& payload,
     a.status = static_cast<StatusCode>(st);
     out->answers.push_back(a);
   }
+  return Status::success();
+}
+
+// ---- update request ---------------------------------------------------------
+// payload: id u64, flags u32, n_insert u32, n_remove u32,
+//          n_insert * {u u32, v u32, w f64}, n_remove * {u u32, v u32}
+
+void encode_update_request(std::vector<std::uint8_t>& out, const UpdateRequest& req) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(20 + req.insert.size() * 16 + req.remove.size() * 8);
+  put_u64(payload, req.id);
+  put_u32(payload, req.flags);
+  put_u32(payload, static_cast<std::uint32_t>(req.insert.size()));
+  put_u32(payload, static_cast<std::uint32_t>(req.remove.size()));
+  for (const Edge& e : req.insert) {
+    put_u32(payload, e.u);
+    put_u32(payload, e.v);
+    put_f64(payload, e.w);
+  }
+  for (const Edge& e : req.remove) {
+    put_u32(payload, e.u);
+    put_u32(payload, e.v);
+  }
+  append_frame(out, FrameType::kUpdateRequest, payload.data(), payload.size());
+}
+
+Status decode_update_request(const std::vector<std::uint8_t>& payload,
+                             UpdateRequest* out) {
+  Reader r(payload.data(), payload.size());
+  std::uint32_t n_ins = 0, n_rem = 0;
+  if (!r.u64(&out->id) || !r.u32(&out->flags) || !r.u32(&n_ins) || !r.u32(&n_rem)) {
+    return malformed("update request: truncated header");
+  }
+  if (out->flags != 0) return malformed("update request: unknown flags");
+  if (static_cast<std::size_t>(n_ins) + n_rem > kMaxUpdateEdges) {
+    return malformed("update request: batch too large");
+  }
+  if (r.remaining() !=
+      static_cast<std::size_t>(n_ins) * 16 + static_cast<std::size_t>(n_rem) * 8) {
+    return malformed("update request: counts disagree with payload length");
+  }
+  out->insert.clear();
+  out->insert.reserve(n_ins);
+  for (std::uint32_t i = 0; i < n_ins; ++i) {
+    std::uint32_t u = 0, v = 0;
+    double w = 0;
+    if (!r.u32(&u) || !r.u32(&v) || !r.f64(&w)) {
+      return malformed("update request: truncated insert");
+    }
+    // Weight sanity belongs to the frame, not admission: a non-positive
+    // or non-finite weight can never be valid for any graph.
+    if (!(w > 0) || w != w || w > 1e300) {
+      return malformed("update request: bad insert weight");
+    }
+    out->insert.push_back({static_cast<vid>(u), static_cast<vid>(v), w});
+  }
+  out->remove.clear();
+  out->remove.reserve(n_rem);
+  for (std::uint32_t i = 0; i < n_rem; ++i) {
+    std::uint32_t u = 0, v = 0;
+    if (!r.u32(&u) || !r.u32(&v)) return malformed("update request: truncated remove");
+    out->remove.push_back({static_cast<vid>(u), static_cast<vid>(v), 1});
+  }
+  return Status::success();
+}
+
+// ---- update response --------------------------------------------------------
+// payload: id u64, status u32, flags u32, epoch u64, rebuild_ms f64,
+//          dirty_scales u32, total_scales u32, dirty_clusters u64,
+//          total_clusters u64, inserted u64, removed u64, reweighted u64,
+//          noops u64
+
+void encode_update_response(std::vector<std::uint8_t>& out, const UpdateResponse& resp) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(80);
+  put_u64(payload, resp.id);
+  put_u32(payload, static_cast<std::uint32_t>(resp.status));
+  put_u32(payload, resp.flags);
+  put_u64(payload, resp.epoch);
+  put_f64(payload, resp.rebuild_ms);
+  put_u32(payload, resp.dirty_scales);
+  put_u32(payload, resp.total_scales);
+  put_u64(payload, resp.dirty_clusters);
+  put_u64(payload, resp.total_clusters);
+  put_u64(payload, resp.inserted);
+  put_u64(payload, resp.removed);
+  put_u64(payload, resp.reweighted);
+  put_u64(payload, resp.noops);
+  append_frame(out, FrameType::kUpdateResponse, payload.data(), payload.size());
+}
+
+Status decode_update_response(const std::vector<std::uint8_t>& payload,
+                              UpdateResponse* out) {
+  Reader r(payload.data(), payload.size());
+  std::uint32_t status = 0;
+  if (!r.u64(&out->id) || !r.u32(&status) || !r.u32(&out->flags) ||
+      !r.u64(&out->epoch) || !r.f64(&out->rebuild_ms) ||
+      !r.u32(&out->dirty_scales) || !r.u32(&out->total_scales) ||
+      !r.u64(&out->dirty_clusters) || !r.u64(&out->total_clusters) ||
+      !r.u64(&out->inserted) || !r.u64(&out->removed) ||
+      !r.u64(&out->reweighted) || !r.u64(&out->noops) || !r.done()) {
+    return malformed("update response: bad payload");
+  }
+  if (status > static_cast<std::uint32_t>(StatusCode::kInternal)) {
+    return malformed("update response: unknown status");
+  }
+  out->status = static_cast<StatusCode>(status);
   return Status::success();
 }
 
@@ -218,7 +333,8 @@ void encode_stats_response(std::vector<std::uint8_t>& out, const StatsSnapshot& 
       s.requests_shed,      s.queries_ok,      s.queries_deadline_exceeded,
       s.queries_out_of_range, s.queries_degraded, s.batches_served,
       s.connections_opened, s.connections_closed, s.faults_injected,
-      s.pool_checkout_timeouts,
+      s.pool_checkout_timeouts, s.updates_applied, s.updates_rejected,
+      s.stale_batches,
   };
   put_u32(payload, static_cast<std::uint32_t>(std::size(fields)));
   for (std::uint64_t f : fields) put_u64(payload, f);
@@ -236,7 +352,8 @@ Status decode_stats_response(const std::vector<std::uint8_t>& payload,
       &out->requests_shed,      &out->queries_ok,      &out->queries_deadline_exceeded,
       &out->queries_out_of_range, &out->queries_degraded, &out->batches_served,
       &out->connections_opened, &out->connections_closed, &out->faults_injected,
-      &out->pool_checkout_timeouts,
+      &out->pool_checkout_timeouts, &out->updates_applied, &out->updates_rejected,
+      &out->stale_batches,
   };
   if (r.remaining() != static_cast<std::size_t>(count) * 8) {
     return malformed("stats: count disagrees with payload length");

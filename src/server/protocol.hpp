@@ -25,19 +25,26 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/graph.hpp"
 #include "server/status.hpp"
 #include "util/types.hpp"
 
 namespace parsh::server {
 
 inline constexpr std::uint16_t kMagic = 0x5350;  // "PS"
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2 adds graph updates: the kUpdateRequest/kUpdateResponse frames and a
+/// serving-epoch field in every query response. The server still accepts
+/// v1 request frames (their payloads are unchanged) but always answers at
+/// v2 — a strict v1 client must upgrade before parsing responses.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 /// Frames larger than this are rejected before the payload is read (a
 /// 4 GiB length prefix must not allocate 4 GiB).
 inline constexpr std::size_t kMaxPayloadBytes = 1u << 20;
 /// Most query pairs one request frame may carry.
 inline constexpr std::size_t kMaxBatchPairs = 4096;
+/// Most edges (inserts + removes together) one update frame may carry.
+inline constexpr std::size_t kMaxUpdateEdges = 32'768;
 /// Deadlines are capped: nobody waits a minute for a distance.
 inline constexpr std::uint32_t kMaxDeadlineMs = 60'000;
 
@@ -51,10 +58,14 @@ enum class FrameType : std::uint8_t {
   /// Server -> client: the previous frame was unparseable; the connection
   /// closes after this frame. Payload: status code u32 + utf8 detail.
   kError = 7,
+  /// v2 only: a batched graph mutation (see UpdateRequest).
+  kUpdateRequest = 8,
+  /// v2 only: verdict + rebuild statistics for one update batch.
+  kUpdateResponse = 9,
 };
 
 [[nodiscard]] constexpr bool frame_type_known(std::uint8_t t) {
-  return t >= 1 && t <= 7;
+  return t >= 1 && t <= 9;
 }
 
 /// A parsed frame: type plus raw payload bytes.
@@ -92,7 +103,49 @@ struct QueryResponse {
   StatusCode status = StatusCode::kOk;
   std::uint32_t retry_after_ms = 0;  ///< backoff hint when shed
   std::uint32_t flags = 0;
+  /// Graph epoch the whole batch was served from (v2). 0 on a static
+  /// server or before the first update; a value below the newest accepted
+  /// update means the answers are one swap stale — the contract is that a
+  /// batch is always internally consistent, never that it is newest.
+  std::uint64_t epoch = 0;
   std::vector<QueryAnswer> answers;
+};
+
+/// Client -> server (v2): a batched graph mutation. Inserts double as
+/// reweights; removes delete if present (GraphDelta semantics). Updates
+/// are applied on the connection's reader thread — they never occupy a
+/// query worker and never shed queries — and queries in flight finish on
+/// the pre-update snapshot.
+struct UpdateRequest {
+  std::uint64_t id = 0;     ///< echoed in the response
+  std::uint32_t flags = 0;  ///< reserved (must be 0)
+  std::vector<Edge> insert;
+  std::vector<Edge> remove;  ///< weight field ignored
+};
+
+/// Response-level flag: the rebuild recomputed every scale (the ladder
+/// moved, or force_full_rebuild was set).
+inline constexpr std::uint32_t kUpdateFlagFullRebuild = 1u << 0;
+
+/// Server -> client (v2): one update batch's verdict. On kOk the epoch is
+/// the one the new snapshot serves as, and the dirty/total counters say
+/// how much the incremental path actually recomputed. A static server
+/// (no DynamicApproxShortestPaths) answers kUnavailable; a batch with an
+/// out-of-range endpoint answers kOutOfRange and applies nothing.
+struct UpdateResponse {
+  std::uint64_t id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::uint32_t flags = 0;
+  std::uint64_t epoch = 0;
+  double rebuild_ms = 0;
+  std::uint32_t dirty_scales = 0;
+  std::uint32_t total_scales = 0;
+  std::uint64_t dirty_clusters = 0;
+  std::uint64_t total_clusters = 0;
+  std::uint64_t inserted = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t reweighted = 0;
+  std::uint64_t noops = 0;
 };
 
 /// Server counters snapshot carried by a kStatsResponse (field order is
@@ -111,6 +164,9 @@ struct StatsSnapshot {
   std::uint64_t connections_closed = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t pool_checkout_timeouts = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_rejected = 0;
+  std::uint64_t stale_batches = 0;
 };
 
 // ---- encoding ---------------------------------------------------------------
@@ -122,6 +178,8 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type,
 
 void encode_query_request(std::vector<std::uint8_t>& out, const QueryRequest& req);
 void encode_query_response(std::vector<std::uint8_t>& out, const QueryResponse& resp);
+void encode_update_request(std::vector<std::uint8_t>& out, const UpdateRequest& req);
+void encode_update_response(std::vector<std::uint8_t>& out, const UpdateResponse& resp);
 void encode_ping(std::vector<std::uint8_t>& out, std::uint64_t nonce, bool pong);
 void encode_stats_request(std::vector<std::uint8_t>& out);
 void encode_stats_response(std::vector<std::uint8_t>& out, const StatsSnapshot& s);
@@ -137,6 +195,10 @@ void encode_error(std::vector<std::uint8_t>& out, const Status& status);
                                           QueryRequest* out);
 [[nodiscard]] Status decode_query_response(const std::vector<std::uint8_t>& payload,
                                            QueryResponse* out);
+[[nodiscard]] Status decode_update_request(const std::vector<std::uint8_t>& payload,
+                                           UpdateRequest* out);
+[[nodiscard]] Status decode_update_response(const std::vector<std::uint8_t>& payload,
+                                            UpdateResponse* out);
 [[nodiscard]] Status decode_ping(const std::vector<std::uint8_t>& payload,
                                  std::uint64_t* nonce);
 [[nodiscard]] Status decode_stats_response(const std::vector<std::uint8_t>& payload,

@@ -10,13 +10,35 @@ namespace parsh::server {
 
 QueryServer::QueryServer(const Graph& g, const ApproxShortestPaths& engine,
                          ServerConfig cfg)
-    : engine_(engine),
+    : engine_(&engine),
       n_(g.num_vertices()),
       cfg_(cfg),
       injector_(cfg.enable_faults
                     ? std::make_unique<FaultInjector>(cfg.fault_seed, cfg.faults)
                     : nullptr),
       admission_(cfg.admission, &metrics_, injector_.get()) {}
+
+QueryServer::QueryServer(DynamicApproxShortestPaths& dynamic, ServerConfig cfg)
+    : dynamic_(&dynamic),
+      n_(dynamic.num_vertices()),
+      cfg_(cfg),
+      injector_(cfg.enable_faults
+                    ? std::make_unique<FaultInjector>(cfg.fault_seed, cfg.faults)
+                    : nullptr),
+      admission_(cfg.admission, &metrics_, injector_.get()) {
+  if (injector_ != nullptr) {
+    // The swap site fires on the updating thread with the new snapshot
+    // fully built but not yet published — a stall here is the widest
+    // query-during-swap window the concurrency tests can ask for.
+    FaultInjector* inj = injector_.get();
+    dynamic_->set_swap_hook([inj] {
+      const FaultAction act = inj->next(FaultSite::kSwap);
+      if (act.kind == FaultAction::Kind::kStall) {
+        std::this_thread::sleep_for(std::chrono::microseconds(act.delay_us));
+      }
+    });
+  }
+}
 
 QueryServer::~QueryServer() { stop(); }
 
@@ -159,6 +181,13 @@ void QueryServer::reader_loop_(Connection* conn) {
       case FrameType::kQueryRequest:
         handle_query_(*conn, frame.payload);
         break;
+      case FrameType::kUpdateRequest:
+        // Applied right here on the reader thread: updates never enter
+        // the admission queue, never occupy a query worker, and therefore
+        // can never shed a query. Workers keep draining batches against
+        // the pre-swap snapshot while the rebuild runs.
+        handle_update_(*conn, frame.payload);
+        break;
       default: {
         // Well-formed but client-illegal (a response type sent at us):
         // protocol violation, same treatment as malformed.
@@ -207,9 +236,90 @@ void QueryServer::handle_query_(Connection& conn,
   }
 }
 
+void QueryServer::handle_update_(Connection& conn,
+                                 const std::vector<std::uint8_t>& payload) {
+  UpdateRequest req;
+  const Status ds = decode_update_request(payload, &req);
+  if (!ds.ok()) {
+    metrics_.bump(metrics_.invalid_frames);
+    std::vector<std::uint8_t> err;
+    encode_error(err, ds);
+    write_frame_(conn, err);
+    shutdown_connection_(conn);
+    return;
+  }
+
+  UpdateResponse resp;
+  resp.id = req.id;
+  if (dynamic_ == nullptr) {
+    // A static server has nothing to apply an update to; the frame is
+    // well-formed, the deployment just doesn't support it.
+    resp.status = StatusCode::kUnavailable;
+    metrics_.bump(metrics_.updates_rejected);
+  } else {
+    // Endpoint range is checked before anything is applied, mirroring the
+    // per-query OUT_OF_RANGE convention: an invalid batch leaves the
+    // graph (and the epoch counter) untouched.
+    bool in_range = true;
+    for (const Edge& e : req.insert) {
+      if (e.u >= n_ || e.v >= n_) in_range = false;
+    }
+    for (const Edge& e : req.remove) {
+      if (e.u >= n_ || e.v >= n_) in_range = false;
+    }
+    if (!in_range) {
+      resp.status = StatusCode::kOutOfRange;
+      metrics_.bump(metrics_.updates_rejected);
+    } else {
+      try {
+        GraphDelta delta;
+        delta.insert = std::move(req.insert);
+        delta.remove = std::move(req.remove);
+        const DynamicApproxShortestPaths::ApplyResult r = dynamic_->apply(delta);
+        resp.status = StatusCode::kOk;
+        resp.epoch = r.epoch;
+        resp.rebuild_ms = r.rebuild_ms;
+        resp.dirty_scales = static_cast<std::uint32_t>(r.hopset.dirty_scales);
+        resp.total_scales = static_cast<std::uint32_t>(r.hopset.total_scales);
+        resp.dirty_clusters = r.hopset.dirty_clusters;
+        resp.total_clusters = r.hopset.total_clusters;
+        resp.inserted = r.inserted;
+        resp.removed = r.removed;
+        resp.reweighted = r.reweighted;
+        resp.noops = r.noops;
+        if (r.hopset.full_rebuild) resp.flags |= kUpdateFlagFullRebuild;
+        metrics_.bump(metrics_.updates_applied);
+      } catch (const std::exception&) {
+        // Decode + range checks should have caught everything; anything
+        // else is the no-exceptions-across-the-boundary clause.
+        resp.status = StatusCode::kInternal;
+        metrics_.bump(metrics_.updates_rejected);
+      }
+    }
+  }
+  std::vector<std::uint8_t> out;
+  encode_update_response(out, resp);
+  write_frame_(conn, out);
+}
+
 void QueryServer::serve_request_(const PendingRequest& pr, std::size_t skip_scales) {
   QueryResponse resp;
   resp.id = pr.req.id;
+
+  // Pin ONE snapshot for the whole batch. Every answer then comes from a
+  // single epoch, and the snapshot's storage handles keep the graph (mmap
+  // pages included) alive even if an update swaps — or the backing file
+  // is unlinked — mid-batch. Null on the static path, where the engine
+  // reference is owned by the caller for the server's whole lifetime.
+  std::shared_ptr<const DynamicApproxShortestPaths::Snapshot> snap;
+  const ApproxShortestPaths* engine = engine_;
+  vid n = n_;
+  if (dynamic_ != nullptr) {
+    snap = dynamic_->snapshot();
+    engine = &snap->engine;
+    n = snap->graph.num_vertices();
+    resp.epoch = snap->epoch;
+  }
   const std::vector<std::pair<vid, vid>>& pairs = pr.req.pairs;
   resp.answers.resize(pairs.size());
 
@@ -220,7 +330,7 @@ void QueryServer::serve_request_(const PendingRequest& pr, std::size_t skip_scal
   valid.reserve(pairs.size());
   slot.reserve(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (pairs[i].first >= n_ || pairs[i].second >= n_) {
+    if (pairs[i].first >= n || pairs[i].second >= n) {
       resp.answers[i].status = StatusCode::kOutOfRange;
       resp.answers[i].estimate = kInfWeight;
       metrics_.bump(metrics_.queries_out_of_range);
@@ -251,7 +361,7 @@ void QueryServer::serve_request_(const PendingRequest& pr, std::size_t skip_scal
       opts.skip_scales = skip_scales;
       std::vector<ApproxShortestPaths::QueryResult> results;
       try {
-        results = engine_.query_batch(valid, *lease, opts);
+        results = engine->query_batch(valid, *lease, opts);
       } catch (const std::exception&) {
         // The no-exceptions-across-the-boundary clause: convert, answer,
         // keep serving.
@@ -285,6 +395,9 @@ void QueryServer::serve_request_(const PendingRequest& pr, std::size_t skip_scal
   if (any_partial) resp.flags |= kRespFlagPartial;
   if (any_degraded) resp.flags |= kRespFlagDegraded;
   metrics_.bump(metrics_.batches_served);
+  if (dynamic_ != nullptr && dynamic_->note_batch_served(snap->epoch)) {
+    metrics_.bump(metrics_.stale_batches);
+  }
 
   if (const std::shared_ptr<Connection> conn = find_connection_(pr.conn_id)) {
     std::vector<std::uint8_t> out;

@@ -41,6 +41,7 @@
 #include "server/protocol.hpp"
 #include "server/transport.hpp"
 #include "sssp/approx_query.hpp"
+#include "sssp/dynamic_approx.hpp"
 
 namespace parsh::server {
 
@@ -64,8 +65,17 @@ struct ServerConfig {
 class QueryServer {
  public:
   /// Serve `engine` built over `g`. Both must outlive the server; the
-  /// graph is only consulted for its vertex-id range.
+  /// graph is only consulted for its vertex-id range. A static server:
+  /// kUpdateRequest frames answer kUnavailable.
   QueryServer(const Graph& g, const ApproxShortestPaths& engine, ServerConfig cfg);
+
+  /// Serve a dynamic engine (must outlive the server). Update frames
+  /// apply on the connection's reader thread — they never occupy a query
+  /// worker, so queries are never shed by updates — and every query batch
+  /// pins one snapshot for its whole lifetime, so in-flight batches
+  /// finish on the pre-swap graph. With faults enabled, the injector's
+  /// kSwap site is wired to the engine's swap hook.
+  QueryServer(DynamicApproxShortestPaths& dynamic, ServerConfig cfg);
   ~QueryServer();
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
@@ -117,10 +127,16 @@ class QueryServer {
   /// shutdown, then actually close(2) the fd under the write mutex.
   void release_connection_(Connection& conn);
   void handle_query_(Connection& conn, const std::vector<std::uint8_t>& payload);
+  void handle_update_(Connection& conn, const std::vector<std::uint8_t>& payload);
   void serve_request_(const PendingRequest& pr, std::size_t skip_scales);
   [[nodiscard]] std::shared_ptr<Connection> find_connection_(std::uint64_t id);
 
-  const ApproxShortestPaths& engine_;
+  /// Exactly one of these is set. The static path reads `engine_`
+  /// directly; the dynamic path takes one snapshot per query batch (the
+  /// snapshot-lifetime rule: a batch's answers all come from the epoch it
+  /// pinned, whose storage the shared_ptr keeps alive through any swap).
+  const ApproxShortestPaths* engine_ = nullptr;
+  DynamicApproxShortestPaths* dynamic_ = nullptr;
   vid n_;
   ServerConfig cfg_;
   ServerMetrics metrics_;

@@ -16,6 +16,15 @@ ApproxShortestPaths::ApproxShortestPaths(const Graph& g, Params params)
   // caller overrode them.
   if (params_.hopset.zeta <= 0) params_.hopset.zeta = params_.epsilon / 2.0;
   hopset_ = build_weighted_hopset(g, params_.hopset);
+  init_hop_budgets_();
+}
+
+ApproxShortestPaths::ApproxShortestPaths(vid n, WeightedHopset hopset, Params params)
+    : params_(params), n_(n), hopset_(std::move(hopset)) {
+  init_hop_budgets_();
+}
+
+void ApproxShortestPaths::init_hop_budgets_() {
   // Per-scale hop budget: the k the rounding was charged with (a path
   // using more hops than that would exceed the rounding's distortion
   // allowance anyway), capped by max_hops. The Lemma 4.2 bound is the

@@ -44,6 +44,14 @@ class ApproxShortestPaths {
   /// handles it). Deterministic in (g, params).
   ApproxShortestPaths(const Graph& g, Params params);
 
+  /// Wrap a hopset the caller already built (the incremental-rebuild path
+  /// of DynamicApproxShortestPaths). `params` must be the exact,
+  /// already-normalized parameter set that built `hopset` — unlike the
+  /// graph ctor, no zeta defaulting is applied, so an engine assembled
+  /// this way is bit-identical to one built from the graph with the same
+  /// normalized params.
+  ApproxShortestPaths(vid n, WeightedHopset hopset, Params params);
+
   struct QueryResult {
     weight_t estimate = kInfWeight;  ///< (1+eps)-approximate distance
     std::uint64_t rounds = 0;        ///< hop rounds executed (depth proxy)
@@ -142,6 +150,8 @@ class ApproxShortestPaths {
   }
 
  private:
+  void init_hop_budgets_();
+
   Params params_;
   vid n_ = 0;
   WeightedHopset hopset_;

@@ -19,8 +19,10 @@
 #include "sssp/bfs.hpp"
 #include "spanner/low_stretch_tree.hpp"
 #include "spanner/spanner.hpp"
+#include "graph/delta.hpp"
 #include "sssp/approx_query.hpp"
 #include "sssp/delta_stepping.hpp"
+#include "sssp/dynamic_approx.hpp"
 #include "sssp/hop_limited.hpp"
 #include "sssp/weighted_bfs.hpp"
 
@@ -214,6 +216,48 @@ TEST_P(DriverDeterminism, ApproxQueryAll) {
   EXPECT_EQ(one.estimate, many.estimate);
   EXPECT_EQ(one.rounds, many.rounds);
   EXPECT_EQ(one.relaxations, many.relaxations);
+}
+
+// --- dynamic incremental rebuild (PR 9): an epoch produced by the
+// --- incremental dirty-scale path must be bit-identical to a forced full
+// --- rebuild and to itself across thread counts, scheduling seams
+// --- (team vs fork-join via the engine's warm workspace), and graph
+// --- backings (flat vs compressed). The push/pull seam rides the
+// --- PARSH_FORCE_PULL CI lane, which runs this whole suite.
+
+TEST_P(DriverDeterminism, DynamicRebuildAcrossThreadCountsAndSeams) {
+  const Graph flat = weighted();
+  const Graph compressed = flat.compress_adjacency();
+  DynamicApproxShortestPaths::Params p;
+  p.hopset.hopset.seed = GetParam();
+  GraphDelta d;
+  d.insert.push_back({0, 200, 3.0});
+  d.insert.push_back({5, 300, 1.0});
+  d.insert.push_back({17, 17, 2.0});  // self loop no-op rides along
+  d.remove.push_back({0, 1, 1.0});
+
+  auto run = [&](const Graph& g, bool fork_join, bool force_full) {
+    DynamicApproxShortestPaths dyn(g, p);
+    if (fork_join) dyn.cluster_workspace().force_fork_join(true);
+    dyn.set_force_full_rebuild(force_full);
+    const auto res = dyn.apply(d);
+    EXPECT_EQ(res.hopset.full_rebuild, force_full);
+    return dyn.snapshot()->engine.query_all(0);
+  };
+  const auto baseline =
+      at_threads(1, [&] { return run(flat, /*fork_join=*/false, /*full=*/false); });
+  const auto check = [&](const ApproxShortestPaths::AllResult& r, const char* what) {
+    EXPECT_EQ(r.estimate, baseline.estimate) << what;
+    EXPECT_EQ(r.rounds, baseline.rounds) << what;
+    EXPECT_EQ(r.relaxations, baseline.relaxations) << what;
+  };
+  check(at_threads(4, [&] { return run(flat, false, false); }), "4t organic");
+  check(at_threads(4, [&] { return run(flat, true, false); }), "4t fork-join");
+  check(at_threads(4, [&] { return run(flat, false, true); }), "4t forced-full");
+  check(at_threads(1, [&] { return run(compressed, false, false); }),
+        "1t compressed");
+  check(at_threads(4, [&] { return run(compressed, true, true); }),
+        "4t compressed fork-join forced-full");
 }
 
 // --- persistent-team round execution (PR 5): every driver's drain loop

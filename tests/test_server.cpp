@@ -154,6 +154,7 @@ TEST(FaultInjector, PerSiteTracesAreInterleavingIndependent) {
     (void)a.next(FaultSite::kReadFrame);
     (void)a.next(FaultSite::kWorkerLoop);
     (void)a.next(FaultSite::kAdmission);
+    (void)a.next(FaultSite::kSwap);
   }
   // Run B: four threads hammer one site each, concurrently — maximal
   // cross-site interleaving churn.
@@ -181,6 +182,7 @@ TEST(FaultInjector, PerSiteTracesAreInterleavingIndependent) {
     (void)c.next(FaultSite::kReadFrame);
     (void)c.next(FaultSite::kWorkerLoop);
     (void)c.next(FaultSite::kAdmission);
+    (void)c.next(FaultSite::kSwap);
   }
   EXPECT_NE(a.trace_string(), c.trace_string());
 }
@@ -642,6 +644,162 @@ TEST(QueryServer, TcpClientsRecoverFromInjectedDrops) {
   EXPECT_EQ(server.open_connections(), 0u);
   EXPECT_EQ(server.metrics().connections_opened.load(),
             server.metrics().connections_closed.load());
+}
+
+// ---- dynamic serving over the wire ------------------------------------------
+
+DynamicApproxShortestPaths::Params dyn_params() {
+  DynamicApproxShortestPaths::Params p;
+  p.epsilon = 0.25;
+  p.hopset.k_hops = 12;  // small hop budget: millisecond rebuilds at n=100
+  return p;
+}
+
+Graph dyn_graph() {
+  return with_uniform_weights(ensure_connected(make_random_graph(100, 300, 11)), 1,
+                              9, 42);
+}
+
+TEST(DynamicServer, UpdatesSwapEpochsAndQueriesFollow) {
+  DynamicApproxShortestPaths dyn(dyn_graph(), dyn_params());
+  QueryServer server(dyn, quiet_config());
+  server.start();
+  FdStream sfd, cfd;
+  ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+  server.serve_stream(std::move(sfd));
+
+  ClientConfig ccfg;
+  ccfg.max_retries = 0;
+  QueryClient client(std::move(cfd), ccfg);
+
+  // Epoch 0 is on the wire before any update.
+  QueryResponse q0;
+  ASSERT_TRUE(client.query({{0, 77}}, /*deadline_ms=*/5000, &q0).ok());
+  EXPECT_EQ(q0.status, StatusCode::kOk);
+  EXPECT_EQ(q0.epoch, 0u);
+
+  // A real structural change: a shortcut edge 0--77 of weight 1 must pull
+  // the served estimate down to at most 1 * (1 + eps) and bump the epoch.
+  UpdateResponse ur;
+  ASSERT_TRUE(client.update({{0, 77, 1.0}}, {}, &ur).ok());
+  EXPECT_EQ(ur.status, StatusCode::kOk);
+  EXPECT_EQ(ur.epoch, 1u);
+  // Lands as an insert, or as a reweight if the generator already drew
+  // the pair — either way exactly one effective change.
+  EXPECT_EQ(ur.inserted + ur.reweighted, 1u);
+  EXPECT_GT(ur.total_scales, 0u);
+  EXPECT_LE(ur.dirty_scales, ur.total_scales);
+  EXPECT_LE(ur.dirty_clusters, ur.total_clusters);
+
+  QueryResponse q1;
+  ASSERT_TRUE(client.query({{0, 77}}, /*deadline_ms=*/5000, &q1).ok());
+  EXPECT_EQ(q1.status, StatusCode::kOk);
+  EXPECT_EQ(q1.epoch, 1u);
+  ASSERT_EQ(q1.answers.size(), 1u);
+  EXPECT_LE(q1.answers[0].estimate, 1.0 * (1 + 0.25) + 1e-9);
+  EXPECT_LE(q1.answers[0].estimate, q0.answers[0].estimate);
+
+  // The wire answer matches the engine's own current snapshot exactly.
+  SsspWorkspace ws;
+  const auto snap = dyn.snapshot();
+  EXPECT_DOUBLE_EQ(q1.answers[0].estimate, snap->engine.query(0, 77, ws).estimate);
+
+  // Counters made it onto the stats wire.
+  StatsSnapshot s;
+  ASSERT_TRUE(client.stats(&s).ok());
+  EXPECT_EQ(s.updates_applied, 1u);
+  EXPECT_EQ(s.updates_rejected, 0u);
+
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST(DynamicServer, BadBatchesAnswerTypedAndApplyNothing) {
+  DynamicApproxShortestPaths dyn(dyn_graph(), dyn_params());
+  QueryServer server(dyn, quiet_config());
+  server.start();
+  FdStream sfd, cfd;
+  ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+  server.serve_stream(std::move(sfd));
+  ClientConfig ccfg;
+  ccfg.max_retries = 0;
+  QueryClient client(std::move(cfd), ccfg);
+
+  // An out-of-range endpoint rejects the whole batch atomically — the
+  // in-range edge in the same batch must NOT land.
+  UpdateResponse ur;
+  ASSERT_TRUE(client.update({{0, 5, 2.0}, {3, 100, 1.0}}, {}, &ur).ok());
+  EXPECT_EQ(ur.status, StatusCode::kOutOfRange);
+  EXPECT_EQ(dyn.epoch(), 0u);
+
+  // The connection survives a rejected batch; a good one still applies.
+  ASSERT_TRUE(client.update({{0, 5, 2.0}}, {}, &ur).ok());
+  EXPECT_EQ(ur.status, StatusCode::kOk);
+  EXPECT_EQ(ur.epoch, 1u);
+
+  StatsSnapshot s;
+  ASSERT_TRUE(client.stats(&s).ok());
+  EXPECT_EQ(s.updates_applied, 1u);
+  EXPECT_EQ(s.updates_rejected, 1u);
+
+  client.close();
+  server.stop();
+}
+
+TEST(DynamicServer, StaticServerAnswersUnavailable) {
+  const Env& e = env();
+  QueryServer server(e.g, e.engine, quiet_config());
+  server.start();
+  FdStream sfd, cfd;
+  ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+  server.serve_stream(std::move(sfd));
+  ClientConfig ccfg;
+  ccfg.max_retries = 0;
+  QueryClient client(std::move(cfd), ccfg);
+
+  UpdateResponse ur;
+  ASSERT_TRUE(client.update({{0, 1, 1.0}}, {}, &ur).ok());
+  EXPECT_EQ(ur.status, StatusCode::kUnavailable);
+
+  // Queries on the same connection are untouched.
+  QueryResponse resp;
+  ASSERT_TRUE(client.query({{0, 1}}, /*deadline_ms=*/5000, &resp).ok());
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+
+  client.close();
+  server.stop();
+}
+
+TEST(DynamicServer, SwapFaultSiteStallsTheSwapNotTheQueries) {
+  DynamicApproxShortestPaths dyn(dyn_graph(), dyn_params());
+  ServerConfig cfg = quiet_config();
+  cfg.enable_faults = true;
+  cfg.fault_seed = 77;
+  cfg.faults.swap_stall = 1.0;  // every swap stalls
+  cfg.faults.max_delay_us = 2000;
+  QueryServer server(dyn, cfg);
+  server.start();
+  FdStream sfd, cfd;
+  ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+  server.serve_stream(std::move(sfd));
+  ClientConfig ccfg;
+  ccfg.max_retries = 0;
+  QueryClient client(std::move(cfd), ccfg);
+
+  UpdateResponse ur;
+  ASSERT_TRUE(client.update({{1, 50, 1.0}}, {}, &ur).ok());
+  EXPECT_EQ(ur.status, StatusCode::kOk);
+  ASSERT_NE(server.injector(), nullptr);
+  EXPECT_FALSE(server.injector()->trace(FaultSite::kSwap).empty());
+
+  QueryResponse resp;
+  ASSERT_TRUE(client.query({{1, 50}}, /*deadline_ms=*/5000, &resp).ok());
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+  EXPECT_EQ(resp.epoch, 1u);
+
+  client.close();
+  server.stop();
 }
 
 TEST(QueryServer, StopIsGracefulAndIdempotent) {
