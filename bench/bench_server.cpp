@@ -28,12 +28,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "graph/digest.hpp"
+#include "server/checkpoint.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
+#include "server/wal.hpp"
 
 namespace {
 
@@ -187,6 +193,239 @@ LevelStats run_level(const Graph& g, const ApproxShortestPaths& engine,
   return agg;
 }
 
+// ---- ROADMAP item-3 headroom: durable update stream + crash recovery -------
+
+struct UpdateStreamStats {
+  std::vector<double> update_lat_ms;  // send to verdict, includes retries
+  std::vector<double> query_lat_ms;   // interleaved reads during the stream
+  std::uint64_t updates_ok = 0;
+  std::uint64_t updates_failed = 0;
+  std::uint64_t queries_ok = 0;
+  std::uint64_t queries_failed = 0;
+  std::uint64_t retries = 0;
+  double wall_s = 0;
+  StatsSnapshot server;
+  std::uint64_t wal_bytes = 0;
+  double recovery_ms = 0;
+  std::uint64_t recovered_replayed = 0;
+  std::uint64_t checkpoint_loaded = 0;
+  std::uint64_t digest_match = 0;
+};
+
+/// Open-loop interleaved update/query stream against the durable dynamic
+/// engine, then a simulated kill: drop the server and coordinator with the
+/// directory as-is, reopen it (checkpoint load + WAL replay), and check the
+/// recovered snapshot digests bit-identical to the last pre-kill epoch.
+/// A digest mismatch is a bench failure (exit 1), same as a leaked
+/// connection — it means the write-ahead contract lied.
+UpdateStreamStats run_update_stream(const Graph& g, double eps,
+                                    double warm_ms_per_query, bool faults,
+                                    const LevelConfig& lc, int updaters,
+                                    std::uint64_t checkpoint_every,
+                                    double query_rps) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmp && *tmp ? tmp : "/tmp") + "/parsh_bench_durable";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  DynamicApproxShortestPaths::Params dp;
+  dp.epsilon = eps;
+  dp.hopset.hopset.seed = lc.seed;
+  DurabilityOptions opt;
+  opt.dir = dir;
+  opt.checkpoint_every = checkpoint_every;
+  opt.wal.fsync = FsyncPolicy::kEveryBatch;
+  std::unique_ptr<Durability> d;
+  if (Status s = Durability::open(g, dp, opt, &d); !s.ok()) {
+    std::fprintf(stderr, "bench_server: durable open: %s\n",
+                 s.to_string().c_str());
+    std::exit(1);
+  }
+
+  ServerConfig cfg;
+  cfg.query_workers = 1;
+  cfg.admission.warm_ms_per_query_hint = std::max(warm_ms_per_query, 1e-3);
+  cfg.admission.default_deadline_ms = lc.deadline_ms;
+  if (faults) {
+    cfg.enable_faults = true;
+    cfg.fault_seed = lc.seed ^ 0xd04aULL;
+    cfg.faults.tear_write = 0.02;
+    cfg.faults.drop_connection = 0.02;
+    cfg.faults.wal_append_tear = 0.05;
+    cfg.faults.wal_fsync_fail = 0.05;
+    cfg.faults.checkpoint_write_fail = 0.1;
+    cfg.faults.checkpoint_rename_fail = 0.1;
+  }
+  QueryServer srv(*d, cfg);
+  if (Status s = srv.listen_tcp(0); !s.ok()) {
+    std::fprintf(stderr, "bench_server: listen failed: %s\n",
+                 s.to_string().c_str());
+    std::exit(1);
+  }
+
+  UpdateStreamStats agg;
+  std::mutex mu;
+  Timer wall;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto stop_at = t0 + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(lc.duration_s));
+  std::vector<std::thread> threads;
+
+  // Updaters: open-loop at a fixed offered rate; an apply that outlasts
+  // its interval charges the overrun to latency, not to the generator.
+  const double update_interval_s = 0.01;  // 100 offered updates/s per updater
+  for (int c = 0; c < updaters; ++c) {
+    threads.emplace_back([&, c] {
+      ClientConfig ccfg;
+      ccfg.max_retries = 4;
+      ccfg.backoff_base_ms = 2;
+      ccfg.backoff_max_ms = 50;
+      ccfg.rpc_timeout_ms = 5000;
+      ccfg.seed = lc.seed + 7700 + static_cast<std::uint64_t>(c) * 13;
+      QueryClient client;
+      if (!QueryClient::connect_tcp(srv.port(), ccfg, &client).ok()) return;
+      Rng rng(Rng(lc.seed).split(0xda7a + static_cast<std::uint64_t>(c)));
+      const vid n = g.num_vertices();
+      std::vector<double> lats;
+      std::uint64_t ok = 0, failed = 0;
+      for (int i = 0;; ++i) {
+        const auto due = t0 + std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double>(
+                                      update_interval_s * (i + 1)));
+        std::this_thread::sleep_until(std::min(due, stop_at));
+        if (std::chrono::steady_clock::now() >= stop_at) break;
+        std::vector<Edge> ins, rem;
+        std::uint64_t k = static_cast<std::uint64_t>(i) * 8;
+        for (int e2 = 0; e2 < 3; ++e2) {
+          Edge e;
+          e.u = static_cast<vid>(rng.uniform_int(k++, n));
+          e.v = static_cast<vid>(rng.uniform_int(k++, n));
+          e.w = static_cast<weight_t>(1 + rng.uniform_int(k++, 8));
+          if (e.u != e.v) ins.push_back(e);
+        }
+        const auto sent_at = std::chrono::steady_clock::now();
+        UpdateResponse resp;
+        const Status us = client.update(std::move(ins), std::move(rem), &resp);
+        lats.push_back(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - sent_at)
+                           .count());
+        if (us.ok() && resp.status == StatusCode::kOk) {
+          ++ok;
+        } else {
+          ++failed;
+        }
+      }
+      const ClientStats cs = client.client_stats();
+      client.close();
+      std::lock_guard<std::mutex> lock(mu);
+      agg.update_lat_ms.insert(agg.update_lat_ms.end(), lats.begin(),
+                               lats.end());
+      agg.updates_ok += ok;
+      agg.updates_failed += failed;
+      agg.retries += cs.retries;
+    });
+  }
+  // Interleaved readers: the point of epoch-swapped serving is that the
+  // update stream never blocks queries, so run them concurrently and
+  // report their latency alongside.
+  const int queriers = std::max(1, lc.clients - updaters);
+  const double query_interval_s =
+      static_cast<double>(queriers) / std::max(query_rps, 4.0);
+  for (int c = 0; c < queriers; ++c) {
+    threads.emplace_back([&, c] {
+      ClientConfig ccfg;
+      ccfg.max_retries = 2;
+      ccfg.backoff_base_ms = 2;
+      ccfg.backoff_max_ms = 50;
+      ccfg.rpc_timeout_ms = 2000;
+      ccfg.seed = lc.seed + 9900 + static_cast<std::uint64_t>(c) * 17;
+      QueryClient client;
+      if (!QueryClient::connect_tcp(srv.port(), ccfg, &client).ok()) return;
+      Rng rng(Rng(lc.seed).split(0x9e4d + static_cast<std::uint64_t>(c)));
+      const vid n = g.num_vertices();
+      std::vector<double> lats;
+      std::uint64_t ok = 0, failed = 0;
+      for (int i = 0;; ++i) {
+        const auto due = t0 + std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double>(
+                                      query_interval_s * (i + 1)));
+        std::this_thread::sleep_until(std::min(due, stop_at));
+        if (std::chrono::steady_clock::now() >= stop_at) break;
+        std::vector<std::pair<vid, vid>> pairs;
+        for (int p = 0; p < lc.pairs_per_request; ++p) {
+          const std::uint64_t k =
+              static_cast<std::uint64_t>(i) *
+                  static_cast<std::uint64_t>(lc.pairs_per_request) +
+              static_cast<std::uint64_t>(p);
+          pairs.emplace_back(static_cast<vid>(rng.uniform_int(2 * k, n)),
+                             static_cast<vid>(rng.uniform_int(2 * k + 1, n)));
+        }
+        const auto sent_at = std::chrono::steady_clock::now();
+        QueryResponse resp;
+        const Status qs = client.query(pairs, lc.deadline_ms, &resp);
+        lats.push_back(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - sent_at)
+                           .count());
+        if (qs.ok()) {
+          ++ok;
+        } else {
+          ++failed;
+        }
+      }
+      client.close();
+      std::lock_guard<std::mutex> lock(mu);
+      agg.query_lat_ms.insert(agg.query_lat_ms.end(), lats.begin(), lats.end());
+      agg.queries_ok += ok;
+      agg.queries_failed += failed;
+    });
+  }
+  for (auto& t : threads) t.join();
+  agg.wall_s = wall.seconds();
+  agg.server = srv.stats();
+  srv.stop();
+  if (srv.open_connections() != 0) {
+    std::fprintf(stderr, "bench_server: leaked connections after stop()\n");
+    std::exit(1);
+  }
+
+  for (const std::string& seg : list_wal_segments(dir)) {
+    agg.wal_bytes += std::filesystem::file_size(seg, ec);
+  }
+
+  // The simulated kill: remember what the last published epoch looked
+  // like, drop everything without a checkpoint, and recover from disk.
+  const std::uint64_t epoch = d->engine().epoch();
+  const std::uint64_t dig = graph_digest(d->engine().snapshot()->graph);
+  d.reset();
+  std::unique_ptr<Durability> rec;
+  if (Status s = Durability::open(g, dp, opt, &rec); !s.ok()) {
+    std::fprintf(stderr, "bench_server: recovery open: %s\n",
+                 s.to_string().c_str());
+    std::exit(1);
+  }
+  agg.recovery_ms = rec->recovery().recovery_ms;
+  agg.recovered_replayed = rec->recovery().replayed;
+  agg.checkpoint_loaded = rec->recovery().checkpoint_loaded ? 1 : 0;
+  agg.digest_match = (rec->engine().epoch() == epoch &&
+                      graph_digest(rec->engine().snapshot()->graph) == dig)
+                         ? 1
+                         : 0;
+  rec.reset();
+  std::filesystem::remove_all(dir, ec);
+  if (agg.digest_match == 0) {
+    std::fprintf(stderr,
+                 "bench_server: recovered state does not match the pre-kill "
+                 "snapshot (epoch %llu)\n",
+                 static_cast<unsigned long long>(epoch));
+    std::exit(1);
+  }
+  return agg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,6 +443,9 @@ int main(int argc, char** argv) {
   lc.deadline_ms = static_cast<std::uint32_t>(cli.get_int("deadline_ms", 25));
   lc.pairs_per_request = static_cast<int>(cli.get_int("pairs", 16));
   lc.seed = seed;
+  const int updaters = static_cast<int>(cli.get_int("updaters", 2));
+  const std::uint64_t checkpoint_every =
+      static_cast<std::uint64_t>(cli.get_int("checkpoint_every", 32));
 
   Graph g = with_uniform_weights(workload(wl, n, seed), 1, 8, seed + 9);
   print_header("SERVER: open-loop saturation of the hardened query service", g,
@@ -294,6 +536,58 @@ int main(int argc, char** argv) {
   std::printf("\nReading guide: past the 1x knee the queue must NOT grow without\n"
               "bound — shed/deadline/degraded counters absorb the overload and the\n"
               "p99 column stays within the deadline + retry-backoff envelope.\n");
+
+  // Durable update stream: interleaved writes/reads against the dynamic
+  // engine with a WAL underneath, then a simulated kill + recovery.
+  const UpdateStreamStats us =
+      run_update_stream(g, eps, warm_ms, faults, lc, updaters, checkpoint_every,
+                        capacity_rps * 0.5);
+  const double up_rps = us.wall_s > 0 ? us.updates_ok / us.wall_s : 0;
+  Table utable({"updates/s", "upd p50 ms", "upd p99 ms", "qry p99 ms",
+                "wal KiB", "fsyncs", "ckpts", "recover ms", "replayed"});
+  utable.row()
+      .cell(up_rps, 1)
+      .cell(percentile(us.update_lat_ms, 50), 2)
+      .cell(percentile(us.update_lat_ms, 99), 2)
+      .cell(percentile(us.query_lat_ms, 99), 2)
+      .cell(static_cast<double>(us.wal_bytes) / 1024.0, 1)
+      .cell(static_cast<std::size_t>(us.server.wal_fsyncs))
+      .cell(static_cast<std::size_t>(us.server.checkpoints_written))
+      .cell(us.recovery_ms, 1)
+      .cell(static_cast<std::size_t>(us.recovered_replayed));
+  utable.print("durable update stream (" + std::to_string(updaters) +
+               " updaters, fsync every batch, checkpoint every " +
+               std::to_string(checkpoint_every) +
+               "), then kill + recovery; digests match");
+  report.row()
+      .field("workload", wl)
+      .field("level", "update-stream")
+      .field("n", static_cast<std::uint64_t>(n))
+      .field("m", static_cast<std::uint64_t>(g.num_edges()))
+      .field("eps", eps)
+      .field("pairs", static_cast<std::uint64_t>(lc.pairs_per_request))
+      .field("updaters", static_cast<std::uint64_t>(updaters))
+      .field("checkpoint_every", checkpoint_every)
+      .field("faults_enabled", faults ? "true" : "false")
+      .field("realized_update_rps", up_rps)
+      .field("update_p50_ms", percentile(us.update_lat_ms, 50))
+      .field("update_p99_ms", percentile(us.update_lat_ms, 99))
+      .field("interleaved_query_p99_ms", percentile(us.query_lat_ms, 99))
+      .field("updates_ok", us.updates_ok)
+      .field("updates_failed", us.updates_failed)
+      .field("update_retries", us.retries)
+      .field("queries_ok", us.queries_ok)
+      .field("updates_applied", us.server.updates_applied)
+      .field("updates_deduped", us.server.updates_deduped)
+      .field("wal_records", us.server.wal_records)
+      .field("wal_fsyncs", us.server.wal_fsyncs)
+      .field("wal_bytes", us.wal_bytes)
+      .field("checkpoints_written", us.server.checkpoints_written)
+      .field("recovery_ms", us.recovery_ms)
+      .field("recovered_replayed", us.recovered_replayed)
+      .field("recovery_checkpoint_loaded", us.checkpoint_loaded)
+      .field("recovery_digest_match", us.digest_match);
+
   const std::string path = report.save();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;

@@ -44,7 +44,7 @@ import sys
 KEY_FIELDS = {
     "bench", "workload", "algorithm", "n", "m", "k", "threads", "eps",
     "beta", "weight_ratio", "queries", "pairs", "seed", "updates",
-    "batch_edges",
+    "batch_edges", "updaters", "checkpoint_every",
 }
 
 

@@ -1,0 +1,20 @@
+#include "graph/digest.hpp"
+
+namespace parsh {
+
+std::uint64_t graph_digest(const Graph& g) {
+  std::uint64_t h = kFnv64Offset;
+  const vid n = g.num_vertices();
+  h = fnv1a_u64(h, n);
+  const bool weighted = g.weighted();
+  for (vid u = 0; u < n; ++u) {
+    h = fnv1a_u64(h, g.degree(u));
+    g.for_arcs(u, 0, g.degree(u), [](vid) {}, [&](eid e, vid v) {
+      h = fnv1a_u64(h, v);
+      if (weighted) h = fnv1a_f64(h, g.weight(e));
+    });
+  }
+  return h;
+}
+
+}  // namespace parsh

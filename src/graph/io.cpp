@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -286,6 +287,88 @@ GraphDelta read_delta_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open: " + path);
   return read_delta(in);
+}
+
+namespace {
+
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64_le(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double get_f64_le(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::size_t write_delta_binary(std::vector<std::uint8_t>& out, const GraphDelta& d) {
+  const std::size_t start = out.size();
+  put_u32_le(out, static_cast<std::uint32_t>(d.insert.size()));
+  put_u32_le(out, static_cast<std::uint32_t>(d.remove.size()));
+  for (const Edge& e : d.insert) {
+    put_u32_le(out, e.u);
+    put_u32_le(out, e.v);
+    put_f64_le(out, e.w);
+  }
+  for (const Edge& e : d.remove) {
+    put_u32_le(out, e.u);
+    put_u32_le(out, e.v);
+  }
+  return out.size() - start;
+}
+
+std::size_t read_delta_binary(const std::uint8_t* data, std::size_t len,
+                              GraphDelta* out) {
+  std::size_t off = 0;
+  auto need = [&](std::size_t n, const char* what) {
+    if (len - off < n) throw IoError(std::string("binary delta: truncated ") + what, off);
+  };
+  need(8, "header");
+  const std::uint32_t n_ins = get_u32_le(data + off);
+  const std::uint32_t n_rem = get_u32_le(data + off + 4);
+  off += 8;
+  out->insert.clear();
+  out->remove.clear();
+  out->insert.reserve(n_ins);
+  out->remove.reserve(n_rem);
+  for (std::uint32_t i = 0; i < n_ins; ++i) {
+    need(16, "insert");
+    Edge e;
+    e.u = static_cast<vid>(get_u32_le(data + off));
+    e.v = static_cast<vid>(get_u32_le(data + off + 4));
+    e.w = get_f64_le(data + off + 8);
+    off += 16;
+    if (!(e.w > 0) || e.w != e.w) {
+      throw IoError("binary delta: nonpositive or NaN insert weight", off);
+    }
+    out->insert.push_back(e);
+  }
+  for (std::uint32_t i = 0; i < n_rem; ++i) {
+    need(8, "remove");
+    Edge e;
+    e.u = static_cast<vid>(get_u32_le(data + off));
+    e.v = static_cast<vid>(get_u32_le(data + off + 4));
+    e.w = 1;
+    off += 8;
+    out->remove.push_back(e);
+  }
+  return off;
 }
 
 }  // namespace parsh

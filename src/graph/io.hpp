@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "graph/delta.hpp"
 #include "graph/graph.hpp"
@@ -58,5 +60,21 @@ void write_delta_file(const std::string& path, const GraphDelta& d);
 /// the target graph's vertex count.
 GraphDelta read_delta(std::istream& in);
 GraphDelta read_delta_file(const std::string& path);
+
+/// Binary sibling of write_delta, for embedding deltas in binary records
+/// (the server's WAL). Little-endian fixed-width framing:
+///   n_insert u32, n_remove u32,
+///   n_insert * {u u32, v u32, w f64},  n_remove * {u u32, v u32}
+/// Weights ride as IEEE-754 bit patterns — unlike the text format this
+/// round-trips exactly, which replay bit-identity depends on. Appends to
+/// `out` and returns the number of bytes appended.
+std::size_t write_delta_binary(std::vector<std::uint8_t>& out, const GraphDelta& d);
+
+/// Decode the format produced by write_delta_binary, starting at
+/// data[0], consuming at most `len` bytes. Strict: a truncated buffer, a
+/// non-finite / non-positive weight, or counts pointing past `len` throw
+/// IoError (the "line" is the byte offset where decoding stopped).
+/// Returns the number of bytes consumed.
+std::size_t read_delta_binary(const std::uint8_t* data, std::size_t len, GraphDelta* out);
 
 }  // namespace parsh

@@ -7,7 +7,14 @@
 namespace parsh::server {
 
 QueryClient::QueryClient(FdStream stream, ClientConfig cfg)
-    : stream_(std::move(stream)), cfg_(cfg), jitter_(Rng(cfg.seed).split(0xc1)) {}
+    : stream_(std::move(stream)),
+      cfg_(cfg),
+      jitter_(Rng(cfg.seed).split(0xc1)),
+      // The dedup identity must be nonzero (0 opts out of exactly-once on
+      // the wire) and stable per seed, so reruns of a load generator are
+      // the same client to the server.
+      client_id_(cfg.client_id != 0 ? cfg.client_id
+                                    : (Rng(cfg.seed).split(0x1d).bits(0) | 1)) {}
 
 Status QueryClient::connect_tcp(std::uint16_t port, ClientConfig cfg,
                                 QueryClient* out) {
@@ -125,44 +132,76 @@ Status QueryClient::query(const std::vector<std::pair<vid, vid>>& pairs,
 
 Status QueryClient::update(std::vector<Edge> insert, std::vector<Edge> remove,
                            UpdateResponse* out) {
-  if (!stream_.valid() && !reconnect_()) {
-    return Status::fail(StatusCode::kConnectionClosed, "not connected");
-  }
   UpdateRequest req;
-  req.id = next_id_++;
+  req.client_id = client_id_;
+  // The sequence burns whether or not the batch is acknowledged: if a
+  // lost-ack batch DID land, a later batch reusing its sequence would be
+  // answered with the stale verdict and silently dropped. The server
+  // allows gaps, so over-burning is free.
+  req.sequence = next_seq_++;
   req.insert = std::move(insert);
   req.remove = std::move(remove);
-  std::vector<std::uint8_t> bytes;
-  encode_update_request(bytes, req);
-  ++stats_.requests_sent;
 
-  const Deadline deadline = Deadline::after_ms(cfg_.rpc_timeout_ms);
-  Status s = stream_.write_frame(bytes, deadline);
-  if (!s.ok()) return s;
-  for (;;) {
-    Frame frame;
-    s = stream_.read_frame(&frame, deadline);
-    if (!s.ok()) return s;
-    switch (frame.type) {
-      case FrameType::kUpdateResponse: {
+  Status last = Status::fail(StatusCode::kInternal, "no attempt made");
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (!stream_.valid() && !reconnect_()) {
+      last = Status::fail(StatusCode::kConnectionClosed, "not connected");
+      break;
+    }
+    // Fresh frame id per attempt (stale replies are skipped by id); the
+    // SAME (client_id, sequence) per attempt — that pair is what lets a
+    // durable server recognize "this batch again" and answer the original
+    // verdict instead of re-applying.
+    req.id = next_id_++;
+    std::vector<std::uint8_t> bytes;
+    encode_update_request(bytes, req);
+    ++stats_.requests_sent;
+
+    const Deadline deadline = Deadline::after_ms(cfg_.rpc_timeout_ms);
+    last = stream_.write_frame(bytes, deadline);
+    while (last.ok()) {
+      Frame frame;
+      last = stream_.read_frame(&frame, deadline);
+      if (!last.ok()) break;
+      if (frame.type == FrameType::kUpdateResponse) {
         UpdateResponse resp;
-        s = decode_update_response(frame.payload, &resp);
-        if (!s.ok()) return s;
+        last = decode_update_response(frame.payload, &resp);
+        if (!last.ok()) break;
         if (resp.id != req.id) continue;  // stale reply from a prior timeout
+        // A response is an answer — even kUnavailable from a static
+        // server. Only transport failures re-enter the attempt loop.
         *out = resp;
         return Status::success();
       }
-      case FrameType::kError: {
+      if (frame.type == FrameType::kError) {
         Status err;
         if (!decode_error(frame.payload, &err).ok()) {
-          return Status::fail(StatusCode::kInternal, "undecodable error frame");
+          err = Status::fail(StatusCode::kInternal, "undecodable error frame");
         }
-        return err;  // server closes after an error frame
+        last = std::move(err);  // server closes after an error frame
+        break;
       }
-      default:
-        continue;  // unrelated traffic on a shared connection
+      // Unrelated traffic on a shared connection.
     }
+
+    const bool retryable = last.code == StatusCode::kResourceExhausted ||
+                           last.code == StatusCode::kUnavailable ||
+                           last.code == StatusCode::kConnectionClosed ||
+                           last.code == StatusCode::kDeadlineExceeded;
+    if (!retryable || attempt == cfg_.max_retries) break;
+    if (last.code == StatusCode::kConnectionClosed ||
+        last.code == StatusCode::kDeadlineExceeded) {
+      // The rpc deadline expiring mid-roundtrip leaves the stream mid-
+      // frame — desynchronized either way; reconnect before retrying.
+      stream_.close();
+      if (!reconnect_()) break;
+    }
+    ++stats_.retries;
+    const double wait = backoff_ms_(attempt, 0);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wait));
   }
+  ++stats_.failures;
+  return last;
 }
 
 Status QueryClient::ping() {

@@ -35,6 +35,11 @@ struct ClientConfig {
   std::uint64_t seed = 1;
   /// When nonzero, a dropped connection reconnects to this loopback port.
   std::uint16_t reconnect_port = 0;
+  /// Exactly-once identity sent with every update (v3). 0 derives a
+  /// nonzero id deterministically from `seed`; set it explicitly when
+  /// several clients must share one dedup identity (or to 0-with-intent
+  /// via update_unkeyed paths that never retry).
+  std::uint64_t client_id = 0;
 };
 
 /// Client-side tallies a load generator aggregates into its report.
@@ -64,13 +69,23 @@ class QueryClient {
   [[nodiscard]] Status query(const std::vector<std::pair<vid, vid>>& pairs,
                              std::uint32_t deadline_ms, QueryResponse* out);
 
-  /// One update batch (v2 frames). Updates never retry: a transport
-  /// failure leaves "did it apply?" genuinely unknown, and re-sending a
-  /// delta that already landed double-applies it. On success *out holds
-  /// the server's verdict — which may itself be a typed failure (e.g.
-  /// kUnavailable from a static server); that's an answer, not an error.
+  /// One update batch (v3 frames), retried on the same ladder as queries
+  /// (RESOURCE_EXHAUSTED / UNAVAILABLE / CONNECTION_CLOSED, with backoff
+  /// and reconnect). Safe to retry because every attempt re-sends the
+  /// SAME (client_id, sequence) under a fresh frame id: a durable server
+  /// that already applied the batch answers with the original verdict
+  /// (kUpdateFlagDuplicate) instead of re-applying, so a transport
+  /// failure after the apply no longer double-lands the delta. On success
+  /// *out holds the server's verdict — which may itself be a typed
+  /// failure (e.g. kUnavailable from a static server); that's an answer,
+  /// not an error, and answers never retry.
   [[nodiscard]] Status update(std::vector<Edge> insert, std::vector<Edge> remove,
                               UpdateResponse* out);
+
+  /// The identity update() stamps on its batches (config, or derived
+  /// from the seed) and the next sequence it will use.
+  [[nodiscard]] std::uint64_t client_id() const { return client_id_; }
+  [[nodiscard]] std::uint64_t next_sequence() const { return next_seq_; }
 
   [[nodiscard]] Status ping();
   [[nodiscard]] Status stats(StatsSnapshot* out);
@@ -92,6 +107,8 @@ class QueryClient {
   Rng jitter_{1};
   std::uint64_t jitter_draws_ = 0;
   std::uint64_t next_id_ = 1;
+  std::uint64_t client_id_ = 0;  ///< nonzero once constructed
+  std::uint64_t next_seq_ = 1;   ///< per-client update sequence
   ClientStats stats_;
 };
 

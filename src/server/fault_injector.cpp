@@ -73,6 +73,23 @@ FaultAction FaultInjector::next(FaultSite site) {
             st.rng.uniform_int(base + 1, plan_.max_delay_us + 1));
       }
       break;
+    case FaultSite::kWalAppend:
+      if (hit(plan_.wal_append_tear)) {
+        act.kind = FaultAction::Kind::kTearWrite;
+        // Tear inside the record header or shortly after: the torn tail
+        // the recovery scan must detect and truncate.
+        act.amount = 1 + st.rng.uniform_int(base + 1, 23);
+      }
+      break;
+    case FaultSite::kWalFsync:
+      if (hit(plan_.wal_fsync_fail)) act.kind = FaultAction::Kind::kFailOp;
+      break;
+    case FaultSite::kCheckpointWrite:
+      if (hit(plan_.checkpoint_write_fail)) act.kind = FaultAction::Kind::kFailOp;
+      break;
+    case FaultSite::kCheckpointRename:
+      if (hit(plan_.checkpoint_rename_fail)) act.kind = FaultAction::Kind::kFailOp;
+      break;
   }
 
   if (!act.none()) ++injected_;

@@ -31,8 +31,12 @@ enum class FaultSite : std::size_t {
   kWorkerLoop = 2,  ///< before each batch the query worker executes
   kAdmission = 3,   ///< at each admission decision
   kSwap = 4,        ///< at the epoch-swap boundary, snapshot built but unpublished
+  kWalAppend = 5,   ///< before each WAL record append (tear = torn tail on disk)
+  kWalFsync = 6,    ///< before each WAL fsync (fail = durability failure)
+  kCheckpointWrite = 7,   ///< before writing a checkpoint's graph/manifest bytes
+  kCheckpointRename = 8,  ///< before the atomic rename publishing a checkpoint
 };
-inline constexpr std::size_t kNumFaultSites = 5;
+inline constexpr std::size_t kNumFaultSites = 9;
 
 [[nodiscard]] constexpr const char* fault_site_name(FaultSite site) {
   switch (site) {
@@ -41,6 +45,10 @@ inline constexpr std::size_t kNumFaultSites = 5;
     case FaultSite::kWorkerLoop: return "worker";
     case FaultSite::kAdmission: return "admission";
     case FaultSite::kSwap: return "swap";
+    case FaultSite::kWalAppend: return "wal_append";
+    case FaultSite::kWalFsync: return "wal_fsync";
+    case FaultSite::kCheckpointWrite: return "ckpt_write";
+    case FaultSite::kCheckpointRename: return "ckpt_rename";
   }
   return "?";
 }
@@ -55,6 +63,7 @@ struct FaultAction {
     kDropConnection,  ///< close the connection as if the peer vanished
     kStall,           ///< sleep `delay_us` before serving (a GC-pause stand-in)
     kQueueSpike,      ///< pretend `amount` phantom requests are queued ahead
+    kFailOp,          ///< fail the durability operation (fsync/write/rename error)
   };
   Kind kind = Kind::kNone;
   std::uint64_t amount = 0;
@@ -71,6 +80,7 @@ struct FaultAction {
     case FaultAction::Kind::kDropConnection: return "drop";
     case FaultAction::Kind::kStall: return "stall";
     case FaultAction::Kind::kQueueSpike: return "spike";
+    case FaultAction::Kind::kFailOp: return "fail";
   }
   return "?";
 }
@@ -88,6 +98,16 @@ struct FaultPlan {
   /// widest version of the query-during-swap window the dynamic tests
   /// need sanitizer coverage on (at kSwap).
   double swap_stall = 0;
+  /// Durability faults. A torn WAL append writes only a prefix of the
+  /// record (the on-disk image a mid-append crash leaves) then fails the
+  /// update; a failed fsync fails the update without publishing; failed
+  /// checkpoint writes / renames abort the checkpoint and leave serving
+  /// on the previous one. Recovery from all four is what
+  /// tests/test_durability.cpp's differential harness pins.
+  double wal_append_tear = 0;     ///< at kWalAppend (kind kTearWrite)
+  double wal_fsync_fail = 0;      ///< at kWalFsync (kind kFailOp)
+  double checkpoint_write_fail = 0;   ///< at kCheckpointWrite (kind kFailOp)
+  double checkpoint_rename_fail = 0;  ///< at kCheckpointRename (kind kFailOp)
   std::uint32_t max_delay_us = 2000;  ///< cap on stall / slow-write pauses
   std::uint64_t max_spike = 64;       ///< cap on phantom queue depth
 };

@@ -28,6 +28,12 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> updates_applied{0};
   std::atomic<std::uint64_t> updates_rejected{0};
   std::atomic<std::uint64_t> stale_batches{0};
+  std::atomic<std::uint64_t> updates_deduped{0};
+  std::atomic<std::uint64_t> wal_records{0};
+  std::atomic<std::uint64_t> wal_fsyncs{0};
+  std::atomic<std::uint64_t> checkpoints_written{0};
+  std::atomic<std::uint64_t> wal_failures{0};
+  std::atomic<std::uint64_t> recovered_updates{0};
 
   void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
     c.fetch_add(by, std::memory_order_relaxed);
@@ -52,6 +58,12 @@ struct ServerMetrics {
     s.updates_applied = updates_applied.load(std::memory_order_relaxed);
     s.updates_rejected = updates_rejected.load(std::memory_order_relaxed);
     s.stale_batches = stale_batches.load(std::memory_order_relaxed);
+    s.updates_deduped = updates_deduped.load(std::memory_order_relaxed);
+    s.wal_records = wal_records.load(std::memory_order_relaxed);
+    s.wal_fsyncs = wal_fsyncs.load(std::memory_order_relaxed);
+    s.checkpoints_written = checkpoints_written.load(std::memory_order_relaxed);
+    s.wal_failures = wal_failures.load(std::memory_order_relaxed);
+    s.recovered_updates = recovered_updates.load(std::memory_order_relaxed);
     return s;
   }
 };

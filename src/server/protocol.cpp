@@ -86,14 +86,17 @@ Status parse_frame_header(const std::uint8_t header[kFrameHeaderBytes],
   const std::uint16_t magic =
       static_cast<std::uint16_t>(header[0]) | static_cast<std::uint16_t>(header[1]) << 8;
   if (magic != kMagic) return malformed("frame: bad magic");
-  // v1 request frames are still honored; the update frames are the one
-  // thing v2 added at the frame level, so a v1 header may not carry them.
-  if (header[2] != 1 && header[2] != kProtocolVersion) {
+  // v1/v2 query, ping and stats frames are still honored (their payloads
+  // never changed). Update frames must arrive at v3: v3 redefined the
+  // update payload to carry the (client_id, sequence) exactly-once
+  // identity, so an older update frame cannot be decoded — and accepting
+  // one without an identity would silently forfeit dedup under retries.
+  if (header[2] < 1 || header[2] > kProtocolVersion) {
     return malformed("frame: unsupported version");
   }
   if (!frame_type_known(header[3])) return malformed("frame: unknown type");
-  if (header[2] == 1 && header[3] > 7) {
-    return malformed("frame: update frames require protocol v2");
+  if (header[2] < 3 && header[3] > 7) {
+    return malformed("frame: update frames require protocol v3");
   }
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
@@ -201,14 +204,17 @@ Status decode_query_response(const std::vector<std::uint8_t>& payload,
 }
 
 // ---- update request ---------------------------------------------------------
-// payload: id u64, flags u32, n_insert u32, n_remove u32,
+// payload (v3): id u64, flags u32, client_id u64, sequence u64,
+//          n_insert u32, n_remove u32,
 //          n_insert * {u u32, v u32, w f64}, n_remove * {u u32, v u32}
 
 void encode_update_request(std::vector<std::uint8_t>& out, const UpdateRequest& req) {
   std::vector<std::uint8_t> payload;
-  payload.reserve(20 + req.insert.size() * 16 + req.remove.size() * 8);
+  payload.reserve(36 + req.insert.size() * 16 + req.remove.size() * 8);
   put_u64(payload, req.id);
   put_u32(payload, req.flags);
+  put_u64(payload, req.client_id);
+  put_u64(payload, req.sequence);
   put_u32(payload, static_cast<std::uint32_t>(req.insert.size()));
   put_u32(payload, static_cast<std::uint32_t>(req.remove.size()));
   for (const Edge& e : req.insert) {
@@ -227,10 +233,14 @@ Status decode_update_request(const std::vector<std::uint8_t>& payload,
                              UpdateRequest* out) {
   Reader r(payload.data(), payload.size());
   std::uint32_t n_ins = 0, n_rem = 0;
-  if (!r.u64(&out->id) || !r.u32(&out->flags) || !r.u32(&n_ins) || !r.u32(&n_rem)) {
+  if (!r.u64(&out->id) || !r.u32(&out->flags) || !r.u64(&out->client_id) ||
+      !r.u64(&out->sequence) || !r.u32(&n_ins) || !r.u32(&n_rem)) {
     return malformed("update request: truncated header");
   }
   if (out->flags != 0) return malformed("update request: unknown flags");
+  if (out->client_id != 0 && out->sequence == 0) {
+    return malformed("update request: sequence must start at 1");
+  }
   if (static_cast<std::size_t>(n_ins) + n_rem > kMaxUpdateEdges) {
     return malformed("update request: batch too large");
   }
@@ -334,7 +344,9 @@ void encode_stats_response(std::vector<std::uint8_t>& out, const StatsSnapshot& 
       s.queries_out_of_range, s.queries_degraded, s.batches_served,
       s.connections_opened, s.connections_closed, s.faults_injected,
       s.pool_checkout_timeouts, s.updates_applied, s.updates_rejected,
-      s.stale_batches,
+      s.stale_batches,          s.updates_deduped, s.wal_records,
+      s.wal_fsyncs,             s.checkpoints_written, s.wal_failures,
+      s.recovered_updates,
   };
   put_u32(payload, static_cast<std::uint32_t>(std::size(fields)));
   for (std::uint64_t f : fields) put_u64(payload, f);
@@ -353,7 +365,9 @@ Status decode_stats_response(const std::vector<std::uint8_t>& payload,
       &out->queries_out_of_range, &out->queries_degraded, &out->batches_served,
       &out->connections_opened, &out->connections_closed, &out->faults_injected,
       &out->pool_checkout_timeouts, &out->updates_applied, &out->updates_rejected,
-      &out->stale_batches,
+      &out->stale_batches,      &out->updates_deduped, &out->wal_records,
+      &out->wal_fsyncs,         &out->checkpoints_written, &out->wal_failures,
+      &out->recovered_updates,
   };
   if (r.remaining() != static_cast<std::size_t>(count) * 8) {
     return malformed("stats: count disagrees with payload length");

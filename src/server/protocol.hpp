@@ -32,11 +32,15 @@
 namespace parsh::server {
 
 inline constexpr std::uint16_t kMagic = 0x5350;  // "PS"
-/// v2 adds graph updates: the kUpdateRequest/kUpdateResponse frames and a
-/// serving-epoch field in every query response. The server still accepts
-/// v1 request frames (their payloads are unchanged) but always answers at
-/// v2 — a strict v1 client must upgrade before parsing responses.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// v2 added graph updates: the kUpdateRequest/kUpdateResponse frames and a
+/// serving-epoch field in every query response. v3 makes updates durable
+/// and exactly-once: update request payloads carry (client_id, sequence)
+/// so a retried batch can be recognized and answered with its original
+/// result instead of re-applied. The server still accepts v1/v2 query,
+/// ping and stats frames (their payloads are unchanged) but update frames
+/// must arrive at v3 — the dedup identity is not optional once retries
+/// exist — and every response goes out at v3.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 /// Frames larger than this are rejected before the payload is read (a
 /// 4 GiB length prefix must not allocate 4 GiB).
@@ -111,14 +115,25 @@ struct QueryResponse {
   std::vector<QueryAnswer> answers;
 };
 
-/// Client -> server (v2): a batched graph mutation. Inserts double as
+/// Client -> server (v3): a batched graph mutation. Inserts double as
 /// reweights; removes delete if present (GraphDelta semantics). Updates
 /// are applied on the connection's reader thread — they never occupy a
 /// query worker and never shed queries — and queries in flight finish on
 /// the pre-update snapshot.
+///
+/// Exactly-once identity: (client_id, sequence). A client picks one
+/// nonzero client_id for its lifetime and numbers its update batches
+/// 1, 2, 3, …; a retry re-sends the SAME sequence (under a fresh frame
+/// id), and a durable server answers a sequence it already applied with
+/// the original result (kUpdateFlagDuplicate set) instead of re-applying.
+/// client_id 0 opts out: every such batch is applied unconditionally
+/// (still durably logged), which is only safe for callers that never
+/// retry.
 struct UpdateRequest {
   std::uint64_t id = 0;     ///< echoed in the response
   std::uint32_t flags = 0;  ///< reserved (must be 0)
+  std::uint64_t client_id = 0;  ///< exactly-once identity; 0 = no dedup
+  std::uint64_t sequence = 0;   ///< per-client batch number, from 1
   std::vector<Edge> insert;
   std::vector<Edge> remove;  ///< weight field ignored
 };
@@ -126,6 +141,9 @@ struct UpdateRequest {
 /// Response-level flag: the rebuild recomputed every scale (the ladder
 /// moved, or force_full_rebuild was set).
 inline constexpr std::uint32_t kUpdateFlagFullRebuild = 1u << 0;
+/// Response-level flag (v3): this sequence was already applied; the
+/// response replays the original verdict and nothing was re-applied.
+inline constexpr std::uint32_t kUpdateFlagDuplicate = 1u << 1;
 
 /// Server -> client (v2): one update batch's verdict. On kOk the epoch is
 /// the one the new snapshot serves as, and the dirty/total counters say
@@ -167,6 +185,13 @@ struct StatsSnapshot {
   std::uint64_t updates_applied = 0;
   std::uint64_t updates_rejected = 0;
   std::uint64_t stale_batches = 0;
+  // v3 durability counters (appended; older clients ignore them).
+  std::uint64_t updates_deduped = 0;    ///< duplicate sequences answered from the table
+  std::uint64_t wal_records = 0;        ///< records appended to the WAL
+  std::uint64_t wal_fsyncs = 0;         ///< fsyncs issued by the WAL policy
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t wal_failures = 0;       ///< appends/fsyncs that failed (update not applied)
+  std::uint64_t recovered_updates = 0;  ///< WAL records replayed at startup
 };
 
 // ---- encoding ---------------------------------------------------------------

@@ -40,11 +40,21 @@ QueryServer::QueryServer(DynamicApproxShortestPaths& dynamic, ServerConfig cfg)
   }
 }
 
+QueryServer::QueryServer(Durability& durable, ServerConfig cfg)
+    : QueryServer(durable.engine(), std::move(cfg)) {
+  durable_ = &durable;
+  metrics_.recovered_updates.store(durable.recovery().replayed,
+                                   std::memory_order_relaxed);
+}
+
 QueryServer::~QueryServer() { stop(); }
 
 void QueryServer::start() {
   if (started_) return;
   started_ = true;
+  // A peer that dies mid-response must surface as EPIPE through the
+  // Status taxonomy, never as a process-killing signal.
+  ignore_sigpipe();
   const std::size_t pool_size =
       cfg_.pool_workspaces > 0 ? cfg_.pool_workspaces : std::max<std::size_t>(1, cfg_.query_workers);
   pool_.prepare_serving(pool_size);
@@ -270,6 +280,18 @@ void QueryServer::handle_update_(Connection& conn,
     if (!in_range) {
       resp.status = StatusCode::kOutOfRange;
       metrics_.bump(metrics_.updates_rejected);
+    } else if (durable_ != nullptr) {
+      // The durable path: the coordinator owns dedup, WAL-before-publish
+      // and checkpoints, and never throws. A duplicate replay is neither
+      // applied nor rejected — it bumps updates_deduped inside.
+      durable_->handle_update(req, &resp, injector_.get(), &metrics_);
+      if (resp.status == StatusCode::kOk) {
+        if ((resp.flags & kUpdateFlagDuplicate) == 0) {
+          metrics_.bump(metrics_.updates_applied);
+        }
+      } else {
+        metrics_.bump(metrics_.updates_rejected);
+      }
     } else {
       try {
         GraphDelta delta;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "server/admission.hpp"
+#include "server/checkpoint.hpp"
 #include "server/fault_injector.hpp"
 #include "server/metrics.hpp"
 #include "server/protocol.hpp"
@@ -76,6 +77,13 @@ class QueryServer {
   /// finish on the pre-swap graph. With faults enabled, the injector's
   /// kSwap site is wired to the engine's swap hook.
   QueryServer(DynamicApproxShortestPaths& dynamic, ServerConfig cfg);
+
+  /// Serve a durable dynamic engine (must outlive the server). Every
+  /// accepted update goes through the Durability coordinator: exactly-once
+  /// dedup on (client_id, sequence), WAL append inside the pre-publish
+  /// seam, threshold checkpoints. Identical to the dynamic ctor otherwise;
+  /// recovered_updates in stats() reports what startup replay re-applied.
+  QueryServer(Durability& durable, ServerConfig cfg);
   ~QueryServer();
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
@@ -137,6 +145,7 @@ class QueryServer {
   /// pinned, whose storage the shared_ptr keeps alive through any swap).
   const ApproxShortestPaths* engine_ = nullptr;
   DynamicApproxShortestPaths* dynamic_ = nullptr;
+  Durability* durable_ = nullptr;  ///< set iff the durable ctor was used
   vid n_;
   ServerConfig cfg_;
   ServerMetrics metrics_;

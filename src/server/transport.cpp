@@ -9,6 +9,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -168,10 +169,18 @@ Status FdStream::write_frame(const std::vector<std::uint8_t>& bytes,
       case FaultAction::Kind::kNone:
       case FaultAction::Kind::kStall:
       case FaultAction::Kind::kQueueSpike:
+      case FaultAction::Kind::kFailOp:
         break;  // not write-site kinds
     }
   }
   return write_all(bytes.data(), bytes.size(), deadline);
+}
+
+void ignore_sigpipe() {
+  struct sigaction sa{};
+  sa.sa_handler = SIG_IGN;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGPIPE, &sa, nullptr);
 }
 
 // ---- socketpair -------------------------------------------------------------

@@ -76,6 +76,12 @@ class FdStream {
 /// A connected AF_UNIX stream pair (the in-process test transport).
 [[nodiscard]] Status make_socketpair(FdStream* a, FdStream* b);
 
+/// Ignore SIGPIPE process-wide (idempotent). MSG_NOSIGNAL covers send(2),
+/// but a durable server also writes pipes and plain fds (WAL, checkpoint
+/// temp files on weird mounts) where a dead reader would otherwise kill
+/// the process; EPIPE through the Status taxonomy is the contract.
+void ignore_sigpipe();
+
 /// A loopback TCP listener (port 0 picks an ephemeral port).
 class TcpListener {
  public:

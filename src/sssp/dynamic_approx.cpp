@@ -17,7 +17,8 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-DynamicApproxShortestPaths::DynamicApproxShortestPaths(Graph g, Params params)
+DynamicApproxShortestPaths::DynamicApproxShortestPaths(Graph g, Params params,
+                                                       std::uint64_t initial_epoch)
     : params_(params), n_(g.num_vertices()) {
   // Normalize once; rebuilds must see the exact parameter set epoch 0 was
   // built with or bit-identity across epochs is off the table.
@@ -26,7 +27,9 @@ DynamicApproxShortestPaths::DynamicApproxShortestPaths(Graph g, Params params)
       build_weighted_hopset(g, params_.hopset, cluster_ws_, build_pool_);
   ApproxShortestPaths engine(n_, std::move(hs), params_);
   snap_ = std::make_shared<const Snapshot>(std::move(g), std::move(engine),
-                                           /*epoch=*/0);
+                                           initial_epoch);
+  update_seq_.store(initial_epoch, std::memory_order_relaxed);
+  published_epoch_.store(initial_epoch, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const DynamicApproxShortestPaths::Snapshot>
@@ -36,7 +39,8 @@ DynamicApproxShortestPaths::snapshot() const {
 }
 
 DynamicApproxShortestPaths::ApplyResult DynamicApproxShortestPaths::apply(
-    const GraphDelta& delta) {
+    const GraphDelta& delta,
+    const std::function<void(const ApplyResult&)>& pre_publish) {
   std::lock_guard<std::mutex> lk(update_mu_);
   const auto t0 = std::chrono::steady_clock::now();
   const std::shared_ptr<const Snapshot> old = snapshot();
@@ -72,17 +76,34 @@ DynamicApproxShortestPaths::ApplyResult DynamicApproxShortestPaths::apply(
   auto snap = std::make_shared<const Snapshot>(
       std::move(dr.graph), ApproxShortestPaths(n_, std::move(hs), params_),
       old->epoch + 1);
+  res.epoch = snap->epoch;
+  // rebuild_ms is pinned here, before the write-ahead seam, so the value
+  // the durability layer logs IS the value the caller (and any duplicate
+  // retry answered from the log) sees — one canonical result per epoch.
+  res.rebuild_ms = ms_since(t0);
 
-  // The snapshot is complete; this is the last instant before readers can
-  // see it. Fault injection stalls here to widen the swap window.
+  // The write-ahead seam: the snapshot is complete but unpublished and
+  // uncounted. A throwing pre_publish (WAL append/fsync failure) unwinds
+  // the accepted-update counter and discards the snapshot — no reader
+  // ever saw the epoch, so the failed update leaves no trace.
+  if (pre_publish) {
+    try {
+      pre_publish(res);
+    } catch (...) {
+      update_seq_.fetch_sub(1, std::memory_order_relaxed);
+      rebuild_in_progress_.store(false, std::memory_order_relaxed);
+      throw;
+    }
+  }
+
+  // The last instant before readers can see the snapshot. Fault injection
+  // stalls here to widen the swap window.
   if (swap_hook_) swap_hook_();
 
   {
     std::lock_guard<std::mutex> pub(snap_mu_);
     snap_ = snap;
   }
-  res.epoch = snap->epoch;
-  res.rebuild_ms = ms_since(t0);
   published_epoch_.store(snap->epoch, std::memory_order_relaxed);
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
   if (res.hopset.full_rebuild) {

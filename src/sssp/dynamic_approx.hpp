@@ -69,10 +69,16 @@ class DynamicApproxShortestPaths {
     std::uint64_t inserted = 0, removed = 0, reweighted = 0, noops = 0;
   };
 
-  /// Build epoch 0 from g. Params are normalized here once (the zeta
-  /// defaulting the static engine's ctor does) so every later rebuild
-  /// sees the identical parameter set.
-  DynamicApproxShortestPaths(Graph g, Params params);
+  /// Build the first snapshot from g. Params are normalized here once
+  /// (the zeta defaulting the static engine's ctor does) so every later
+  /// rebuild sees the identical parameter set. `initial_epoch` seats the
+  /// epoch counter: 0 for a fresh engine, the checkpoint's epoch when the
+  /// durability layer rebuilds an engine from a recovered graph (hopset
+  /// state is a pure function of (graph, params, seed) — the PR 9
+  /// differential harness pins from-scratch == incremental — so replaying
+  /// the WAL tail from here reproduces the uninterrupted snapshots
+  /// bit-identically).
+  DynamicApproxShortestPaths(Graph g, Params params, std::uint64_t initial_epoch = 0);
 
   /// The current published snapshot. Hold the returned pointer for the
   /// whole batch: every answer in a batch then comes from one epoch, and
@@ -83,7 +89,19 @@ class DynamicApproxShortestPaths {
   /// everything under force_full_rebuild), publish the new snapshot.
   /// Serialized internally; queries are never blocked. Throws
   /// std::invalid_argument (bad endpoints / weights) without publishing.
-  ApplyResult apply(const GraphDelta& delta);
+  ApplyResult apply(const GraphDelta& delta) { return apply(delta, nullptr); }
+
+  /// apply() with a write-ahead seam: `pre_publish` runs on the applying
+  /// thread after the new snapshot is fully built but BEFORE anything is
+  /// published or counted — the point where the durability layer appends
+  /// and fsyncs the WAL record, so an acknowledged update is on disk
+  /// before any reader can observe its epoch. The ApplyResult it receives
+  /// is final (epoch, rebuild stats, effect counts). If it throws, the
+  /// new snapshot is discarded, every counter is rolled back, and the
+  /// exception propagates: a durability failure leaves the engine exactly
+  /// as if the apply never happened.
+  ApplyResult apply(const GraphDelta& delta,
+                    const std::function<void(const ApplyResult&)>& pre_publish);
 
   /// Epoch of the published snapshot (0 until the first apply lands).
   [[nodiscard]] std::uint64_t epoch() const {

@@ -5,12 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "server/admission.hpp"
+#include "server/checkpoint.hpp"
 #include "server/client.hpp"
 #include "server/fault_injector.hpp"
 #include "server/protocol.hpp"
@@ -150,13 +154,11 @@ TEST(FaultInjector, PerSiteTracesAreInterleavingIndependent) {
   // Run A: all sites consulted round-robin from one thread.
   FaultInjector a(/*seed=*/1234, plan);
   for (int i = 0; i < 64; ++i) {
-    (void)a.next(FaultSite::kWriteFrame);
-    (void)a.next(FaultSite::kReadFrame);
-    (void)a.next(FaultSite::kWorkerLoop);
-    (void)a.next(FaultSite::kAdmission);
-    (void)a.next(FaultSite::kSwap);
+    for (std::size_t s = 0; s < kNumFaultSites; ++s) {
+      (void)a.next(static_cast<FaultSite>(s));
+    }
   }
-  // Run B: four threads hammer one site each, concurrently — maximal
+  // Run B: one thread hammers each site, all concurrently — maximal
   // cross-site interleaving churn.
   FaultInjector b(/*seed=*/1234, plan);
   std::vector<std::thread> threads;
@@ -178,11 +180,9 @@ TEST(FaultInjector, PerSiteTracesAreInterleavingIndependent) {
   // A different seed draws a different schedule.
   FaultInjector c(/*seed=*/99, plan);
   for (int i = 0; i < 64; ++i) {
-    (void)c.next(FaultSite::kWriteFrame);
-    (void)c.next(FaultSite::kReadFrame);
-    (void)c.next(FaultSite::kWorkerLoop);
-    (void)c.next(FaultSite::kAdmission);
-    (void)c.next(FaultSite::kSwap);
+    for (std::size_t s = 0; s < kNumFaultSites; ++s) {
+      (void)c.next(static_cast<FaultSite>(s));
+    }
   }
   EXPECT_NE(a.trace_string(), c.trace_string());
 }
@@ -800,6 +800,283 @@ TEST(DynamicServer, SwapFaultSiteStallsTheSwapNotTheQueries) {
 
   client.close();
   server.stop();
+}
+
+// ---- durable serving over the wire ------------------------------------------
+
+std::string durable_dir(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmp && *tmp ? tmp : "/tmp") + "/parsh_server_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+DurabilityOptions durable_options(const std::string& dir) {
+  DurabilityOptions opt;
+  opt.dir = dir;
+  opt.wal.fsync = FsyncPolicy::kOff;
+  return opt;
+}
+
+/// Send one update frame over a raw stream and read back its response
+/// (the wire-level path, no client retry machinery in the way).
+Status raw_update(FdStream& stream, const UpdateRequest& req,
+                  UpdateResponse* out) {
+  std::vector<std::uint8_t> bytes;
+  encode_update_request(bytes, req);
+  const Deadline deadline = Deadline::after_ms(5000);
+  Status s = stream.write_frame(bytes, deadline);
+  if (!s.ok()) return s;
+  for (;;) {
+    Frame frame;
+    s = stream.read_frame(&frame, deadline);
+    if (!s.ok()) return s;
+    if (frame.type != FrameType::kUpdateResponse) continue;
+    return decode_update_response(frame.payload, out);
+  }
+}
+
+TEST(DurableServer, DuplicateUpdateFrameRepliesOriginalVerdictOnTheWire) {
+  const std::string dir = durable_dir("dup_wire");
+  std::unique_ptr<Durability> durable;
+  ASSERT_TRUE(Durability::open(dyn_graph(), dyn_params(), durable_options(dir),
+                               &durable)
+                  .ok());
+  QueryServer server(*durable, quiet_config());
+  server.start();
+  FdStream sfd, cfd;
+  ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+  server.serve_stream(std::move(sfd));
+
+  UpdateRequest req;
+  req.id = 1;
+  req.client_id = 0x5eed;
+  req.sequence = 1;
+  req.insert = {{0, 77, 1.0}};
+  UpdateResponse first;
+  ASSERT_TRUE(raw_update(cfd, req, &first).ok());
+  EXPECT_EQ(first.status, StatusCode::kOk);
+  EXPECT_EQ(first.epoch, 1u);
+  EXPECT_EQ(first.flags & kUpdateFlagDuplicate, 0u);
+
+  // The retry a client whose ack got lost would send: same (client_id,
+  // sequence), fresh frame id, and — because the client re-encodes — the
+  // same delta. The server must answer the ORIGINAL verdict and apply
+  // nothing.
+  req.id = 2;
+  UpdateResponse second;
+  ASSERT_TRUE(raw_update(cfd, req, &second).ok());
+  EXPECT_EQ(second.id, 2u);
+  EXPECT_EQ(second.status, StatusCode::kOk);
+  EXPECT_NE(second.flags & kUpdateFlagDuplicate, 0u);
+  EXPECT_EQ(second.epoch, first.epoch);
+  EXPECT_EQ(second.inserted + second.reweighted,
+            first.inserted + first.reweighted);
+  EXPECT_EQ(durable->engine().epoch(), 1u);
+
+  StatsSnapshot s;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_request(bytes);
+  ASSERT_TRUE(cfd.write_frame(bytes, Deadline::after_ms(5000)).ok());
+  Frame frame;
+  ASSERT_TRUE(cfd.read_frame(&frame, Deadline::after_ms(5000)).ok());
+  ASSERT_TRUE(decode_stats_response(frame.payload, &s).ok());
+  EXPECT_EQ(s.updates_applied, 1u);
+  EXPECT_EQ(s.updates_deduped, 1u);
+  EXPECT_EQ(s.wal_records, 1u);
+
+  cfd.close();
+  server.stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(DurableServer, StateSurvivesARestartAndRetrysAreStillDeduped) {
+  const std::string dir = durable_dir("restart");
+  ClientConfig ccfg;
+  ccfg.max_retries = 0;
+  ccfg.client_id = 0xfacade;
+  QueryResponse before;
+
+  {
+    std::unique_ptr<Durability> durable;
+    ASSERT_TRUE(Durability::open(dyn_graph(), dyn_params(),
+                                 durable_options(dir), &durable)
+                    .ok());
+    QueryServer server(*durable, quiet_config());
+    server.start();
+    FdStream sfd, cfd;
+    ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+    server.serve_stream(std::move(sfd));
+    QueryClient client(std::move(cfd), ccfg);
+
+    for (int i = 0; i < 3; ++i) {
+      UpdateResponse ur;
+      ASSERT_TRUE(client.update({{0, static_cast<vid>(70 + i), 1.0}}, {}, &ur).ok());
+      ASSERT_EQ(ur.status, StatusCode::kOk);
+      EXPECT_EQ(ur.epoch, static_cast<std::uint64_t>(i + 1));
+    }
+    ASSERT_TRUE(client.query({{0, 71}}, 5000, &before).ok());
+    ASSERT_EQ(before.status, StatusCode::kOk);
+    EXPECT_EQ(before.epoch, 3u);
+    client.close();
+    server.stop();
+    // `durable` drops with no shutdown checkpoint — restart is recovery.
+  }
+
+  std::unique_ptr<Durability> durable;
+  ASSERT_TRUE(Durability::open(dyn_graph(), dyn_params(), durable_options(dir),
+                               &durable)
+                  .ok());
+  EXPECT_EQ(durable->recovery().replayed, 3u);
+  EXPECT_EQ(durable->engine().epoch(), 3u);
+
+  QueryServer server(*durable, quiet_config());
+  server.start();
+  FdStream sfd, cfd;
+  ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+  server.serve_stream(std::move(sfd));
+
+  // Identical answers from the recovered engine.
+  QueryClient client(std::move(cfd), ccfg);
+  QueryResponse after;
+  ASSERT_TRUE(client.query({{0, 71}}, 5000, &after).ok());
+  ASSERT_EQ(after.status, StatusCode::kOk);
+  ASSERT_EQ(after.answers.size(), 1u);
+  EXPECT_DOUBLE_EQ(after.answers[0].estimate, before.answers[0].estimate);
+
+  // A late retry of the last pre-crash batch is STILL deduped: the table
+  // came back from the WAL. (Raw frame: this client object's own sequence
+  // counter restarted, which is exactly the lost-laptop scenario the
+  // explicit client_id config exists for.)
+  UpdateRequest dup;
+  dup.id = 9;
+  dup.client_id = 0xfacade;
+  dup.sequence = 3;
+  dup.insert = {{0, 72, 1.0}};
+  UpdateResponse ur;
+  FdStream raw_s, raw_c;
+  ASSERT_TRUE(make_socketpair(&raw_s, &raw_c).ok());
+  server.serve_stream(std::move(raw_s));
+  ASSERT_TRUE(raw_update(raw_c, dup, &ur).ok());
+  EXPECT_EQ(ur.status, StatusCode::kOk);
+  EXPECT_NE(ur.flags & kUpdateFlagDuplicate, 0u);
+  EXPECT_EQ(durable->engine().epoch(), 3u);
+
+  // And a stale sequence below the recovered high-water mark is rejected.
+  dup.id = 10;
+  dup.sequence = 2;
+  ASSERT_TRUE(raw_update(raw_c, dup, &ur).ok());
+  EXPECT_EQ(ur.status, StatusCode::kInvalidArgument);
+
+  StatsSnapshot s;
+  ASSERT_TRUE(client.stats(&s).ok());
+  EXPECT_EQ(s.recovered_updates, 3u);
+
+  client.close();
+  raw_c.close();
+  server.stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(DurableServer, DroppedResponsesRetryIntoExactlyOnceUnderFaults) {
+  const std::string dir = durable_dir("retry_faults");
+  std::unique_ptr<Durability> durable;
+  ASSERT_TRUE(Durability::open(dyn_graph(), dyn_params(), durable_options(dir),
+                               &durable)
+                  .ok());
+  ServerConfig cfg = quiet_config();
+  cfg.enable_faults = true;
+  cfg.fault_seed = 23;
+  cfg.faults.drop_connection = 0.2;  // responses vanish mid-roundtrip
+  cfg.faults.tear_write = 0.1;
+  QueryServer server(*durable, cfg);
+  ASSERT_TRUE(server.listen_tcp(0).ok());
+
+  ClientConfig ccfg;
+  ccfg.max_retries = 8;
+  ccfg.backoff_base_ms = 1;
+  ccfg.backoff_max_ms = 4;
+  ccfg.seed = 5;
+  QueryClient client;
+  ASSERT_TRUE(QueryClient::connect_tcp(server.port(), ccfg, &client).ok());
+
+  std::uint64_t acked = 0, lost = 0;
+  for (int i = 0; i < 12; ++i) {
+    UpdateResponse ur;
+    const Status s =
+        client.update({{static_cast<vid>(i % 50),
+                        static_cast<vid>(50 + i % 50), 2.0}},
+                      {}, &ur);
+    if (s.ok() && ur.status == StatusCode::kOk) {
+      ++acked;
+    } else {
+      ++lost;  // retries exhausted — MAY have applied (ack lost forever)
+    }
+  }
+  // The invariant the WAL + dedup table exist for: however many responses
+  // the injector ate, a batch applies at most once no matter how many
+  // attempts carried it. Every acked batch applied exactly once; a batch
+  // whose every ack was eaten may or may not have landed — never twice.
+  EXPECT_GT(acked, 0u);
+  EXPECT_GE(durable->engine().epoch(), acked);
+  EXPECT_LE(durable->engine().epoch(), acked + lost);
+  // updates_applied counts actual applies, so it tracks the epoch even
+  // when the response never reached the client.
+  EXPECT_EQ(server.stats().updates_applied, durable->engine().epoch());
+
+  client.close();
+  server.stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(DurableServer, PeerVanishingMidResponseDoesNotKillTheProcess) {
+  // ignore_sigpipe() coverage: a client that sends a query and disappears
+  // leaves the server writing into a closed socket. Without SIGPIPE
+  // ignored the whole process dies; with it the write fails with EPIPE,
+  // the connection is released, and the next client is served normally.
+  const std::string dir = durable_dir("sigpipe");
+  std::unique_ptr<Durability> durable;
+  ASSERT_TRUE(Durability::open(dyn_graph(), dyn_params(), durable_options(dir),
+                               &durable)
+                  .ok());
+  QueryServer server(*durable, quiet_config());
+  server.start();
+
+  for (int round = 0; round < 3; ++round) {
+    FdStream sfd, cfd;
+    ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+    server.serve_stream(std::move(sfd));
+    std::vector<std::uint8_t> bytes;
+    QueryRequest req;
+    req.id = 1;
+    req.deadline_ms = 5000;
+    req.pairs = {{0, 50}};
+    encode_query_request(bytes, req);
+    ASSERT_TRUE(cfd.write_frame(bytes, Deadline::after_ms(5000)).ok());
+    cfd.close();  // vanish before the response is written
+  }
+
+  // The server survived; a well-behaved client still gets answers.
+  FdStream sfd, cfd;
+  ASSERT_TRUE(make_socketpair(&sfd, &cfd).ok());
+  server.serve_stream(std::move(sfd));
+  ClientConfig ccfg;
+  ccfg.max_retries = 0;
+  QueryClient client(std::move(cfd), ccfg);
+  QueryResponse resp;
+  ASSERT_TRUE(client.query({{0, 50}}, 5000, &resp).ok());
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.open_connections(), 0u);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST(QueryServer, StopIsGracefulAndIdempotent) {
